@@ -1,0 +1,5 @@
+"""Benchmark suite: one bench per table/figure of the paper plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+reproduced tables inline; set ``REPRO_FULL=1`` for paper-scale runs).
+"""

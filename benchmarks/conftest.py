@@ -1,0 +1,60 @@
+"""Shared benchmark scaffolding.
+
+Placement benchmarks are macro-benchmarks: one round, one iteration —
+their cost is dominated by the (budgeted) solver run, and repeated rounds
+would just multiply wall time without adding information.  Micro-benchmarks
+of the substrates (domains, masks, sweep, kernel propagation) use
+pytest-benchmark's standard calibrated mode.
+
+Every bench prints the quantitative result it reproduces via the
+``report`` fixture so ``pytest benchmarks/ --benchmark-only -s`` shows the
+paper-versus-measured comparison inline; the same numbers are asserted as
+*shape* checks (who wins, roughly by how much), never as absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a budgeted run exactly once and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+#: reproduced tables/figures are appended here during a bench run, so the
+#: numbers survive even without ``-s`` (the file is truncated per session)
+REPORT_PATH = "bench_report.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_report_file():
+    import pathlib
+
+    pathlib.Path(REPORT_PATH).write_text(
+        "# Reproduced tables and figures (benchmarks run)\n"
+    )
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block (visible with -s) and persist it to bench_report.txt."""
+
+    def emit(title: str, body: str) -> None:
+        block = f"\n=== {title} ===\n{body}\n"
+        print(block, end="")
+        with open(REPORT_PATH, "a") as handle:
+            handle.write(block)
+
+    return emit
+
+
+@pytest.fixture(scope="session")
+def table1_instance():
+    """The Table-I style instance shared by several benches."""
+    from repro.experiments.config import default_fabric
+    from repro.modules.generator import ModuleGenerator
+
+    region = default_fabric()
+    modules = ModuleGenerator(seed=1).generate_set(30)
+    return region, modules

@@ -1,0 +1,99 @@
+"""Ablations A1-A4 (see DESIGN.md).
+
+A1 — utilization vs number of design alternatives (1, 2, 3, 4).
+A2 — fabric heterogeneity (homogeneous / columnar / irregular).
+A3 — CP+LNS vs the related-work baselines.
+A4 — solver branching strategy and symmetry breaking.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import (
+    alternatives_sweep,
+    baseline_comparison,
+    format_sweep,
+    heterogeneity_sweep,
+    solver_strategy_sweep,
+)
+from repro.experiments.config import full_scale
+
+_BUDGET = 10.0 if full_scale() else 4.0
+_N = 30 if full_scale() else 12
+
+
+class TestA1Alternatives:
+    def test_bench_ablation_alternatives(self, benchmark, report):
+        points = run_once(
+            benchmark, alternatives_sweep,
+            (1, 2, 3, 4), _N, 5, _BUDGET,
+        )
+        report("A1 — alternatives sweep", format_sweep(points))
+        assert all(p.unplaced == 0 for p in points)
+        # utilization with 4 alternatives beats 1 alternative
+        assert points[-1].utilization > points[0].utilization
+        # extent is monotonically non-increasing up to solver noise
+        assert points[-1].extent <= points[0].extent
+
+
+class TestA2Heterogeneity:
+    def test_bench_ablation_heterogeneity(self, benchmark, report):
+        points = run_once(
+            benchmark, heterogeneity_sweep, max(_N - 4, 6), 5, _BUDGET
+        )
+        report("A2 — heterogeneity sweep", format_sweep(points))
+        by = {p.label: p for p in points}
+        assert set(by) == {"homogeneous", "columnar", "irregular"}
+        assert all(p.unplaced == 0 for p in points)
+        # heterogeneity restricts placement: homogeneous packs at least as
+        # tightly as the clock-interrupted irregular fabric
+        assert by["homogeneous"].extent <= by["irregular"].extent
+
+
+class TestA3Baselines:
+    def test_bench_ablation_baselines(self, benchmark, report):
+        points = run_once(
+            benchmark, baseline_comparison, _N, 5, _BUDGET
+        )
+        report("A3 — placer comparison", format_sweep(points))
+        by = {p.label: p for p in points}
+        cp = by["cp-lns"]
+        assert cp.unplaced == 0
+        # the CP placer wins or ties every baseline that placed everything
+        for label, p in by.items():
+            if label == "cp-lns" or p.unplaced or p.extent is None:
+                continue
+            assert cp.extent <= p.extent, f"cp-lns lost to {label}"
+        # and the greedy heuristics are at least an order faster
+        assert by["bottom-left"].elapsed < cp.elapsed
+
+
+class TestA4Solver:
+    def test_bench_ablation_solver(self, benchmark, report):
+        points = run_once(
+            benchmark, solver_strategy_sweep, 10, 9, _BUDGET / 2
+        )
+        report("A4 — solver strategies", format_sweep(points))
+        by = {p.label: p for p in points}
+        assert set(by) == {"fail-first", "static", "fail-first/no-symmetry"}
+        # every strategy must produce a full, valid placement
+        assert all(p.unplaced == 0 for p in points)
+
+
+class TestA8StaticFraction:
+    def test_bench_ablation_static_fraction(self, benchmark, report):
+        from repro.experiments.ablations import static_fraction_sweep
+
+        points = run_once(
+            benchmark, static_fraction_sweep,
+            (0.0, 0.25, 0.5), max(_N - 4, 8), 5, _BUDGET,
+        )
+        report("A8 — static-region fraction", format_sweep(points))
+        assert all(p.unplaced == 0 for p in points)
+        # a growing static region monotonically pushes the absolute extent
+        extents = [p.extent for p in points]
+        assert extents == sorted(extents)

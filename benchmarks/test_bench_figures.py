@@ -1,0 +1,97 @@
+"""Figures 1-5: qualitative artefacts regenerated with shape assertions.
+
+* Figure 1 — a module with several functionally equivalent layouts.
+* Figure 2 — the design flow (region spec + module spec -> placement).
+* Figure 3 — optimal placement with vs without alternatives.
+* Figure 4 — constraint-by-constraint shrinkage of valid placements.
+* Figure 5 — the final side-by-side floorplans (same data as Fig. 3 at
+  full-region rendering).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import (
+    figure1_gallery,
+    figure1_module,
+    figure3_comparison,
+    figure4_constraint_anatomy,
+)
+from repro.fabric.region import PartialRegion
+from repro.fabric.devices import irregular_device
+from repro.flow.design_flow import DesignFlow
+from repro.flow.visualize import comparison_figure
+from repro.metrics.utilization import extent_utilization
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.library import ModuleLibrary
+
+
+class TestFigure1:
+    def test_bench_fig1_alternatives(self, benchmark, report):
+        module = run_once(benchmark, figure1_module, 5)
+        report("Figure 1 — design alternatives", figure1_gallery(5))
+        # the paper's figure: one module, five layouts, same function
+        assert module.n_alternatives >= 4
+        assert module.is_resource_equivalent()
+        bboxes = {(fp.width, fp.height) for fp in module.shapes}
+        assert len(bboxes) >= 2  # external layout variation present
+
+
+class TestFigure2:
+    def test_bench_fig2_flow(self, benchmark, report):
+        region = PartialRegion.whole_device(irregular_device(48, 12, seed=5))
+        cfg = GeneratorConfig(clb_min=8, clb_max=16, bram_max=1,
+                              height_min=2, height_max=4)
+        library = ModuleLibrary(
+            ModuleGenerator(seed=3, config=cfg).generate_set(4)
+        )
+        flow = DesignFlow(region, library, time_limit=3.0)
+        result = run_once(benchmark, flow.run)
+        report("Figure 2 — design flow output", result.report)
+        assert result.ok
+        result.placement.verify()
+        assert result.bitstream.n_frames == region.width
+
+
+@pytest.fixture(scope="module")
+def fig3_results():
+    return figure3_comparison(n_modules=8, seed=3, time_limit=5.0)
+
+
+class TestFigures3And5:
+    def test_bench_fig3_placement(self, benchmark, report):
+        without, with_alts, fig = run_once(
+            benchmark, figure3_comparison, 8, 3, 5.0
+        )
+        report("Figure 3 — with vs without alternatives", fig)
+        without.verify()
+        with_alts.verify()
+        assert without.all_placed and with_alts.all_placed
+        assert with_alts.extent <= without.extent
+        assert extent_utilization(with_alts) >= extent_utilization(without)
+
+    def test_bench_fig5_final(self, benchmark, fig3_results, report):
+        without, with_alts, _ = fig3_results
+        fig = run_once(benchmark, comparison_figure, without, with_alts)
+        report("Figure 5 — final floorplans", fig)
+        left_width = len(fig.splitlines()[1].split("    ")[0])
+        assert left_width >= without.region.width
+        assert "without alternatives" in fig
+
+
+class TestFigure4:
+    def test_bench_fig4_constraints(self, benchmark, report):
+        anatomy = run_once(benchmark, figure4_constraint_anatomy)
+        report(
+            "Figure 4 — constraint anatomy",
+            f"(a) in-bounds:          {anatomy.in_bounds}\n"
+            f"(b) + resource match:   {anatomy.resource_matched}\n"
+            f"(c) + reconfig region:  {anatomy.in_region}\n"
+            f"(d) + non-overlap:      {anatomy.non_overlapping}",
+        )
+        assert anatomy.monotone()
+        assert anatomy.resource_matched < anatomy.in_bounds
+        assert anatomy.in_region < anatomy.resource_matched
+        assert anatomy.non_overlapping <= anatomy.in_region

@@ -1,0 +1,42 @@
+"""Ablation A6 — parallel portfolio scaling.
+
+Runs the Table-I instance through 1-, 2- and 4-member portfolios with a
+constant per-member budget and reports the quality/wall-clock trade:
+members run in parallel processes, so wall time stays ~constant while the
+best-of-N extent improves (or ties) monotonically in expectation.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.portfolio import PortfolioConfig, PortfolioPlacer
+from repro.metrics.utilization import extent_utilization
+
+_CPUS = os.cpu_count() or 1
+_BUDGET = 6.0
+
+
+class TestPortfolioScaling:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_bench_portfolio(self, benchmark, report, table1_instance, workers):
+        if workers > _CPUS:
+            pytest.skip(f"host has only {_CPUS} CPUs")
+        region, modules = table1_instance
+        placer = PortfolioPlacer(
+            PortfolioConfig(n_workers=workers, time_limit=_BUDGET, base_seed=7)
+        )
+        res = run_once(benchmark, placer.place, region, modules)
+        assert res.all_placed
+        res.verify()
+        report(
+            f"A6 — portfolio, {workers} member(s)",
+            f"extent={res.extent} util={extent_utilization(res):.1%} "
+            f"members={res.stats['member_extents']} "
+            f"wall={res.elapsed:.1f}s (budget {_BUDGET:.0f}s each)",
+        )
+        # parallel members must not serialize: wall ~ budget, not N x budget
+        assert res.elapsed < _BUDGET * workers * 0.9 + 4.0 or workers == 1

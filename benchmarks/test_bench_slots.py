@@ -1,0 +1,44 @@
+"""Ablation A7 — 1D slot-style vs 2D-grid placement (Section II, axis 5).
+
+Quantifies the utilization gap that motivated the move from slot-based to
+2D placement models, and shows design alternatives help the 1D model too
+(narrower layouts need fewer slots).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics.utilization import extent_utilization
+from repro.placer import BottomLeftPlacer, SlotConfig, SlotPlacer, slot_utilization
+
+
+class TestA7Slots:
+    def test_bench_ablation_slots(self, benchmark, report, table1_instance):
+        region, modules = table1_instance
+        slot_width = 8
+        one_d = run_once(
+            benchmark, SlotPlacer(SlotConfig(slot_width)).place, region, modules
+        )
+        one_d.verify()
+        one_d_single = SlotPlacer(SlotConfig(slot_width)).place(
+            region, [m.restricted(1) for m in modules]
+        )
+        two_d = BottomLeftPlacer().place(region, modules)
+
+        report(
+            "A7 — 1D slots vs 2D grid",
+            f"1D slots (alternatives): placed {len(one_d.placements)}/30, "
+            f"slot-util {slot_utilization(one_d, slot_width):.1%}\n"
+            f"1D slots (single shape): placed {len(one_d_single.placements)}/30, "
+            f"slot-util {slot_utilization(one_d_single, slot_width):.1%}\n"
+            f"2D grid  (bottom-left):  placed {len(two_d.placements)}/30, "
+            f"util {extent_utilization(two_d):.1%}",
+        )
+        # the 2D model fulfils at least as many requests ...
+        assert len(two_d.placements) >= len(one_d.placements)
+        # ... and uses the fabric far better (the motivating gap)
+        assert extent_utilization(two_d) > slot_utilization(one_d, slot_width)
+        # alternatives also help within the 1D model
+        assert len(one_d.placements) >= len(one_d_single.placements)

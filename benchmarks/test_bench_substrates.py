@@ -1,0 +1,132 @@
+"""Micro-benchmarks of the hot substrates.
+
+Per the HPC guides: no optimization without measuring.  These pin the
+performance of the structures the placer's node rate depends on — bitset
+domains, vectorized anchor masks, the sweep kernel, and one propagation
+step of the placement kernel — so regressions show up as benchmark
+deltas rather than mysterious solver slowdowns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cp.domain import Domain
+from repro.cp.model import Model
+from repro.fabric.devices import irregular_device
+from repro.fabric.masks import compatibility_masks, valid_anchor_mask
+from repro.fabric.region import PartialRegion
+from repro.geost.boxes import Box
+from repro.geost.placement import PlacementKernel
+from repro.geost.sweep import sweep_min
+from repro.modules.generator import ModuleGenerator
+
+
+class TestDomainOps:
+    def test_bench_domain_intersect(self, benchmark):
+        a = Domain(range(0, 200, 2))
+        b = Domain(range(0, 200, 3))
+        result = benchmark(a.intersect, b)
+        assert len(result) == len(set(range(0, 200, 2)) & set(range(0, 200, 3)))
+
+    def test_bench_domain_to_bool_array(self, benchmark):
+        d = Domain(range(0, 160, 3))
+        vec = benchmark(d.to_bool_array, 160)
+        assert int(vec.sum()) == len(d)
+
+    def test_bench_domain_from_bool_array(self, benchmark):
+        vec = np.zeros(160, dtype=bool)
+        vec[::5] = True
+        d = benchmark(Domain.from_bool_array, vec)
+        assert len(d) == 32
+
+
+class TestAnchorMasks:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        region = PartialRegion.whole_device(irregular_device(160, 24, seed=42))
+        module = ModuleGenerator(seed=1).generate()
+        compat = compatibility_masks(region)
+        return region, module, compat
+
+    def test_bench_valid_anchor_mask(self, benchmark, setup):
+        region, module, compat = setup
+        fp = module.primary()
+        mask = benchmark(valid_anchor_mask, region, sorted(fp.cells), compat)
+        assert mask.shape == (24, 160)
+
+    def test_bench_compatibility_masks(self, benchmark, setup):
+        region, _, _ = setup
+        compat = benchmark(compatibility_masks, region)
+        assert len(compat) >= 3
+
+
+class TestSweep:
+    def test_bench_sweep_min(self, benchmark):
+        bounds = [(0, 100), (0, 100)]
+        boxes = [
+            Box((x, y), (7, 7))
+            for x in range(0, 90, 12)
+            for y in range(0, 90, 12)
+        ]
+        point = benchmark(sweep_min, bounds, [boxes], 0)
+        assert point is not None
+
+
+class TestKernelPropagation:
+    @pytest.fixture(scope="class")
+    def model(self):
+        region = PartialRegion.whole_device(irregular_device(160, 24, seed=42))
+        modules = ModuleGenerator(seed=1).generate_set(30)
+        m = Model()
+        xs = [m.int_var(0, region.width - 1, f"x{i}") for i in range(30)]
+        ys = [m.int_var(0, region.height - 1, f"y{i}") for i in range(30)]
+        ss = [
+            m.int_var(0, mod.n_alternatives - 1, f"s{i}")
+            for i, mod in enumerate(modules)
+        ]
+        kernel = PlacementKernel(region, modules, xs, ys, ss)
+        m.post(kernel)
+        return m, kernel, xs, ys, ss
+
+    def test_bench_kernel_build(self, benchmark):
+        region = PartialRegion.whole_device(irregular_device(160, 24, seed=42))
+        modules = ModuleGenerator(seed=1).generate_set(30)
+
+        def build():
+            m = Model()
+            xs = [m.int_var(0, region.width - 1, f"x{i}") for i in range(30)]
+            ys = [m.int_var(0, region.height - 1, f"y{i}") for i in range(30)]
+            ss = [
+                m.int_var(0, mod.n_alternatives - 1, f"s{i}")
+                for i, mod in enumerate(modules)
+            ]
+            kernel = PlacementKernel(region, modules, xs, ys, ss)
+            m.post(kernel)
+            return kernel
+
+        kernel = benchmark(build)
+        assert not kernel.occupancy.any()
+
+    def test_bench_imprint_and_undo(self, benchmark, model):
+        """One module placement commit + trail undo — the per-node cost."""
+        m, kernel, xs, ys, ss = model
+
+        def place_and_undo():
+            m.engine.push_level()
+            anchors = kernel.anchors_for(0)
+            sid, x, y = anchors[0]
+            ss[0].fix(sid)
+            xs[0].fix(x)
+            ys[0].fix(y)
+            m.engine.fixpoint()
+            m.engine.pop_level()
+
+        benchmark(place_and_undo)
+        assert not kernel.items[0].placed
+
+    def test_bench_anchor_count(self, benchmark, model):
+        _, kernel, *_ = model
+        count = benchmark(kernel.anchor_count, 0)
+        assert count > 0

@@ -1,0 +1,55 @@
+"""Table I — impact of design alternatives on utilization and time.
+
+Paper (mean of 50 runs, 30 modules):
+
+    No design alternatives: 53% utilization, 2.55 s
+    Design alternatives:    65% utilization, 10.82 s   (CLB/BRAM change 0)
+
+Reproduced here at reduced run count (set REPRO_FULL=1 for paper scale).
+Each benchmarked test also asserts the *shape* of the result: alternatives
+must raise mean utilization by several points, consume identical
+resources, and need more solver effort to reach a first solution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.config import Table1Config, full_scale
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def _config() -> Table1Config:
+    cfg = Table1Config()
+    if not full_scale():
+        cfg.n_runs = 2
+        cfg.time_limit = 8.0
+    return cfg
+
+
+class TestTable1:
+    def test_bench_table1(self, benchmark, report):
+        """The headline experiment: both conditions, all shape checks."""
+        cfg = _config()
+        rows = run_once(benchmark, run_table1, cfg)
+        report(f"Table I ({cfg.n_runs} runs)", format_table1(rows))
+
+        without, with_alts = rows
+        assert without.n_runs == with_alts.n_runs == cfg.n_runs
+
+        # --- utilization: paper 53% -> 65% (+12 points) ---
+        gain = with_alts.mean_utilization - without.mean_utilization
+        assert gain > 0.04, f"expected a clear utilization gain, got {gain:+.1%}"
+        assert 0.35 < without.mean_utilization < 0.75
+        assert 0.45 < with_alts.mean_utilization < 0.85
+
+        # --- resources: paper reports CLB/BRAM change of 0 ---
+        assert without.mean_clb == pytest.approx(with_alts.mean_clb)
+        assert without.mean_bram == pytest.approx(with_alts.mean_bram)
+
+        # --- time: 4x the shapes => at least as much work per solution ---
+        assert (
+            with_alts.mean_first_solution_time
+            >= without.mean_first_solution_time
+        )

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""How each constraint family restricts placement (the paper's Figure 4).
+
+Counts a module's valid anchor positions as constraints are layered on:
+
+  (a) inside the device bounding box          (M_a, outer bound)
+  (b) + resource-type matching                (M_b, heterogeneity)
+  (c) + restricted to the reconfigurable region (M_a, static mask)
+  (d) + non-overlap with a placed module      (M_c)
+
+Run:  python examples/constraint_anatomy.py
+"""
+
+from repro.experiments import figure4_constraint_anatomy
+
+
+def main() -> None:
+    anatomy = figure4_constraint_anatomy()
+    steps = [
+        ("(a) bounding box only", anatomy.in_bounds),
+        ("(b) + resource matching (M_b)", anatomy.resource_matched),
+        ("(c) + reconfigurable region (M_a)", anatomy.in_region),
+        ("(d) + non-overlap with placed module (M_c)", anatomy.non_overlapping),
+    ]
+    width = max(len(s) for s, _ in steps)
+    base = anatomy.in_bounds
+    for label, count in steps:
+        bar = "#" * max(1, round(40 * count / base)) if count else ""
+        print(f"{label:<{width}}  {count:>6}  {bar}")
+    print(
+        "\nEach constraint family strictly shrinks the valid placement set "
+        f"(monotone: {anatomy.monotone()}); design alternatives counteract "
+        "the shrinkage by adding placement possibilities per module."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Phase-based reconfiguration scheduling.
+
+An application cycles through phases (boot → steady → burst → idle), each
+needing a different module mix.  The scheduler compares two policies:
+
+* *naive* — re-place every phase from scratch (best per-phase packing,
+  but transitions rewrite everything that moved);
+* *sticky* — modules surviving a transition keep their placement, only
+  arrivals are placed and written.
+
+Reconfiguration cost is counted in configuration frames written, the
+overhead the paper's introduction wants kept low.
+
+Run:  python examples/phase_scheduling.py
+"""
+
+from repro.fabric import PartialRegion, irregular_device
+from repro.flow import Phase, compare_policies
+from repro.modules import GeneratorConfig, ModuleGenerator
+
+
+def main() -> None:
+    region = PartialRegion.whole_device(irregular_device(56, 12, seed=5))
+    gen = ModuleGenerator(
+        seed=9,
+        config=GeneratorConfig(clb_min=8, clb_max=18, bram_max=1,
+                               height_min=2, height_max=4),
+    )
+    mods = gen.generate_set(7)
+    phases = [
+        Phase("boot", mods[:3]),
+        Phase("steady", mods[1:5]),
+        Phase("burst", mods[1:7]),
+        Phase("idle", mods[1:3]),
+        Phase("steady2", mods[1:5]),
+    ]
+    print("phase sequence:")
+    for p in phases:
+        print(f"  {p.name:<8} {', '.join(p.module_names())}")
+    print()
+
+    sticky, naive = compare_policies(region, phases, fresh_time_limit=3.0)
+    for label, sched in (("sticky", sticky), ("naive", naive)):
+        print(f"{label} policy — {sched.summary()}")
+        for t in sched.transitions:
+            print(
+                f"  {t.from_phase:>8} -> {t.to_phase:<8} "
+                f"{t.frames:>3} frames written "
+                f"(kept {len(t.kept)}, arrived {len(t.arrived)}, "
+                f"departed {len(t.departed)})"
+            )
+        print()
+    saved = naive.total_frames - sticky.total_frames
+    print(
+        f"keeping surviving modules in place saves {saved} configuration "
+        f"frames over this sequence "
+        f"({sticky.total_frames} vs {naive.total_frames})."
+    )
+
+
+if __name__ == "__main__":
+    main()

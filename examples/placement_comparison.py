@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Placement with vs without design alternatives (Figures 3 and 5).
+
+Places the same generated module set twice on the same fabric — once
+restricted to each module's primary shape, once with the full alternative
+sets — and renders both floorplans side by side, with the utilization
+numbers of the paper's Table I story.
+
+Run:  python examples/placement_comparison.py
+"""
+
+from repro.core.lns import LNSConfig, LNSPlacer
+from repro.fabric import PartialRegion, irregular_device
+from repro.flow import comparison_figure
+from repro.metrics import extent_utilization, external_fragmentation
+from repro.modules import ModuleGenerator
+
+
+def main() -> None:
+    region = PartialRegion.whole_device(irregular_device(64, 16, seed=7))
+    modules = ModuleGenerator(seed=3).generate_set(8)
+
+    print(f"placing {len(modules)} modules "
+          f"({sum(m.n_alternatives for m in modules)} shapes with "
+          f"alternatives, {len(modules)} without)...\n")
+
+    without = LNSPlacer(LNSConfig(time_limit=6.0, seed=3)).place(
+        region, [m.restricted(1) for m in modules]
+    )
+    with_alts = LNSPlacer(LNSConfig(time_limit=6.0, seed=3)).place(
+        region, modules
+    )
+    without.verify()
+    with_alts.verify()
+
+    print(comparison_figure(without, with_alts))
+    print()
+    rows = [
+        ("", "without", "with alternatives"),
+        ("extent", str(without.extent), str(with_alts.extent)),
+        ("utilization",
+         f"{extent_utilization(without):.1%}",
+         f"{extent_utilization(with_alts):.1%}"),
+        ("ext. fragmentation",
+         f"{external_fragmentation(without):.1%}",
+         f"{external_fragmentation(with_alts):.1%}"),
+        ("solve time", f"{without.elapsed:.1f}s", f"{with_alts.elapsed:.1f}s"),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<20} {a:>10} {b:>20}")
+    print("\n(paper, Table I at 30-module scale: 53% -> 65% utilization)")
+
+
+if __name__ == "__main__":
+    main()

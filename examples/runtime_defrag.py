@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Runtime defragmentation with and without design alternatives.
+
+A runtime reconfigurable system places and removes modules until the free
+space is shattered.  This example builds such a fragmented state, then
+compacts it by module relocation under the two policies the paper's
+state-restoration remark motivates:
+
+* *frozen shapes* — modules carry state, so a relocation must reuse the
+  exact layout (the paper's stance: "we do not consider changing design
+  alternatives at run-time");
+* *free shapes* — stateless/restartable modules may change layout when
+  moved.
+
+Each relocation is costed in configuration frames (columns rewritten).
+
+Run:  python examples/runtime_defrag.py
+"""
+
+from repro.core import defragment, render_placement
+from repro.core.relocation import format_relocatability, relocatability_report
+from repro.core.result import Placement, PlacementResult
+from repro.fabric import PartialRegion, irregular_device
+from repro.metrics import extent_utilization
+from repro.modules import GeneratorConfig, ModuleGenerator
+
+
+def fragmented_state():
+    """Placements with deliberate gaps (as if neighbours departed)."""
+    region = PartialRegion.whole_device(irregular_device(72, 12, seed=9))
+    gen = ModuleGenerator(
+        seed=6,
+        config=GeneratorConfig(clb_min=10, clb_max=24, bram_max=1,
+                               height_min=3, height_max=5),
+    )
+    from repro.core import CPPlacer, PlacerConfig
+
+    modules = gen.generate_set(8)
+    res = CPPlacer(
+        PlacerConfig(time_limit=4.0, first_solution_only=True)
+    ).place(region, modules)
+    # evict every other module to shatter the free space
+    survivors = res.placements[::2] + [
+        Placement(p.module, p.shape_index, p.x, p.y)
+        for p in res.placements[1::2][:0]
+    ]
+    return PlacementResult(region, survivors)
+
+
+def main() -> None:
+    state = fragmented_state()
+    state.verify()
+    print("fragmented system (extent "
+          f"{state.extent}, utilization {extent_utilization(state):.1%}):")
+    print(render_placement(state))
+    print()
+    print("relocatability of each placed module:")
+    print(format_relocatability(relocatability_report(state)))
+    print()
+
+    for label, allow in (("frozen shapes", False), ("free shapes", True)):
+        out = defragment(state, allow_shape_change=allow)
+        out.result.verify()
+        print(
+            f"defrag [{label:<13}] extent {out.initial_extent} -> "
+            f"{out.final_extent} in {len(out.moves)} moves "
+            f"({out.total_frames} frames rewritten)"
+        )
+        for mv in out.moves:
+            shape = " (new layout)" if mv.changed_shape else ""
+            print(
+                f"    {mv.module}: {mv.from_pos} -> {mv.to_pos}, "
+                f"{mv.frames} frames{shape}"
+            )
+    print()
+    out = defragment(state, allow_shape_change=True)
+    print("after defragmentation (free shapes):")
+    print(render_placement(out.result))
+
+
+if __name__ == "__main__":
+    main()

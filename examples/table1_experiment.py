@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Reproduce Table I of the paper.
+
+Runs the full experiment: N independent runs of placing 30 automatically
+generated modules (20-100 CLBs, 0-4 BRAMs, 4 design alternatives) on a
+heterogeneous fabric, with and without alternatives, and prints the
+reproduced table next to the paper's numbers.
+
+By default a scaled-down configuration runs in a few minutes; set
+``REPRO_FULL=1`` for the paper-faithful 50-run version.
+
+Run:  python examples/table1_experiment.py [n_runs]
+"""
+
+import sys
+
+from repro.experiments import Table1Config, format_table1, run_table1
+
+
+def main() -> None:
+    cfg = Table1Config()
+    if len(sys.argv) > 1:
+        cfg.n_runs = int(sys.argv[1])
+    print(
+        f"Table I reproduction: {cfg.n_runs} runs x {cfg.n_modules} modules, "
+        f"{cfg.time_limit:.0f}s budget per placement\n"
+    )
+    rows = run_table1(cfg)
+    print(format_table1(rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — CP-based FPGA module placement with design alternatives.
+
+A from-scratch Python reproduction of *"Enhancing Resource Utilization
+with Design Alternatives in Runtime Reconfigurable Systems"* (Wold, Koch,
+Torresen — RAW @ IPDPS 2011), including every substrate the paper relies
+on: a finite-domain constraint solver, a geost-style geometric kernel
+extended with resource types, a heterogeneous FPGA fabric model, module
+generation with design alternatives, baseline placers from the related
+work, and a ReCoBus-style design flow.
+
+Quickstart::
+
+    from repro.fabric import irregular_device, PartialRegion
+    from repro.modules import ModuleGenerator
+    from repro.core import place, placement_report
+
+    region = PartialRegion.whole_device(irregular_device(64, 16, seed=7))
+    modules = ModuleGenerator(seed=1).generate_set(6)
+    result = place(region, modules, time_limit=5.0)
+    print(placement_report(result))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured comparison of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import CPPlacer, PlacerConfig, place
+from repro.core.lns import LNSConfig, LNSPlacer
+
+__all__ = [
+    "__version__",
+    "CPPlacer",
+    "PlacerConfig",
+    "place",
+    "LNSPlacer",
+    "LNSConfig",
+]

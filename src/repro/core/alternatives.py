@@ -1,0 +1,81 @@
+"""Design-alternative construction (Figure 1).
+
+Given a base footprint, derive the alternative set the paper evaluates:
+the 180-degree rotation, internal relayouts (same bounding box, dedicated
+resources moved), and external relayouts (different bounding box).  The
+legality rule of Section V-A is enforced: shapes using embedded memory are
+never rotated by 90/270 degrees because BRAM strips are vertical on the
+fabric — their bounding box can only change via a relayout that keeps the
+strips vertical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+from repro.modules.transform import (
+    distinct_footprints,
+    external_relayout,
+    internal_relayout,
+    mirror_horizontal,
+    mirror_vertical,
+    rotate90,
+    rotate180,
+    rotate270,
+)
+
+
+def legal_rigid_transforms(fp: Footprint) -> List[Callable[[Footprint], Footprint]]:
+    """The rigid transforms legal for this footprint on a column fabric."""
+    transforms: List[Callable[[Footprint], Footprint]] = [rotate180]
+    counts = fp.resource_counts()
+    uses_dedicated = any(k.is_dedicated for k in counts)
+    if not uses_dedicated:
+        transforms.extend([rotate90, rotate270, mirror_horizontal, mirror_vertical])
+    else:
+        # mirroring keeps strips vertical, so it stays legal
+        transforms.extend([mirror_horizontal, mirror_vertical])
+    return transforms
+
+
+def expand_alternatives(
+    base: Footprint,
+    max_alternatives: int = 4,
+    include_internal: bool = True,
+    include_external: bool = True,
+    seed: int = 0,
+) -> List[Footprint]:
+    """Build up to ``max_alternatives`` distinct shapes from ``base``.
+
+    Order of preference mirrors the paper's experiment: base, rot180,
+    internal relayout, external relayout, then the remaining rigid
+    transforms as fillers.
+    """
+    if max_alternatives < 1:
+        raise ValueError("need at least one alternative")
+    rng = random.Random(seed)
+    candidates: List[Footprint] = [base, rotate180(base)]
+    if include_internal:
+        candidates.append(internal_relayout(base, rng))
+    if include_external:
+        counts = base.resource_counts()
+        only_clb_bram = set(counts) <= {ResourceType.CLB, ResourceType.BRAM}
+        if only_clb_bram and counts.get(ResourceType.CLB, 0) > 0:
+            for delta in (2, -2, 3, -3):
+                h = base.height + delta
+                if h >= 1:
+                    candidates.append(external_relayout(base, h))
+    for t in legal_rigid_transforms(base):
+        candidates.append(t(base))
+    return distinct_footprints(candidates)[:max_alternatives]
+
+
+def with_alternatives(
+    name: str, base: Footprint, max_alternatives: int = 4, seed: int = 0
+) -> Module:
+    """Module from a base shape plus derived alternatives."""
+    return Module(name, expand_alternatives(base, max_alternatives, seed=seed))

@@ -1,0 +1,155 @@
+"""Communication-aware placement.
+
+The ReCoBus setting connects modules over a shared horizontal bus; wide
+physical separation between heavily communicating modules costs bus
+segments (and latency on segmented buses).  This extension places modules
+minimizing *weighted wirelength* — the sum over communication edges of
+``w_ij * |cx_i - cx_j|`` where ``cx`` is the module's anchor column —
+subject to an optional cap on the occupied extent (so compactness is not
+given up entirely).
+
+This is an extension beyond the paper (its objective is extent only), but
+it exercises the same machinery: the kernel provides feasibility, element
+couplings bind shape-dependent data, and branch-and-bound minimizes the
+scalarized objective.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cp.bnb import BranchAndBound, Objective
+from repro.cp.branching import min_value
+from repro.cp.engine import Inconsistent
+from repro.cp.search import SearchLimit
+from repro.core.placement_model import PlacementModel
+from repro.core.placer import _kernel_fail_first
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.region import PartialRegion
+from repro.modules.module import Module
+
+#: (module index a, module index b, weight)
+CommEdge = Tuple[int, int, int]
+
+
+@dataclass
+class CommConfig:
+    time_limit: Optional[float] = 10.0
+    #: optional hard cap on the occupied x extent
+    max_extent: Optional[int] = None
+    node_limit: Optional[int] = None
+
+
+@dataclass
+class CommResult:
+    """Placement plus its communication cost."""
+
+    placement: PlacementResult
+    wirelength: Optional[int] = None
+    edges: List[CommEdge] = field(default_factory=list)
+
+    def edge_lengths(self) -> List[int]:
+        ps = self.placement.placements
+        return [
+            w * abs(ps[a].x - ps[b].x) for a, b, w in self.edges
+        ]
+
+
+class CommAwarePlacer:
+    """Minimize weighted anchor-column wirelength over a comm graph."""
+
+    def __init__(self, config: Optional[CommConfig] = None) -> None:
+        self.config = config or CommConfig()
+
+    def place(
+        self,
+        region: PartialRegion,
+        modules: Sequence[Module],
+        edges: Sequence[CommEdge],
+    ) -> CommResult:
+        cfg = self.config
+        n = len(modules)
+        for a, b, w in edges:
+            if not (0 <= a < n and 0 <= b < n) or a == b:
+                raise ValueError(f"invalid communication edge ({a},{b})")
+            if w <= 0:
+                raise ValueError("edge weights must be positive")
+        start = time.monotonic()
+        try:
+            # symmetry breaking orders interchangeable modules by x — sound
+            # for the extent objective, but communication edges distinguish
+            # otherwise identical modules, so it must stay off here
+            pm = PlacementModel(region, modules, symmetry_breaking=False)
+            m = pm.model
+            if cfg.max_extent is not None:
+                pm.objective_var.remove_above(cfg.max_extent)
+            # wirelength = sum of weighted |x_a - x_b|
+            terms = []
+            coeffs = []
+            for a, b, w in edges:
+                z = m.abs_diff_of(pm.xs[a], pm.xs[b], f"d[{a},{b}]")
+                terms.append(z)
+                coeffs.append(w)
+            bound = sum(
+                w * region.width for _, _, w in edges
+            )
+            wl = m.int_var(0, max(bound, 0), "wirelength")
+            m.add_linear_eq(coeffs + [-1], terms + [wl], 0)
+            m.engine.fixpoint()
+        except Inconsistent:
+            return CommResult(
+                PlacementResult(
+                    region, [], list(modules), status="infeasible",
+                    elapsed=time.monotonic() - start,
+                ),
+                edges=list(edges),
+            )
+
+        captured: List[List[Placement]] = []
+
+        def on_improve(_sol, _val) -> None:
+            captured.append(
+                [
+                    Placement(p.module, p.shape_index, p.x, p.y)
+                    for p in pm.kernel.placements()
+                ]
+            )
+
+        bnb = BranchAndBound(
+            m.engine,
+            Objective.minimize(wl),
+            pm.decision_vars(pm.area_order()),
+            var_select=_kernel_fail_first(pm),
+            val_select=min_value,
+            limit=SearchLimit(
+                time_seconds=cfg.time_limit, nodes=cfg.node_limit
+            ),
+            on_improve=on_improve,
+        )
+        res = bnb.run()
+        elapsed = time.monotonic() - start
+        if res.best is None or not captured:
+            status = "infeasible" if res.proved_optimal else "unknown"
+            return CommResult(
+                PlacementResult(
+                    region, [], list(modules), status=status, elapsed=elapsed,
+                    stats={"search": res.stats},
+                ),
+                edges=list(edges),
+            )
+        placements = captured[-1]
+        status = "optimal" if res.proved_optimal else "feasible"
+        return CommResult(
+            PlacementResult(
+                region,
+                placements,
+                [],
+                status=status,
+                elapsed=elapsed,
+                stats={"search": res.stats},
+            ),
+            wirelength=res.objective,
+            edges=list(edges),
+        )

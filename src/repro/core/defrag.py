@@ -1,0 +1,170 @@
+"""Runtime defragmentation by module relocation.
+
+The runtime counterpart of the paper's offline result: as modules come and
+go, the free space of a runtime reconfigurable system shatters (external
+fragmentation).  A defragmenter relocates placed modules — at a
+reconfiguration cost — to compact the floorplan.  Design alternatives pay
+off a second time here: a module that may change layout when moved has
+more relocation sites, so compaction gets further per move.
+
+We deliberately keep the paper's restriction in mind: "restoring the
+module with a different design alternative would present a problem in
+restoring the state.  Consequently, we do not consider changing design
+alternatives at run-time."  The defragmenter therefore supports both
+policies:
+
+* ``allow_shape_change=False`` (the paper's stateful-module assumption) —
+  modules only translate;
+* ``allow_shape_change=True`` (valid for stateless/restartable modules) —
+  relocation may pick a different alternative.
+
+Algorithm: greedy left-compaction.  Repeatedly take the module whose right
+edge defines the extent, enumerate its relocation sites strictly left of
+its current anchor, move it to the bottom-left-most one; stop when no
+extent-defining module can move (or a move budget is exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.relocation import (
+    RelocationSite,
+    relocation_distance,
+    relocation_sites,
+)
+from repro.core.result import Placement, PlacementResult
+
+
+@dataclass
+class Move:
+    """One executed relocation."""
+
+    module: str
+    from_pos: Tuple[int, int]
+    to_pos: Tuple[int, int]
+    from_shape: int
+    to_shape: int
+    frames: int
+
+    @property
+    def changed_shape(self) -> bool:
+        return self.from_shape != self.to_shape
+
+
+@dataclass
+class DefragResult:
+    """Outcome of a defragmentation pass."""
+
+    result: PlacementResult
+    moves: List[Move] = field(default_factory=list)
+    initial_extent: int = 0
+    final_extent: int = 0
+
+    @property
+    def total_frames(self) -> int:
+        return sum(m.frames for m in self.moves)
+
+    @property
+    def improvement(self) -> int:
+        return self.initial_extent - self.final_extent
+
+
+def defragment(
+    result: PlacementResult,
+    allow_shape_change: bool = False,
+    max_moves: Optional[int] = None,
+) -> DefragResult:
+    """Greedy left-compaction of a placed system.
+
+    Returns a new :class:`PlacementResult` (the input is not modified)
+    plus the move list with per-move reconfiguration frame costs.
+    """
+    placements = list(result.placements)
+    current = PlacementResult(result.region, placements, list(result.unplaced))
+    initial_extent = current.extent or 0
+    moves: List[Move] = []
+    if max_moves is None:
+        # termination guard: shape-changing moves may trade width for x,
+        # so bound the pass length instead of relying on a monotone metric
+        max_moves = 4 * max(1, len(placements))
+
+    while max_moves is None or len(moves) < max_moves:
+        extent = max((p.right for p in placements), default=0)
+        frontier = [
+            (i, p) for i, p in enumerate(placements) if p.right == extent
+        ]
+        moved = False
+        for i, p in sorted(frontier, key=lambda t: -t[1].footprint.area):
+            sites = relocation_sites(
+                current, p, consider_alternatives=allow_shape_change
+            )
+            # only strictly-left-shrinking targets count as compaction
+            better = [
+                s
+                for s in sites
+                if s.x + p.module.shapes[s.shape_index].width < p.right
+            ]
+            if not better:
+                continue
+            target = min(better, key=lambda s: (s.x, s.y, s.shape_index))
+            new_p = Placement(p.module, target.shape_index, target.x, target.y)
+            moves.append(
+                Move(
+                    module=p.module.name,
+                    from_pos=(p.x, p.y),
+                    to_pos=(target.x, target.y),
+                    from_shape=p.shape_index,
+                    to_shape=target.shape_index,
+                    frames=relocation_distance(p, target),
+                )
+            )
+            placements[i] = new_p
+            current = PlacementResult(
+                result.region, placements, list(result.unplaced)
+            )
+            moved = True
+            break
+        if not moved:
+            # the frontier is stuck: squeeze interior modules left to open
+            # space (in x order), then retry; stop when nothing moves at all
+            for i, p in sorted(enumerate(placements), key=lambda t: t[1].x):
+                if max_moves is not None and len(moves) >= max_moves:
+                    break
+                sites = relocation_sites(
+                    current, p, consider_alternatives=allow_shape_change
+                )
+                better = [s for s in sites if (s.x, s.y) < (p.x, p.y)]
+                if not better:
+                    continue
+                target = min(better, key=lambda s: (s.x, s.y, s.shape_index))
+                new_p = Placement(
+                    p.module, target.shape_index, target.x, target.y
+                )
+                moves.append(
+                    Move(
+                        module=p.module.name,
+                        from_pos=(p.x, p.y),
+                        to_pos=(target.x, target.y),
+                        from_shape=p.shape_index,
+                        to_shape=target.shape_index,
+                        frames=relocation_distance(p, target),
+                    )
+                )
+                placements[i] = new_p
+                current = PlacementResult(
+                    result.region, placements, list(result.unplaced)
+                )
+                moved = True
+                break
+        if not moved:
+            break
+
+    final = PlacementResult(result.region, placements, list(result.unplaced))
+    return DefragResult(
+        result=final,
+        moves=moves,
+        initial_extent=initial_extent,
+        final_extent=final.extent or 0,
+    )

@@ -1,0 +1,82 @@
+"""Placement objectives.
+
+The paper's objective (Eq. 6) selects, from the valid solution set A*, the
+solutions minimal in the x direction: ``A* = min_x A``.  Minimizing the
+occupied extent concentrates the modules, which both maximizes the average
+resource utilization within the used span and leaves the largest
+contiguous area free for future modules.
+
+Besides the paper's extent objective we provide two natural ablation
+objectives used by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Sequence
+
+from repro.cp.model import Model
+from repro.cp.variable import IntVar
+from repro.modules.module import Module
+
+
+class ObjectiveKind(Enum):
+    """Which scalar the branch-and-bound minimizes."""
+
+    #: the paper's Eq. 6: minimize the maximum x extent of any module
+    MIN_EXTENT_X = "extent-x"
+    #: symmetric variant: minimize the maximum y extent
+    MIN_EXTENT_Y = "extent-y"
+    #: minimize the sum of module right edges (a packing 'center of mass'
+    #: objective; weaker bound propagation, used in ablation A4)
+    MIN_TOTAL_RIGHT = "total-right"
+
+
+def build_objective(
+    model: Model,
+    kind: ObjectiveKind,
+    modules: Sequence[Module],
+    xs: Sequence[IntVar],
+    ys: Sequence[IntVar],
+    ss: Sequence[IntVar],
+    width: int,
+    height: int,
+) -> IntVar:
+    """Create and constrain the objective variable; returns it.
+
+    For the extent objectives each module contributes
+    ``edge_i = anchor_i + size(shape_i)`` where the size is tied to the
+    shape variable with an element constraint; the objective is the maximum
+    of the edges.
+    """
+    if kind in (ObjectiveKind.MIN_EXTENT_X, ObjectiveKind.MIN_EXTENT_Y):
+        horizontal = kind is ObjectiveKind.MIN_EXTENT_X
+        bound = width if horizontal else height
+        edges: List[IntVar] = []
+        for i, m in enumerate(modules):
+            sizes = [
+                (fp.width if horizontal else fp.height) for fp in m.shapes
+            ]
+            size_var = model.element_of(sizes, ss[i], name=f"size[{i}]")
+            edge = model.int_var(0, bound, f"edge[{i}]")
+            model.add_sum(edge, xs[i] if horizontal else ys[i], size_var)
+            edges.append(edge)
+        objective = model.int_var(0, bound, "extent")
+        model.add_max(objective, edges)
+        return objective
+
+    if kind is ObjectiveKind.MIN_TOTAL_RIGHT:
+        edges = []
+        for i, m in enumerate(modules):
+            sizes = [fp.width for fp in m.shapes]
+            size_var = model.element_of(sizes, ss[i], name=f"size[{i}]")
+            edge = model.int_var(0, width, f"edge[{i}]")
+            model.add_sum(edge, xs[i], size_var)
+            edges.append(edge)
+        objective = model.int_var(0, width * max(1, len(modules)), "total_right")
+        model.add_linear_eq(
+            [1] * len(edges) + [-1], list(edges) + [objective], 0
+        )
+        return objective
+
+    raise ValueError(f"unknown objective kind: {kind}")

@@ -1,0 +1,261 @@
+"""The CP placer: optimal / anytime placement with design alternatives.
+
+Search strategy: modules are branched hardest-first (decreasing area) and
+per module the anchor column is fixed first with the smallest value
+(bottom-left packing, aligned with the min-extent objective of Eq. 6),
+then the row, then the shape alternative — usually already fixed by kernel
+propagation once the anchor is known.  Branch-and-bound tightens the
+extent after every solution; interrupted runs return the best placement
+found, which makes the Table I experiments budget-controllable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cp.bnb import BranchAndBound, Objective
+from repro.cp.branching import input_order, min_value
+from repro.cp.engine import Inconsistent
+from repro.cp.search import SearchLimit
+from repro.core.objective import ObjectiveKind
+from repro.core.placement_model import PlacementModel
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.region import PartialRegion
+from repro.modules.module import Module
+
+
+@dataclass
+class PlacerConfig:
+    """Knobs of the CP placer."""
+
+    objective: ObjectiveKind = ObjectiveKind.MIN_EXTENT_X
+    #: anytime budget in seconds (None = run to proven optimality)
+    time_limit: Optional[float] = 10.0
+    node_limit: Optional[int] = None
+    #: module branching order: "area" (hardest first) or "input"
+    order: str = "area"
+    #: variable selection: "fail-first" picks the unplaced module with the
+    #: fewest remaining anchors at every node (dynamic, kernel-driven);
+    #: "static" follows the fixed module order
+    strategy: str = "fail-first"
+    #: construction mode for ``first_solution_only``: "dive" is one DFS
+    #: descent; "restart" adds Luby restarts with randomized value tails —
+    #: slower on easy instances, far more robust on thrashing-prone ones
+    construction: str = "dive"
+    #: random seed for the "restart" construction
+    seed: int = 0
+    symmetry_breaking: bool = True
+    redundant_cumulative: bool = True
+    #: stop at the first solution instead of optimizing (service mode)
+    first_solution_only: bool = False
+
+
+class CPPlacer:
+    """Places a module library on a partial region via CP + B&B."""
+
+    def __init__(self, config: Optional[PlacerConfig] = None) -> None:
+        self.config = config or PlacerConfig()
+
+    # ------------------------------------------------------------------
+    def place(
+        self, region: PartialRegion, modules: Sequence[Module]
+    ) -> PlacementResult:
+        return self._place(region, modules, None)
+
+    def place_bounded(
+        self,
+        region: PartialRegion,
+        modules: Sequence[Module],
+        max_extent: int,
+    ) -> PlacementResult:
+        """Place with a hard upper bound on the extent objective.
+
+        Used by the LNS driver: the subproblem must strictly beat the
+        incumbent, so its objective is clamped before search starts.
+        """
+        return self._place(region, modules, max_extent)
+
+    def _place(
+        self,
+        region: PartialRegion,
+        modules: Sequence[Module],
+        max_extent: Optional[int],
+    ) -> PlacementResult:
+        cfg = self.config
+        start = time.monotonic()
+        try:
+            pm = PlacementModel(
+                region,
+                modules,
+                objective=cfg.objective,
+                symmetry_breaking=cfg.symmetry_breaking,
+                redundant_cumulative=cfg.redundant_cumulative,
+            )
+            if max_extent is not None:
+                pm.objective_var.remove_above(max_extent)
+                pm.model.engine.fixpoint()
+        except Inconsistent:
+            return PlacementResult(
+                region, [], list(modules), status="infeasible",
+                elapsed=time.monotonic() - start,
+            )
+
+        order = pm.area_order() if cfg.order == "area" else list(range(len(modules)))
+        decision_vars = pm.decision_vars(order)
+        var_select = (
+            _kernel_fail_first(pm) if cfg.strategy == "fail-first" else input_order
+        )
+
+        if cfg.first_solution_only and cfg.construction == "restart":
+            return self._construct_with_restarts(
+                pm, region, modules, decision_vars, var_select, start
+            )
+
+        limit = SearchLimit(
+            time_seconds=cfg.time_limit,
+            nodes=cfg.node_limit,
+            solutions=1 if cfg.first_solution_only else None,
+        )
+
+        best_placements: List[List[Placement]] = []
+
+        def on_improve(solution, value) -> None:
+            # engine state reflects the solution while the callback runs
+            best_placements.append(
+                [
+                    Placement(p.module, p.shape_index, p.x, p.y)
+                    for p in pm.kernel.placements()
+                ]
+            )
+
+        bnb = BranchAndBound(
+            pm.model.engine,
+            Objective.minimize(pm.objective_var),
+            decision_vars,
+            var_select=var_select,
+            val_select=min_value,
+            limit=limit,
+            on_improve=on_improve,
+        )
+        res = bnb.run()
+        elapsed = time.monotonic() - start
+
+        if res.best is None:
+            status = "infeasible" if res.proved_optimal else "unknown"
+            return PlacementResult(
+                region, [], list(modules), status=status, elapsed=elapsed,
+                stats={"search": res.stats},
+            )
+
+        placements = best_placements[-1]
+        status = "optimal" if res.proved_optimal else "feasible"
+        return PlacementResult(
+            region,
+            placements,
+            [],
+            extent=res.objective,
+            status=status,
+            elapsed=elapsed,
+            stats={
+                "search": res.stats,
+                "trajectory": res.trajectory,
+                "shapes_considered": sum(m.n_alternatives for m in modules),
+            },
+        )
+
+
+    def _construct_with_restarts(
+        self, pm, region, modules, decision_vars, var_select, start
+    ) -> PlacementResult:
+        from repro.cp.restart import RestartingSearch
+
+        cfg = self.config
+        captured: List[List[Placement]] = []
+
+        def on_solution(_sol) -> None:
+            captured.append(
+                [
+                    Placement(p.module, p.shape_index, p.x, p.y)
+                    for p in pm.kernel.placements()
+                ]
+            )
+
+        search = RestartingSearch(
+            pm.model.engine,
+            decision_vars,
+            var_select=var_select,
+            time_limit=cfg.time_limit,
+            seed=cfg.seed,
+            on_solution=on_solution,
+        )
+        solution = search.first_solution()
+        elapsed = time.monotonic() - start
+        if solution is None or not captured:
+            status = (
+                "infeasible"
+                if search.stats.stop_reason == "exhausted"
+                else "unknown"
+            )
+            return PlacementResult(
+                region, [], list(modules), status=status, elapsed=elapsed,
+                stats={"search": search.stats, "restarts": search.restarts},
+            )
+        placements = captured[-1]
+        return PlacementResult(
+            region,
+            placements,
+            [],
+            extent=max(p.right for p in placements),
+            status="feasible",
+            elapsed=elapsed,
+            stats={
+                "search": search.stats,
+                "restarts": search.restarts,
+                "shapes_considered": sum(m.n_alternatives for m in modules),
+            },
+        )
+
+
+def _kernel_fail_first(pm: PlacementModel):
+    """Dynamic variable selection: branch the most constrained module.
+
+    At every node, pick the unplaced module with the fewest remaining
+    (shape, x, y) anchors — the classic fail-first principle, computed from
+    the kernel's live anchor masks — and branch its first unfixed variable
+    in x, y, s order (fixing x lets the kernel collapse y and s).  Falls
+    back to input order for auxiliary variables (objective coupling).
+    """
+    kernel = pm.kernel
+
+    def select(variables):
+        best_item = None
+        best_key = None
+        for item in kernel.items:
+            if item.placed or item.is_fixed():
+                continue
+            key = (kernel.anchor_count(item.index), -item.module.primary().area)
+            if best_key is None or key < best_key:
+                best_key, best_item = key, item
+        if best_item is not None:
+            for v in (best_item.x, best_item.y, best_item.s):
+                if not v.is_fixed():
+                    return v
+        for v in variables:  # auxiliary vars (sizes, edges, objective)
+            if not v.is_fixed():
+                return v
+        return None
+
+    return select
+
+
+def place(
+    region: PartialRegion,
+    modules: Sequence[Module],
+    time_limit: Optional[float] = 10.0,
+    **kwargs,
+) -> PlacementResult:
+    """Convenience wrapper: place with default configuration."""
+    cfg = PlacerConfig(time_limit=time_limit, **kwargs)
+    return CPPlacer(cfg).place(region, modules)

@@ -1,0 +1,136 @@
+"""Parallel portfolio placement.
+
+Packing search has a heavy-tailed runtime/quality distribution: different
+random seeds explore very different regions.  A *portfolio* runs several
+independent LNS placers in parallel worker processes and keeps the best
+incumbent — near-linear quality-per-wall-clock scaling for free, and the
+natural way to use a multi-core workstation for the paper's workload.
+
+Implementation notes (per the HPC guides, keep the parallel layer thin
+and the data exchange explicit): workers receive only JSON-serializable
+payloads (region spec + module specs + scalar knobs) and return plain
+tuples.  Nothing solver-internal crosses the process boundary, which keeps
+the workers independent and the results deterministic per (seed, budget).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.lns import LNSConfig, LNSPlacer
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.io import region_from_dict, region_to_dict
+from repro.fabric.region import PartialRegion
+from repro.modules.module import Module
+from repro.modules.spec import module_from_dict, module_to_dict
+
+#: (module name, shape index, x, y)
+_PlacementTuple = Tuple[str, int, int, int]
+
+
+def _worker(
+    region_payload: dict,
+    module_payloads: List[dict],
+    time_limit: float,
+    seed: int,
+) -> Tuple[int, Optional[int], List[_PlacementTuple]]:
+    """Solve one portfolio member; returns (seed, extent, placements)."""
+    region = region_from_dict(region_payload)
+    modules = [module_from_dict(p) for p in module_payloads]
+    result = LNSPlacer(
+        LNSConfig(time_limit=time_limit, seed=seed)
+    ).place(region, modules)
+    if not result.placements or not result.all_placed:
+        return seed, None, []
+    return (
+        seed,
+        result.extent,
+        [
+            (p.module.name, p.shape_index, p.x, p.y)
+            for p in result.placements
+        ],
+    )
+
+
+@dataclass
+class PortfolioConfig:
+    """Knobs of the parallel portfolio."""
+
+    #: independent LNS members (= worker processes)
+    n_workers: int = 4
+    #: per-member wall-clock budget in seconds
+    time_limit: float = 8.0
+    base_seed: int = 0
+
+
+class PortfolioPlacer:
+    """Best-of-N parallel LNS placement."""
+
+    def __init__(self, config: Optional[PortfolioConfig] = None) -> None:
+        self.config = config or PortfolioConfig()
+        if self.config.n_workers < 1:
+            raise ValueError("need at least one worker")
+
+    def place(
+        self, region: PartialRegion, modules: Sequence[Module]
+    ) -> PlacementResult:
+        cfg = self.config
+        start = time.monotonic()
+        region_payload = region_to_dict(region)
+        module_payloads = [module_to_dict(m) for m in modules]
+        by_name: Dict[str, Module] = {m.name: m for m in modules}
+
+        outcomes: List[Tuple[int, Optional[int], List[_PlacementTuple]]] = []
+        if cfg.n_workers == 1:
+            outcomes.append(
+                _worker(region_payload, module_payloads, cfg.time_limit,
+                        cfg.base_seed)
+            )
+        else:
+            with ProcessPoolExecutor(max_workers=cfg.n_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _worker,
+                        region_payload,
+                        module_payloads,
+                        cfg.time_limit,
+                        cfg.base_seed + k,
+                    )
+                    for k in range(cfg.n_workers)
+                ]
+                for fut in as_completed(futures):
+                    try:
+                        outcomes.append(fut.result())
+                    except Exception:  # a crashed member must not sink the rest
+                        outcomes.append((-1, None, []))
+
+        solved = [(s, e, p) for s, e, p in outcomes if e is not None]
+        elapsed = time.monotonic() - start
+        if not solved:
+            return PlacementResult(
+                region, [], list(modules), status="unknown", elapsed=elapsed,
+                stats={"method": "portfolio", "members": len(outcomes)},
+            )
+        best_seed, best_extent, tuples = min(solved, key=lambda t: t[1])
+        placements = [
+            Placement(by_name[name], sid, x, y)
+            for name, sid, x, y in tuples
+        ]
+        return PlacementResult(
+            region,
+            placements,
+            [],
+            extent=best_extent,
+            status="feasible",
+            elapsed=elapsed,
+            stats={
+                "method": "portfolio",
+                "members": len(outcomes),
+                "solved_members": len(solved),
+                "winning_seed": best_seed,
+                "member_extents": sorted(e for _, e, _ in solved),
+            },
+        )

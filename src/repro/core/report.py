@@ -1,0 +1,86 @@
+"""Placement reports and ASCII rendering.
+
+Text renderings of fabrics with placed modules (the Figure 3 / Figure 5
+style pictures) and a tabular per-module report used by the examples and
+the experiment logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.result import PlacementResult
+from repro.fabric.resource import RESOURCE_CHARS, ResourceType
+from repro.metrics.utilization import extent_utilization, region_utilization
+
+#: characters assigned to modules in rendering order
+_MODULE_CHARS = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHJLNOPQRSTUVWXYZ"
+
+
+def render_placement(result: PlacementResult, show_static: bool = True) -> str:
+    """ASCII picture: each module drawn with its own character.
+
+    Unused fabric shows its resource character; static cells show '#'.
+    """
+    region = result.region
+    canvas = np.full((region.height, region.width), "", dtype=object)
+    chars = {int(k): c for k, c in RESOURCE_CHARS.items()}
+    for y in range(region.height):
+        for x in range(region.width):
+            if show_static and not region.reconfigurable[y, x]:
+                canvas[y, x] = "#"
+            else:
+                canvas[y, x] = chars[int(region.grid.cells[y, x])]
+    for i, p in enumerate(result.placements):
+        ch = _MODULE_CHARS[i % len(_MODULE_CHARS)]
+        for x, y, _ in p.absolute_cells():
+            canvas[y, x] = ch
+    return "\n".join(
+        "".join(canvas[y, x] for x in range(region.width))
+        for y in range(region.height - 1, -1, -1)
+    )
+
+
+def placement_report(result: PlacementResult) -> str:
+    """Multi-line textual report: summary, metrics, per-module table."""
+    lines: List[str] = []
+    lines.append(f"placement: {result.summary()}")
+    if result.placements:
+        lines.append(
+            f"utilization: extent-window={extent_utilization(result):.1%} "
+            f"whole-region={region_utilization(result):.1%}"
+        )
+    header = f"{'module':<10} {'alt':>3} {'anchor':>9} {'bbox':>7} {'tiles':>5} resources"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in sorted(result.placements, key=lambda p: (p.x, p.y)):
+        fp = p.footprint
+        res = ",".join(
+            f"{k.name}:{n}" for k, n in sorted(fp.resource_counts().items())
+        )
+        lines.append(
+            f"{p.module.name:<10} {p.shape_index:>3} "
+            f"{f'({p.x},{p.y})':>9} {f'{fp.width}x{fp.height}':>7} "
+            f"{fp.area:>5} {res}"
+        )
+    for mod in result.unplaced:
+        lines.append(f"{mod.name:<10} UNPLACED")
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gap: int = 4, labels: Optional[tuple] = None) -> str:
+    """Join two ASCII renderings horizontally (the Figure 5 layout)."""
+    l_lines = left.splitlines()
+    r_lines = right.splitlines()
+    height = max(len(l_lines), len(r_lines))
+    l_w = max((len(s) for s in l_lines), default=0)
+    l_lines += [""] * (height - len(l_lines))
+    r_lines += [""] * (height - len(r_lines))
+    out = []
+    if labels is not None:
+        out.append(f"{labels[0]:<{l_w + gap}}{labels[1]}")
+    for a, b in zip(l_lines, r_lines):
+        out.append(f"{a:<{l_w + gap}}{b}")
+    return "\n".join(out)

@@ -1,0 +1,50 @@
+"""Finite-domain constraint programming substrate.
+
+This subpackage is a self-contained CP solver built for the reproduction of
+the RAW 2011 module-placement paper.  The paper solves FPGA module placement
+with a constraint solver (SICStus + the geost kernel); since no external CP
+framework is available in this environment, we implement the required
+machinery from scratch:
+
+* bitset-backed finite domains (:mod:`repro.cp.domain`),
+* trailed backtracking state (:mod:`repro.cp.trail`),
+* integer variables with modification events (:mod:`repro.cp.variable`),
+* a priority propagation queue (:mod:`repro.cp.propagator`),
+* a library of arithmetic / logical / global constraints
+  (:mod:`repro.cp.constraints`),
+* depth-first search with pluggable branching (:mod:`repro.cp.search`,
+  :mod:`repro.cp.branching`),
+* branch-and-bound minimization (:mod:`repro.cp.bnb`), and
+* a high-level facade (:mod:`repro.cp.solver`).
+
+The geometric placement constraint lives in :mod:`repro.geost` and registers
+itself as an ordinary propagator of this engine.
+"""
+
+from repro.cp.domain import Domain, EMPTY_DOMAIN
+from repro.cp.variable import IntVar
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.model import Model
+from repro.cp.propagator import Propagator, Priority
+from repro.cp.search import DepthFirstSearch, SearchLimit, SearchStats
+from repro.cp.bnb import BranchAndBound, Objective
+from repro.cp.solver import Solver, SolveResult, Status
+
+__all__ = [
+    "Domain",
+    "EMPTY_DOMAIN",
+    "IntVar",
+    "Engine",
+    "Inconsistent",
+    "Model",
+    "Propagator",
+    "Priority",
+    "DepthFirstSearch",
+    "SearchLimit",
+    "SearchStats",
+    "BranchAndBound",
+    "Objective",
+    "Solver",
+    "SolveResult",
+    "Status",
+]

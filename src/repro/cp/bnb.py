@@ -1,0 +1,122 @@
+"""Branch-and-bound minimization.
+
+The paper (Sections IV, V) computes *optimal* placements by solving the
+constraint model as a minimization problem.  This module implements the
+standard CP branch-and-bound: depth-first search, and whenever a solution
+with objective value ``z`` is found the remaining search is constrained to
+``objective <= z - 1``.  The bound is enforced through the search's node
+hook so it survives backtracking, and the search is *anytime*: interrupting
+it at a time limit returns the best solution found so far, which is how the
+Table I experiments run within a configurable budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cp.branching import ValueSelector, VarSelector, input_order, min_value
+from repro.cp.engine import Engine
+from repro.cp.search import DepthFirstSearch, SearchLimit, Solution
+from repro.cp.stats import SearchStats
+from repro.cp.variable import IntVar
+
+
+@dataclass
+class Objective:
+    """Minimize ``var`` (use :meth:`maximize` for maximization)."""
+
+    var: IntVar
+    #: +1 for minimization, -1 for maximization (internally always minimizes)
+    sense: int = 1
+
+    @staticmethod
+    def minimize(var: IntVar) -> "Objective":
+        return Objective(var, 1)
+
+    @staticmethod
+    def maximize(var: IntVar) -> "Objective":
+        return Objective(var, -1)
+
+
+@dataclass
+class BnBResult:
+    """Outcome of a branch-and-bound run."""
+
+    #: best solution found (None if infeasible within the budget)
+    best: Optional[Solution]
+    #: objective value of :attr:`best` in the user's sense
+    objective: Optional[int]
+    #: True iff the search space was exhausted => the answer is optimal
+    proved_optimal: bool
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: (elapsed seconds, objective) for each improving solution
+    trajectory: List[Tuple[float, int]] = field(default_factory=list)
+
+
+class BranchAndBound:
+    """Minimize an objective by DFS with solution-improving bounds."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        objective: Objective,
+        decision_vars: Sequence[IntVar],
+        var_select: VarSelector = input_order,
+        val_select: ValueSelector = min_value,
+        limit: Optional[SearchLimit] = None,
+        on_improve: Optional[Callable[[Solution, int], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.objective = objective
+        self.decision_vars = list(decision_vars)
+        if objective.var not in self.decision_vars:
+            # the objective must end up fixed in every solution
+            self.decision_vars.append(objective.var)
+        self.var_select = var_select
+        self.val_select = val_select
+        self.limit = limit
+        self.on_improve = on_improve
+        self._best_bound: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _node_hook(self, engine: Engine) -> None:
+        if self._best_bound is not None:
+            if self.objective.sense > 0:
+                self.objective.var.remove_above(self._best_bound - 1)
+            else:
+                self.objective.var.remove_below(self._best_bound + 1)
+
+    def run(self) -> BnBResult:
+        search = DepthFirstSearch(
+            self.engine,
+            self.decision_vars,
+            var_select=self.var_select,
+            val_select=self.val_select,
+            limit=self.limit,
+            node_hook=self._node_hook,
+        )
+        best: Optional[Solution] = None
+        best_value: Optional[int] = None
+        trajectory: List[Tuple[float, int]] = []
+        start = time.monotonic()
+        for sol in search.solutions():
+            value = self.objective.var.value()
+            if self._best_bound is None or (
+                value < self._best_bound
+                if self.objective.sense > 0
+                else value > self._best_bound
+            ):
+                self._best_bound = value
+                best, best_value = sol, value
+                trajectory.append((time.monotonic() - start, value))
+                if self.on_improve is not None:
+                    self.on_improve(sol, value)
+        return BnBResult(
+            best=best,
+            objective=best_value,
+            proved_optimal=search.stats.stop_reason == "exhausted",
+            stats=search.stats,
+            trajectory=trajectory,
+        )

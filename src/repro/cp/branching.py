@@ -1,0 +1,111 @@
+"""Variable- and value-selection heuristics for the search.
+
+A *brancher* turns the current engine state into a decision: it picks an
+unfixed variable and a value ordering for it.  The placement model supplies
+its own domain-specific brancher (bottom-left anchor ordering); the generic
+heuristics here cover the classic CP repertoire and the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.cp.variable import IntVar
+
+#: picks the next variable to branch on, or None when all are fixed
+VarSelector = Callable[[Sequence[IntVar]], Optional[IntVar]]
+#: yields the values of a variable in trial order
+ValueSelector = Callable[[IntVar], Iterable[int]]
+
+
+# ----------------------------------------------------------------------
+# Variable selection
+# ----------------------------------------------------------------------
+def input_order(variables: Sequence[IntVar]) -> Optional[IntVar]:
+    """First unfixed variable in declaration order."""
+    for v in variables:
+        if not v.is_fixed():
+            return v
+    return None
+
+
+def smallest_domain(variables: Sequence[IntVar]) -> Optional[IntVar]:
+    """Fail-first: the unfixed variable with the fewest remaining values."""
+    best: Optional[IntVar] = None
+    best_size = 0
+    for v in variables:
+        if v.is_fixed():
+            continue
+        s = v.size()
+        if best is None or s < best_size:
+            best, best_size = v, s
+    return best
+
+
+def largest_domain(variables: Sequence[IntVar]) -> Optional[IntVar]:
+    """The unfixed variable with the most remaining values."""
+    best: Optional[IntVar] = None
+    best_size = -1
+    for v in variables:
+        if not v.is_fixed() and v.size() > best_size:
+            best, best_size = v, v.size()
+    return best
+
+
+def smallest_min(variables: Sequence[IntVar]) -> Optional[IntVar]:
+    """The unfixed variable whose minimum is smallest (packing-friendly)."""
+    best: Optional[IntVar] = None
+    for v in variables:
+        if v.is_fixed():
+            continue
+        if best is None or v.min() < best.min():
+            best = v
+    return best
+
+
+def random_selector(seed: int) -> VarSelector:
+    """A reproducible random variable selector."""
+    rng = random.Random(seed)
+
+    def pick(variables: Sequence[IntVar]) -> Optional[IntVar]:
+        unfixed = [v for v in variables if not v.is_fixed()]
+        return rng.choice(unfixed) if unfixed else None
+
+    return pick
+
+
+# ----------------------------------------------------------------------
+# Value selection
+# ----------------------------------------------------------------------
+def min_value(v: IntVar) -> Iterable[int]:
+    """Ascending order — the bottom-left rule along one axis."""
+    return v.domain
+
+def max_value(v: IntVar) -> Iterable[int]:
+    """Descending value order (top-right packing bias)."""
+    return reversed(list(v.domain))
+
+
+def median_value(v: IntVar) -> Iterable[int]:
+    """Middle-out order (useful for centering-style placements)."""
+    vals: List[int] = list(v.domain)
+    mid = len(vals) // 2
+    order = [vals[mid]]
+    for d in range(1, len(vals)):
+        for idx in (mid - d, mid + d):
+            if 0 <= idx < len(vals):
+                order.append(vals[idx])
+    return order
+
+
+def random_value(seed: int) -> ValueSelector:
+    """A reproducible random value order."""
+    rng = random.Random(seed)
+
+    def pick(v: IntVar) -> Iterable[int]:
+        vals = list(v.domain)
+        rng.shuffle(vals)
+        return vals
+
+    return pick

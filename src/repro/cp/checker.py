@@ -1,0 +1,219 @@
+"""Solution checking: evaluate constraints on full assignments.
+
+Every propagator family gets a declarative ``check(assignment)`` semantics
+here, independent of its filtering code.  Two uses:
+
+* **model debugging** — :func:`check_solution` pinpoints which constraint a
+  candidate assignment violates;
+* **test oracle** — the suite re-validates every solution the search
+  engine emits against these definitions, so a filtering bug that leaks an
+  invalid "solution" cannot hide.
+
+The checker intentionally re-implements the semantics from the constraint
+*definitions* (not by calling propagate), so it and the propagators fail
+independently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cp.constraints import (
+    AbsDifference,
+    AllDifferent,
+    BoolOr,
+    Count,
+    Cumulative,
+    DiffN,
+    Element,
+    EqualOffset,
+    IffInSet,
+    IffLessEqual,
+    LessEqualOffset,
+    LinearEqual,
+    LinearLessEqual,
+    Maximum,
+    MinDistance,
+    Minimum,
+    NotEqual,
+    NotEqualOffset,
+    SumOfTwo,
+    TableConstraint,
+)
+from repro.cp.model import Model
+from repro.cp.propagator import Propagator
+from repro.cp.variable import IntVar
+
+Assignment = Dict[str, int]
+
+
+def _value(assignment: Assignment, var: IntVar) -> int:
+    try:
+        return assignment[var.name]
+    except KeyError:
+        raise KeyError(f"assignment is missing variable {var.name!r}") from None
+
+
+def _check_le(c: LessEqualOffset, a: Assignment) -> bool:
+    return _value(a, c.x) + c.c <= _value(a, c.y)
+
+
+def _check_eq(c: EqualOffset, a: Assignment) -> bool:
+    return _value(a, c.x) == _value(a, c.y) + c.c
+
+
+def _check_ne(c: NotEqual, a: Assignment) -> bool:
+    return _value(a, c.x) != _value(a, c.y)
+
+
+def _check_ne_off(c: NotEqualOffset, a: Assignment) -> bool:
+    return _value(a, c.x) != _value(a, c.y) + c.c
+
+
+def _check_sum(c: SumOfTwo, a: Assignment) -> bool:
+    return _value(a, c.z) == _value(a, c.x) + _value(a, c.y)
+
+
+def _check_lin_le(c: LinearLessEqual, a: Assignment) -> bool:
+    return sum(k * _value(a, x) for k, x in zip(c.coeffs, c.xs)) <= c.c
+
+
+def _check_lin_eq(c: LinearEqual, a: Assignment) -> bool:
+    return sum(k * _value(a, x) for k, x in zip(c.coeffs, c.xs)) == c.c
+
+
+def _check_element(c: Element, a: Assignment) -> bool:
+    idx = _value(a, c.index)
+    return 0 <= idx < len(c.table) and c.table[idx] == _value(a, c.result)
+
+
+def _check_max(c: Maximum, a: Assignment) -> bool:
+    return _value(a, c.m) == max(_value(a, x) for x in c.xs)
+
+
+def _check_min(c: Minimum, a: Assignment) -> bool:
+    return _value(a, c.m) == min(_value(a, x) for x in c.xs)
+
+
+def _check_table(c: TableConstraint, a: Assignment) -> bool:
+    return tuple(_value(a, x) for x in c.xs) in set(c.tuples)
+
+
+def _check_alldiff(c: AllDifferent, a: Assignment) -> bool:
+    values = [_value(a, x) for x in c.xs]
+    return len(values) == len(set(values))
+
+
+def _check_count(c: Count, a: Assignment) -> bool:
+    n = sum(1 for x in c.xs if _value(a, x) == c.value)
+    return c.lo <= n <= c.hi
+
+
+def _check_iff_le(c: IffLessEqual, a: Assignment) -> bool:
+    return (_value(a, c.b) == 1) == (_value(a, c.x) <= c.c)
+
+
+def _check_iff_in(c: IffInSet, a: Assignment) -> bool:
+    return (_value(a, c.b) == 1) == (_value(a, c.x) in c.values)
+
+
+def _check_or(c: BoolOr, a: Assignment) -> bool:
+    return any(_value(a, b) == 1 for b in c.bs)
+
+
+def _check_cumulative(c: Cumulative, a: Assignment) -> bool:
+    usage: Dict[int, int] = {}
+    for t in c.tasks:
+        s = _value(a, t.start)
+        for tp in range(s, s + t.duration):
+            usage[tp] = usage.get(tp, 0) + t.demand
+    return all(v <= c.capacity for v in usage.values())
+
+
+def _check_diffn(c: DiffN, a: Assignment) -> bool:
+    boxes = [
+        (_value(a, r.x), _value(a, r.y), r.w, r.h) for r in c.rects
+    ]
+    for i in range(len(boxes)):
+        for j in range(i + 1, len(boxes)):
+            ax, ay, aw, ah = boxes[i]
+            bx, by, bw, bh = boxes[j]
+            if ax < bx + bw and bx < ax + aw and ay < by + bh and by < ay + ah:
+                return False
+    return True
+
+
+def _check_absdiff(c: AbsDifference, a: Assignment) -> bool:
+    return _value(a, c.z) == abs(_value(a, c.x) - _value(a, c.y))
+
+
+def _check_mindist(c: MinDistance, a: Assignment) -> bool:
+    return abs(_value(a, c.x) - _value(a, c.y)) >= c.d
+
+
+_CHECKERS: Dict[type, Callable[..., bool]] = {
+    LessEqualOffset: _check_le,
+    EqualOffset: _check_eq,
+    NotEqual: _check_ne,
+    NotEqualOffset: _check_ne_off,
+    SumOfTwo: _check_sum,
+    LinearLessEqual: _check_lin_le,
+    LinearEqual: _check_lin_eq,
+    Element: _check_element,
+    Maximum: _check_max,
+    Minimum: _check_min,
+    TableConstraint: _check_table,
+    AllDifferent: _check_alldiff,
+    Count: _check_count,
+    IffLessEqual: _check_iff_le,
+    IffInSet: _check_iff_in,
+    BoolOr: _check_or,
+    Cumulative: _check_cumulative,
+    DiffN: _check_diffn,
+    AbsDifference: _check_absdiff,
+    MinDistance: _check_mindist,
+}
+
+
+def checkable(constraint: Propagator) -> bool:
+    """Does this constraint have a declarative checker?
+
+    Count subclasses (AtMost/AtLeast) dispatch through Count; global
+    kernels (geost, placement) have their own verifiers
+    (``Geost.check_fixed``, ``PlacementResult.verify``).
+    """
+    return _find(constraint) is not None
+
+
+def _find(constraint: Propagator) -> Optional[Callable[..., bool]]:
+    for klass in type(constraint).__mro__:
+        if klass in _CHECKERS:
+            return _CHECKERS[klass]
+    return None
+
+
+def violated_constraints(
+    model: Model, assignment: Assignment, strict: bool = False
+) -> List[Propagator]:
+    """All checkable constraints the assignment violates.
+
+    With ``strict`` a constraint without a checker raises instead of being
+    skipped.
+    """
+    out: List[Propagator] = []
+    for c in model.constraints:
+        fn = _find(c)
+        if fn is None:
+            if strict:
+                raise TypeError(f"no checker for constraint {c!r}")
+            continue
+        if not fn(c, assignment):
+            out.append(c)
+    return out
+
+
+def check_solution(
+    model: Model, assignment: Assignment, strict: bool = False
+) -> bool:
+    """True iff the assignment satisfies every checkable constraint."""
+    return not violated_constraints(model, assignment, strict)

@@ -1,0 +1,52 @@
+"""Constraint (propagator) library for the CP engine.
+
+Each module implements one family of constraints as
+:class:`~repro.cp.propagator.Propagator` subclasses.  The placement model in
+:mod:`repro.core` composes these with the geometric kernel from
+:mod:`repro.geost`.
+"""
+
+from repro.cp.constraints.arithmetic import (
+    EqualOffset,
+    LessEqualOffset,
+    NotEqual,
+    NotEqualOffset,
+    SumOfTwo,
+)
+from repro.cp.constraints.linear import LinearEqual, LinearLessEqual
+from repro.cp.constraints.element import Element
+from repro.cp.constraints.minmax import Maximum, Minimum
+from repro.cp.constraints.table import TableConstraint
+from repro.cp.constraints.logical import IffLessEqual, IffInSet, BoolOr
+from repro.cp.constraints.alldifferent import AllDifferent
+from repro.cp.constraints.count import AtLeast, AtMost, Count
+from repro.cp.constraints.distance import AbsDifference, MinDistance
+from repro.cp.constraints.cumulative import Cumulative, Task
+from repro.cp.constraints.diffn import DiffN, Rect
+
+__all__ = [
+    "EqualOffset",
+    "LessEqualOffset",
+    "NotEqual",
+    "NotEqualOffset",
+    "SumOfTwo",
+    "LinearEqual",
+    "LinearLessEqual",
+    "Element",
+    "Maximum",
+    "Minimum",
+    "TableConstraint",
+    "IffLessEqual",
+    "IffInSet",
+    "BoolOr",
+    "AllDifferent",
+    "Count",
+    "AtMost",
+    "AtLeast",
+    "AbsDifference",
+    "MinDistance",
+    "Cumulative",
+    "Task",
+    "DiffN",
+    "Rect",
+]

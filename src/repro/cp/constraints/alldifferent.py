@@ -1,0 +1,79 @@
+"""AllDifferent with value pruning plus Hall-interval bounds filtering.
+
+Not strictly needed by the placement model (the geometric kernel subsumes
+it), but part of any credible CP kernel and used for symmetry-breaking in
+tests and examples.  The bounds filtering is a direct O(n^2) implementation
+of Puget-style Hall interval reasoning, deliberately simple so it can be
+cross-checked against brute force by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+class AllDifferent(Propagator):
+    """All variables take pairwise distinct values."""
+
+    priority = Priority.QUADRATIC
+
+    def __init__(self, xs: Sequence[IntVar]) -> None:
+        super().__init__("alldifferent")
+        self.xs = list(xs)
+
+    def variables(self) -> Sequence[IntVar]:
+        return self.xs
+
+    def propagate(self, engine: Engine) -> None:
+        xs = self.xs
+        # --- forward checking on fixed variables (iterate to fixpoint) ---
+        removed = True
+        fixed_seen: set[int] = set()
+        while removed:
+            removed = False
+            for x in xs:
+                if x.is_fixed():
+                    v = x.value()
+                    if v in fixed_seen:
+                        continue
+                    fixed_seen.add(v)
+                    for y in xs:
+                        if y is not x and not y.is_fixed() and v in y.domain:
+                            y.remove(v, cause=self)
+                            removed = True
+            # duplicate fixed values => failure
+            vals = [x.value() for x in xs if x.is_fixed()]
+            if len(vals) != len(set(vals)):
+                raise Inconsistent("alldifferent: duplicate fixed values")
+
+        # --- Hall interval bounds filtering ---
+        # For every candidate interval [a, b]: if the number of variables
+        # whose domain lies inside exceeds the interval size -> fail; if it
+        # equals, remove the interval from all other variables' bounds.
+        mins = sorted({x.min() for x in xs})
+        maxs = sorted({x.max() for x in xs})
+        for a in mins:
+            for b in maxs:
+                if b < a:
+                    continue
+                size = b - a + 1
+                inside = [x for x in xs if x.min() >= a and x.max() <= b]
+                if len(inside) > size:
+                    raise Inconsistent(
+                        f"alldifferent: {len(inside)} vars in interval [{a},{b}]"
+                    )
+                if len(inside) == size:
+                    inside_set = set(map(id, inside))
+                    for x in xs:
+                        if id(x) in inside_set:
+                            continue
+                        if a <= x.min() <= b:
+                            x.remove_below(b + 1, cause=self)
+                        if a <= x.max() <= b:
+                            x.remove_above(a - 1, cause=self)
+        if all(x.is_fixed() for x in xs):
+            self.deactivate(engine)

@@ -1,0 +1,137 @@
+"""Binary arithmetic constraints.
+
+These are the cheap (:attr:`Priority.UNARY`) workhorses used to stitch
+larger models together: offset inequalities, offset equalities (full domain
+consistency via mask shifts — domains are bitsets, so ``x == y + c`` is a
+single shift-and-intersect), disequalities, and ternary addition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.engine import Engine
+from repro.cp.events import Event
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+class LessEqualOffset(Propagator):
+    """``x + c <= y`` with bounds propagation."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, x: IntVar, y: IntVar, c: int = 0) -> None:
+        super().__init__(f"{x.name}+{c}<={y.name}")
+        self.x, self.y, self.c = x, y, c
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.x, self.y)
+
+    def post(self, engine: Engine) -> None:
+        self.x.watch(self, Event.BOUNDS)
+        self.y.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        self.y.remove_below(self.x.min() + self.c, cause=self)
+        self.x.remove_above(self.y.max() - self.c, cause=self)
+        if self.x.max() + self.c <= self.y.min():
+            self.deactivate(engine)  # entailed
+
+
+class EqualOffset(Propagator):
+    """``x == y + c`` with full domain consistency."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, x: IntVar, y: IntVar, c: int = 0) -> None:
+        super().__init__(f"{x.name}=={y.name}+{c}")
+        self.x, self.y, self.c = x, y, c
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.x, self.y)
+
+    def propagate(self, engine: Engine) -> None:
+        dx = self.x.domain.intersect(self.y.domain.shift(self.c))
+        self.x.set_domain(dx, cause=self)
+        self.y.set_domain(self.y.domain.intersect(dx.shift(-self.c)), cause=self)
+
+
+class NotEqual(Propagator):
+    """``x != y``; prunes once either side is fixed."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, x: IntVar, y: IntVar) -> None:
+        super().__init__(f"{x.name}!={y.name}")
+        self.x, self.y = x, y
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.x, self.y)
+
+    def post(self, engine: Engine) -> None:
+        self.x.watch(self, Event.FIX)
+        self.y.watch(self, Event.FIX)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        if self.x.is_fixed():
+            self.y.remove(self.x.value(), cause=self)
+            self.deactivate(engine)
+        elif self.y.is_fixed():
+            self.x.remove(self.y.value(), cause=self)
+            self.deactivate(engine)
+
+
+class NotEqualOffset(Propagator):
+    """``x != y + c``."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, x: IntVar, y: IntVar, c: int) -> None:
+        super().__init__(f"{x.name}!={y.name}+{c}")
+        self.x, self.y, self.c = x, y, c
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.x, self.y)
+
+    def post(self, engine: Engine) -> None:
+        self.x.watch(self, Event.FIX)
+        self.y.watch(self, Event.FIX)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        if self.x.is_fixed():
+            self.y.remove(self.x.value() - self.c, cause=self)
+            self.deactivate(engine)
+        elif self.y.is_fixed():
+            self.x.remove(self.y.value() + self.c, cause=self)
+            self.deactivate(engine)
+
+
+class SumOfTwo(Propagator):
+    """``z == x + y`` with bounds propagation."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, z: IntVar, x: IntVar, y: IntVar) -> None:
+        super().__init__(f"{z.name}=={x.name}+{y.name}")
+        self.z, self.x, self.y = z, x, y
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.z, self.x, self.y)
+
+    def post(self, engine: Engine) -> None:
+        for v in self.variables():
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        z, x, y = self.z, self.x, self.y
+        z.remove_below(x.min() + y.min(), cause=self)
+        z.remove_above(x.max() + y.max(), cause=self)
+        x.remove_below(z.min() - y.max(), cause=self)
+        x.remove_above(z.max() - y.min(), cause=self)
+        y.remove_below(z.min() - x.max(), cause=self)
+        y.remove_above(z.max() - x.min(), cause=self)

@@ -1,0 +1,77 @@
+"""Counting constraints: ``count(v in xs) {<=,>=,==} n``.
+
+Used by models that cap how many modules may select a particular design
+alternative (e.g. at most k modules using the BRAM-heavy layout when BRAM
+columns are scarce) and by tests as a simple global with known semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.events import Event
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+class Count(Propagator):
+    """``lo <= |{i : x_i == value}| <= hi``."""
+
+    priority = Priority.LINEAR
+
+    def __init__(
+        self, xs: Sequence[IntVar], value: int, lo: int = 0, hi: int | None = None
+    ) -> None:
+        super().__init__(f"count(=={value})")
+        if not xs:
+            raise ValueError("Count needs at least one variable")
+        self.xs = list(xs)
+        self.value = value
+        self.lo = lo
+        self.hi = len(xs) if hi is None else hi
+        if not 0 <= self.lo <= self.hi:
+            raise ValueError(f"invalid count bounds [{self.lo}, {self.hi}]")
+
+    def variables(self) -> Sequence[IntVar]:
+        return self.xs
+
+    def propagate(self, engine: Engine) -> None:
+        v = self.value
+        fixed_to = [x for x in self.xs if x.is_fixed() and x.value() == v]
+        can_be = [x for x in self.xs if v in x.domain]
+        n_min = len(fixed_to)
+        n_max = len(can_be)
+        if n_min > self.hi or n_max < self.lo:
+            raise Inconsistent(
+                f"{self.name}: count in [{n_min},{n_max}] "
+                f"outside [{self.lo},{self.hi}]"
+            )
+        if n_min == self.hi:
+            # saturated: every undecided variable loses the value
+            for x in can_be:
+                if not x.is_fixed():
+                    x.remove(v, cause=self)
+            self.deactivate(engine)
+        elif n_max == self.lo:
+            # every variable that still can take the value must
+            for x in can_be:
+                if not x.is_fixed():
+                    x.fix(v, cause=self)
+            self.deactivate(engine)
+
+
+class AtMost(Count):
+    """``|{i : x_i == value}| <= n``."""
+
+    def __init__(self, xs: Sequence[IntVar], value: int, n: int) -> None:
+        super().__init__(xs, value, lo=0, hi=n)
+        self.name = f"atmost({n},=={value})"
+
+
+class AtLeast(Count):
+    """``|{i : x_i == value}| >= n``."""
+
+    def __init__(self, xs: Sequence[IntVar], value: int, n: int) -> None:
+        super().__init__(xs, value, lo=n, hi=len(list(xs)))
+        self.name = f"atleast({n},=={value})"

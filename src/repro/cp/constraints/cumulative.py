@@ -1,0 +1,117 @@
+"""Cumulative resource constraint with time-table filtering.
+
+In the placement model this serves as a *redundant* constraint: projecting
+2-D module footprints onto the x axis gives tasks (start = x, duration =
+width, demand = height) that must fit within the region height.  Projection
+arguments famously strengthen packing propagation (Beldiceanu et al.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.events import Event
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+@dataclass(frozen=True)
+class Task:
+    """A task with variable start, fixed duration and demand."""
+
+    start: IntVar
+    duration: int
+    demand: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0 or self.demand < 0:
+            raise ValueError("duration and demand must be non-negative")
+
+
+#: A maximal constant-height stretch of the compulsory profile:
+#: (segment start, segment end (exclusive), height).
+Segment = Tuple[int, int, int]
+
+
+class Cumulative(Propagator):
+    """``sum of demands of tasks overlapping any time point <= capacity``."""
+
+    priority = Priority.QUADRATIC
+
+    def __init__(self, tasks: Sequence[Task], capacity: int) -> None:
+        super().__init__("cumulative")
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.tasks = [t for t in tasks if t.duration > 0 and t.demand > 0]
+        self.capacity = capacity
+        for t in self.tasks:
+            if t.demand > capacity:
+                raise ValueError(f"task demand {t.demand} exceeds capacity {capacity}")
+
+    def variables(self) -> Sequence[IntVar]:
+        return [t.start for t in self.tasks]
+
+    def post(self, engine: Engine) -> None:
+        for v in self.variables():
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compulsory_part(t: Task) -> Tuple[int, int]:
+        """[latest start, earliest end) — empty if start < end fails."""
+        return t.start.max(), t.start.min() + t.duration
+
+    def _profile(self, exclude: Task | None = None) -> List[Segment]:
+        """Compulsory-part profile, optionally excluding one task."""
+        events: dict[int, int] = {}
+        for t in self.tasks:
+            if t is exclude:
+                continue
+            ls, ee = self._compulsory_part(t)
+            if ls < ee:
+                events[ls] = events.get(ls, 0) + t.demand
+                events[ee] = events.get(ee, 0) - t.demand
+        times = sorted(events)
+        segments: List[Segment] = []
+        h = 0
+        for i, tp in enumerate(times):
+            h += events[tp]
+            end = times[i + 1] if i + 1 < len(times) else tp  # last delta ends profile
+            if h > 0 and end > tp:
+                segments.append((tp, end, h))
+        return segments
+
+    def propagate(self, engine: Engine) -> None:
+        # overall overflow check on the full profile
+        for _, _, h in self._profile():
+            if h > self.capacity:
+                raise Inconsistent("cumulative: compulsory profile overflows capacity")
+
+        for t in self.tasks:
+            free = self.capacity - t.demand
+            segments = [s for s in self._profile(exclude=t) if s[2] > free]
+            if not segments:
+                continue
+            # push earliest start right past conflicting segments
+            moved = True
+            while moved:
+                moved = False
+                est = t.start.min()
+                for s, e, _ in segments:
+                    if est < e and est + t.duration > s:
+                        if t.start.remove_below(e, cause=self):
+                            moved = True
+                        break
+            # push latest start left before conflicting segments
+            moved = True
+            while moved:
+                moved = False
+                lst = t.start.max()
+                for s, e, _ in reversed(segments):
+                    if lst < e and lst + t.duration > s:
+                        if t.start.remove_above(s - t.duration, cause=self):
+                            moved = True
+                        break

@@ -1,0 +1,103 @@
+"""DiffN: pairwise non-overlap of axis-aligned rectangles.
+
+This is the homogeneous-plane non-overlap constraint from the 2-D packing
+literature (Section II of the paper classifies such models); the
+heterogeneous, shape-polymorphic version used by the actual placer is the
+geost kernel in :mod:`repro.geost`.  DiffN here provides (a) a simple
+reference semantics the geost kernel is tested against, and (b) a usable
+constraint for homogeneous-fabric models and examples.
+
+Filtering: for each ordered pair (i, j), if in one dimension the two
+rectangles are forced to overlap, the other dimension must separate them,
+which yields bounds tightening ("forbidden region" reasoning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.events import Event
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A rectangle with variable origin and fixed size."""
+
+    x: IntVar
+    y: IntVar
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError("rectangle sides must be positive")
+
+
+def _must_overlap_1d(a_lo: int, a_hi: int, a_len: int,
+                     b_lo: int, b_hi: int, b_len: int) -> bool:
+    """True if the two intervals overlap for *every* choice of origins."""
+    # Even the rightmost placement of a starts before the leftmost end of b,
+    # and vice versa => no separation is possible in this dimension.
+    return a_hi < b_lo + b_len and b_hi < a_lo + a_len
+
+
+class DiffN(Propagator):
+    """No two rectangles overlap."""
+
+    priority = Priority.QUADRATIC
+
+    def __init__(self, rects: Sequence[Rect]) -> None:
+        super().__init__("diffn")
+        self.rects = list(rects)
+
+    def variables(self) -> Sequence[IntVar]:
+        out: List[IntVar] = []
+        for r in self.rects:
+            out.append(r.x)
+            out.append(r.y)
+        return out
+
+    def post(self, engine: Engine) -> None:
+        for v in self.variables():
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    # ------------------------------------------------------------------
+    def _separate(self, a: Rect, b: Rect, horizontal: bool) -> None:
+        """Force a and b apart along one axis (both orders still possible)."""
+        if horizontal:
+            ax, bx, aw, bw = a.x, b.x, a.w, b.w
+        else:
+            ax, bx, aw, bw = a.y, b.y, a.h, b.h
+        a_left_possible = ax.min() + aw <= bx.max()
+        b_left_possible = bx.min() + bw <= ax.max()
+        if a_left_possible and not b_left_possible:
+            # a must be left of b
+            bx.remove_below(ax.min() + aw, cause=self)
+            ax.remove_above(bx.max() - aw, cause=self)
+        elif b_left_possible and not a_left_possible:
+            ax.remove_below(bx.min() + bw, cause=self)
+            bx.remove_above(ax.max() - bw, cause=self)
+        elif not a_left_possible and not b_left_possible:
+            raise Inconsistent("diffn: rectangles cannot be separated")
+
+    def propagate(self, engine: Engine) -> None:
+        rects = self.rects
+        n = len(rects)
+        for i in range(n):
+            for j in range(i + 1, n):
+                a, b = rects[i], rects[j]
+                x_must = _must_overlap_1d(a.x.min(), a.x.max(), a.w,
+                                          b.x.min(), b.x.max(), b.w)
+                y_must = _must_overlap_1d(a.y.min(), a.y.max(), a.h,
+                                          b.y.min(), b.y.max(), b.h)
+                if x_must and y_must:
+                    raise Inconsistent("diffn: forced overlap")
+                if x_must:
+                    self._separate(a, b, horizontal=False)
+                if y_must:
+                    self._separate(a, b, horizontal=True)

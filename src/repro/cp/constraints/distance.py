@@ -1,0 +1,104 @@
+"""Distance constraints: ``z == |x - y|`` and ``|x - y| >= d``.
+
+Used by communication-aware placement (wirelength terms between modules
+that exchange data) and by spacing rules (e.g. keeping thermally hot
+modules apart).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.events import Event
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+class AbsDifference(Propagator):
+    """``z == |x - y|`` with bounds propagation."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, z: IntVar, x: IntVar, y: IntVar) -> None:
+        super().__init__(f"{z.name}==|{x.name}-{y.name}|")
+        self.z, self.x, self.y = z, x, y
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.z, self.x, self.y)
+
+    def post(self, engine: Engine) -> None:
+        for v in self.variables():
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        z, x, y = self.z, self.x, self.y
+        changed = True
+        while changed:
+            changed = False
+            d_max = max(x.max() - y.min(), y.max() - x.min())
+            changed |= z.remove_above(max(0, d_max), cause=self)
+            # minimal possible |x - y|: 0 if the intervals overlap
+            if x.min() > y.max():
+                d_min = x.min() - y.max()
+            elif y.min() > x.max():
+                d_min = y.min() - x.max()
+            else:
+                d_min = 0
+            changed |= z.remove_below(d_min, cause=self)
+            # |x - y| <= z_max  =>  x in [y_min - z_max, y_max + z_max]
+            z_hi = z.max()
+            changed |= x.remove_below(y.min() - z_hi, cause=self)
+            changed |= x.remove_above(y.max() + z_hi, cause=self)
+            changed |= y.remove_below(x.min() - z_hi, cause=self)
+            changed |= y.remove_above(x.max() + z_hi, cause=self)
+            # |x - y| >= z_min: only prunable once one side is localized
+            z_lo = z.min()
+            if z_lo > 0:
+                if y.max() - x.max() < z_lo and x.min() - y.min() < z_lo:
+                    # both orders still open: no bounds pruning possible
+                    pass
+                if x.is_fixed():
+                    v = x.value()
+                    lo, hi = v - z_lo + 1, v + z_lo - 1
+                    dom = y.domain
+                    new = dom.remove_above(lo - 1).union(dom.remove_below(hi + 1))
+                    changed |= y.set_domain(dom.intersect(new), cause=self)
+                elif y.is_fixed():
+                    v = y.value()
+                    lo, hi = v - z_lo + 1, v + z_lo - 1
+                    dom = x.domain
+                    new = dom.remove_above(lo - 1).union(dom.remove_below(hi + 1))
+                    changed |= x.set_domain(dom.intersect(new), cause=self)
+
+
+class MinDistance(Propagator):
+    """``|x - y| >= d`` (hard spacing rule)."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, x: IntVar, y: IntVar, d: int) -> None:
+        super().__init__(f"|{x.name}-{y.name}|>={d}")
+        if d < 0:
+            raise ValueError("distance must be non-negative")
+        self.x, self.y, self.d = x, y, d
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.x, self.y)
+
+    def propagate(self, engine: Engine) -> None:
+        if self.d == 0:
+            self.deactivate(engine)
+            return
+        x, y, d = self.x, self.y, self.d
+        for a, b in ((x, y), (y, x)):
+            if a.is_fixed():
+                v = a.value()
+                dom = b.domain
+                keep = dom.remove_above(v - d).union(dom.remove_below(v + d))
+                b.set_domain(dom.intersect(keep), cause=self)
+        if x.is_fixed() and y.is_fixed():
+            if abs(x.value() - y.value()) < d:
+                raise Inconsistent(f"{self.name} violated")
+            self.deactivate(engine)

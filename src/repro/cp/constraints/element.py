@@ -1,0 +1,51 @@
+"""The element constraint ``result == table[index]``.
+
+``table`` is a fixed integer array.  The propagator maintains domain
+consistency in both directions: indices whose table entry left the result
+domain are pruned, and the result domain is the image of the index domain.
+Used by the placement model to tie a module's width/height/area to its
+shape-alternative variable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.domain import Domain
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+class Element(Propagator):
+    """``result == table[index]`` (domain-consistent)."""
+
+    priority = Priority.LINEAR
+
+    def __init__(self, table: Sequence[int], index: IntVar, result: IntVar) -> None:
+        super().__init__(f"{result.name}==table[{index.name}]")
+        self.table = list(table)
+        self.index = index
+        self.result = result
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.index, self.result)
+
+    def post(self, engine: Engine) -> None:
+        # indices must address the table
+        self.index.set_domain(
+            self.index.domain.clamp(0, len(self.table) - 1), cause=self
+        )
+        super().post(engine)
+
+    def propagate(self, engine: Engine) -> None:
+        table = self.table
+        rdom = self.result.domain
+        keep_idx = [i for i in self.index.domain if table[i] in rdom]
+        if not keep_idx:
+            raise Inconsistent(f"{self.name}: no index maps into result domain")
+        self.index.set_domain(Domain(keep_idx), cause=self)
+        image = Domain(sorted({table[i] for i in keep_idx}))
+        self.result.set_domain(rdom.intersect(image), cause=self)
+        if self.index.is_fixed():
+            self.deactivate(engine)

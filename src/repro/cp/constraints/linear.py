@@ -1,0 +1,111 @@
+"""Linear constraints ``sum(a_i * x_i) {<=,==} c`` with bounds propagation.
+
+Classic interval reasoning: for each term, the residual slack of the other
+terms bounds its feasible range.  Coefficients may be negative.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.engine import Engine
+from repro.cp.events import Event
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+def _term_bounds(a: int, x: IntVar) -> tuple[int, int]:
+    """(min, max) of the term ``a * x``."""
+    lo, hi = x.min(), x.max()
+    return (a * lo, a * hi) if a >= 0 else (a * hi, a * lo)
+
+
+class LinearLessEqual(Propagator):
+    """``sum(a_i * x_i) <= c``."""
+
+    priority = Priority.LINEAR
+
+    def __init__(self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int) -> None:
+        super().__init__("linear<=")
+        if len(coeffs) != len(xs):
+            raise ValueError("coeffs and variables must have equal length")
+        pairs = [(a, x) for a, x in zip(coeffs, xs) if a != 0]
+        self.coeffs = [a for a, _ in pairs]
+        self.xs = [x for _, x in pairs]
+        self.c = c
+
+    def variables(self) -> Sequence[IntVar]:
+        return self.xs
+
+    def post(self, engine: Engine) -> None:
+        for v in self.xs:
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        mins = []
+        total_min = 0
+        for a, x in zip(self.coeffs, self.xs):
+            lo, _ = _term_bounds(a, x)
+            mins.append(lo)
+            total_min += lo
+        for a, x, lo in zip(self.coeffs, self.xs, mins):
+            # a*x <= c - (total_min - lo)
+            slack = self.c - (total_min - lo)
+            if a > 0:
+                x.remove_above(slack // a, cause=self)
+            else:  # a < 0: x >= ceil(slack / a) = -((-slack) // a)
+                x.remove_below(-(-slack // a), cause=self)
+        # entailment
+        total_max = sum(_term_bounds(a, x)[1] for a, x in zip(self.coeffs, self.xs))
+        if total_max <= self.c:
+            self.deactivate(engine)
+
+
+class LinearEqual(Propagator):
+    """``sum(a_i * x_i) == c``."""
+
+    priority = Priority.LINEAR
+
+    def __init__(self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int) -> None:
+        super().__init__("linear==")
+        if len(coeffs) != len(xs):
+            raise ValueError("coeffs and variables must have equal length")
+        pairs = [(a, x) for a, x in zip(coeffs, xs) if a != 0]
+        self.coeffs = [a for a, _ in pairs]
+        self.xs = [x for _, x in pairs]
+        self.c = c
+
+    def variables(self) -> Sequence[IntVar]:
+        return self.xs
+
+    def post(self, engine: Engine) -> None:
+        for v in self.xs:
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        from repro.cp.engine import Inconsistent
+
+        # iterate to an internal fixpoint: our own updates do not re-wake us,
+        # and pruning one term changes the residual bounds of the others
+        changed = True
+        while changed:
+            changed = False
+            bounds = [_term_bounds(a, x) for a, x in zip(self.coeffs, self.xs)]
+            total_min = sum(b[0] for b in bounds)
+            total_max = sum(b[1] for b in bounds)
+            if total_min > self.c or total_max < self.c:
+                raise Inconsistent(
+                    f"{self.name}: [{total_min},{total_max}] excludes {self.c}"
+                )
+            for (a, x), (lo, hi) in zip(zip(self.coeffs, self.xs), bounds):
+                # a*x in [c - (total_max - hi), c - (total_min - lo)]
+                t_lo = self.c - (total_max - hi)
+                t_hi = self.c - (total_min - lo)
+                if a > 0:
+                    changed |= x.remove_below(-(-t_lo // a), cause=self)  # ceil
+                    changed |= x.remove_above(t_hi // a, cause=self)      # floor
+                else:
+                    changed |= x.remove_below(-(-t_hi // a), cause=self)
+                    changed |= x.remove_above(t_lo // a, cause=self)

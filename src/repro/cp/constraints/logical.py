@@ -1,0 +1,114 @@
+"""Reified and boolean constraints.
+
+Booleans are ordinary 0/1 :class:`IntVar` variables.  The reified forms let
+the placement model express conditional restrictions such as "if module i
+uses shape s then its x-range shrinks" without dedicated machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.domain import Domain
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+def _require_bool(b: IntVar) -> None:
+    if b.min() < 0 or b.max() > 1:
+        raise ValueError(f"{b.name} is not a 0/1 variable")
+
+
+class IffLessEqual(Propagator):
+    """``b == 1  <=>  x <= c``."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, b: IntVar, x: IntVar, c: int) -> None:
+        super().__init__(f"{b.name}<=>({x.name}<={c})")
+        _require_bool(b)
+        self.b, self.x, self.c = b, x, c
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.b, self.x)
+
+    def propagate(self, engine: Engine) -> None:
+        b, x, c = self.b, self.x, self.c
+        if b.is_fixed():
+            if b.value() == 1:
+                x.remove_above(c, cause=self)
+            else:
+                x.remove_below(c + 1, cause=self)
+            self.deactivate(engine)
+            return
+        if x.max() <= c:
+            b.fix(1, cause=self)
+            self.deactivate(engine)
+        elif x.min() > c:
+            b.fix(0, cause=self)
+            self.deactivate(engine)
+
+
+class IffInSet(Propagator):
+    """``b == 1  <=>  x in values``."""
+
+    priority = Priority.UNARY
+
+    def __init__(self, b: IntVar, x: IntVar, values: Sequence[int]) -> None:
+        super().__init__(f"{b.name}<=>({x.name} in set)")
+        _require_bool(b)
+        self.b, self.x = b, x
+        self.values = Domain(values)
+
+    def variables(self) -> Sequence[IntVar]:
+        return (self.b, self.x)
+
+    def propagate(self, engine: Engine) -> None:
+        b, x = self.b, self.x
+        inside = x.domain.intersect(self.values)
+        if b.is_fixed():
+            if b.value() == 1:
+                x.set_domain(inside, cause=self)
+            else:
+                x.set_domain(x.domain.difference(self.values), cause=self)
+            self.deactivate(engine)
+            return
+        if inside.is_empty():
+            b.fix(0, cause=self)
+            self.deactivate(engine)
+        elif x.domain.is_subset_of(self.values):
+            b.fix(1, cause=self)
+            self.deactivate(engine)
+
+
+class BoolOr(Propagator):
+    """``b_1 or b_2 or ... or b_n`` must hold (clause)."""
+
+    priority = Priority.LINEAR
+
+    def __init__(self, bs: Sequence[IntVar]) -> None:
+        super().__init__("or")
+        if not bs:
+            raise ValueError("empty clause")
+        for b in bs:
+            _require_bool(b)
+        self.bs = list(bs)
+
+    def variables(self) -> Sequence[IntVar]:
+        return self.bs
+
+    def propagate(self, engine: Engine) -> None:
+        unfixed = []
+        for b in self.bs:
+            if b.is_fixed():
+                if b.value() == 1:
+                    self.deactivate(engine)
+                    return
+            else:
+                unfixed.append(b)
+        if not unfixed:
+            raise Inconsistent("clause falsified")
+        if len(unfixed) == 1:  # unit propagation
+            unfixed[0].fix(1, cause=self)
+            self.deactivate(engine)

@@ -1,0 +1,92 @@
+"""``m == max(xs)`` and ``m == min(xs)`` with bounds propagation.
+
+The maximum constraint is the backbone of the paper's objective (Eq. 6):
+the placement extent is the maximum over modules of ``x_i + width_i`` and
+branch-and-bound minimizes it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.events import Event
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+class Maximum(Propagator):
+    """``m == max(x_1, ..., x_n)``."""
+
+    priority = Priority.LINEAR
+
+    def __init__(self, m: IntVar, xs: Sequence[IntVar]) -> None:
+        super().__init__(f"{m.name}==max(...)")
+        if not xs:
+            raise ValueError("Maximum needs at least one operand")
+        self.m = m
+        self.xs = list(xs)
+
+    def variables(self) -> Sequence[IntVar]:
+        return [self.m, *self.xs]
+
+    def post(self, engine: Engine) -> None:
+        for v in self.variables():
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        xs = self.xs
+        changed = True
+        while changed:  # self-updates do not re-wake us; iterate locally
+            changed = False
+            changed |= self.m.remove_above(max(x.max() for x in xs), cause=self)
+            changed |= self.m.remove_below(max(x.min() for x in xs), cause=self)
+            m_max = self.m.max()
+            for x in xs:
+                changed |= x.remove_above(m_max, cause=self)
+            # if only one operand can reach m's minimum, it must
+            m_min = self.m.min()
+            candidates = [x for x in xs if x.max() >= m_min]
+            if not candidates:
+                raise Inconsistent(f"{self.name}: no operand can reach {m_min}")
+            if len(candidates) == 1:
+                changed |= candidates[0].remove_below(m_min, cause=self)
+
+
+class Minimum(Propagator):
+    """``m == min(x_1, ..., x_n)``."""
+
+    priority = Priority.LINEAR
+
+    def __init__(self, m: IntVar, xs: Sequence[IntVar]) -> None:
+        super().__init__(f"{m.name}==min(...)")
+        if not xs:
+            raise ValueError("Minimum needs at least one operand")
+        self.m = m
+        self.xs = list(xs)
+
+    def variables(self) -> Sequence[IntVar]:
+        return [self.m, *self.xs]
+
+    def post(self, engine: Engine) -> None:
+        for v in self.variables():
+            v.watch(self, Event.BOUNDS)
+        engine.schedule(self)
+
+    def propagate(self, engine: Engine) -> None:
+        xs = self.xs
+        changed = True
+        while changed:  # mirror of Maximum: iterate to a local fixpoint
+            changed = False
+            changed |= self.m.remove_below(min(x.min() for x in xs), cause=self)
+            changed |= self.m.remove_above(min(x.max() for x in xs), cause=self)
+            m_min = self.m.min()
+            for x in xs:
+                changed |= x.remove_below(m_min, cause=self)
+            m_max = self.m.max()
+            candidates = [x for x in xs if x.min() <= m_max]
+            if not candidates:
+                raise Inconsistent(f"{self.name}: no operand can reach {m_max}")
+            if len(candidates) == 1:
+                changed |= candidates[0].remove_above(m_max, cause=self)

@@ -1,0 +1,61 @@
+"""Positive table constraint (GAC via lazily-repaired supports).
+
+Used for small extensional relations — e.g. coupling a module's shape
+variable with a discrete property that has no arithmetic structure.  The
+implementation keeps, per (variable, value), a pointer into the tuple list
+(the classic "last support" scheme of GAC-3 with residues).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cp.domain import Domain
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.variable import IntVar
+
+
+class TableConstraint(Propagator):
+    """``(x_1, ..., x_n) in tuples``."""
+
+    priority = Priority.EXPENSIVE
+
+    def __init__(self, xs: Sequence[IntVar], tuples: Sequence[Tuple[int, ...]]) -> None:
+        super().__init__("table")
+        self.xs = list(xs)
+        arity = len(self.xs)
+        self.tuples: List[Tuple[int, ...]] = [tuple(t) for t in tuples]
+        for t in self.tuples:
+            if len(t) != arity:
+                raise ValueError(f"tuple {t} has arity {len(t)}, expected {arity}")
+        # residue: (var position, value) -> index of last known support
+        self._residue: Dict[Tuple[int, int], int] = {}
+
+    def variables(self) -> Sequence[IntVar]:
+        return self.xs
+
+    def _is_valid(self, t: Tuple[int, ...]) -> bool:
+        return all(v in x.domain for v, x in zip(t, self.xs))
+
+    def _find_support(self, pos: int, value: int) -> bool:
+        key = (pos, value)
+        idx = self._residue.get(key)
+        if idx is not None:
+            t = self.tuples[idx]
+            if t[pos] == value and self._is_valid(t):
+                return True
+        for i, t in enumerate(self.tuples):
+            if t[pos] == value and self._is_valid(t):
+                self._residue[key] = i
+                return True
+        return False
+
+    def propagate(self, engine: Engine) -> None:
+        for pos, x in enumerate(self.xs):
+            keep = [v for v in x.domain if self._find_support(pos, v)]
+            if not keep:
+                raise Inconsistent(f"{self.name}: {x.name} has no supported value")
+            x.set_domain(Domain(keep), cause=self)
+        if all(x.is_fixed() for x in self.xs):
+            self.deactivate(engine)

@@ -1,0 +1,264 @@
+"""Bitset-backed finite integer domains.
+
+A :class:`Domain` is an immutable set of integers represented as a Python
+arbitrary-precision integer bitmask plus an offset.  CPython big-int bit
+operations are implemented in C over 30-bit limbs, which makes them an
+excellent vectorized representation for the domain sizes this project needs
+(coordinates on FPGA fabrics of a few hundred tiles per axis).
+
+Immutability keeps trailing trivial: a variable's state is restored by
+re-assigning the previous :class:`Domain` object, so no copy-on-write or
+delta bookkeeping is required.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+
+def _mask_of(values: Iterable[int], offset: int) -> int:
+    mask = 0
+    for v in values:
+        mask |= 1 << (v - offset)
+    return mask
+
+
+class Domain:
+    """An immutable finite set of integers.
+
+    Internally stores ``offset`` (the smallest value the mask can express)
+    and ``mask`` where bit ``i`` set means ``offset + i`` is in the domain.
+    The representation is normalized so that bit 0 of a non-empty mask is
+    always set (``offset == min``).
+    """
+
+    __slots__ = ("_offset", "_mask")
+
+    def __init__(self, values: Iterable[int] = ()):  # noqa: D107
+        values = list(values)
+        if not values:
+            self._offset = 0
+            self._mask = 0
+            return
+        offset = min(values)
+        self._offset = offset
+        self._mask = _mask_of(values, offset)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_mask(mask: int, offset: int) -> "Domain":
+        """Build a domain directly from a bitmask (normalizing offset)."""
+        d = Domain.__new__(Domain)
+        if mask == 0:
+            d._offset = 0
+            d._mask = 0
+            return d
+        # normalize: shift so bit 0 is set
+        low = (mask & -mask).bit_length() - 1
+        d._offset = offset + low
+        d._mask = mask >> low
+        return d
+
+    @staticmethod
+    def range(lo: int, hi: int) -> "Domain":
+        """Inclusive integer range ``[lo, hi]``; empty if ``lo > hi``."""
+        if lo > hi:
+            return EMPTY_DOMAIN
+        return Domain.from_mask((1 << (hi - lo + 1)) - 1, lo)
+
+    @staticmethod
+    def singleton(value: int) -> "Domain":
+        return Domain.from_mask(1, value)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def is_empty(self) -> bool:
+        return self._mask == 0
+
+    def is_singleton(self) -> bool:
+        m = self._mask
+        return m != 0 and (m & (m - 1)) == 0
+
+    def __len__(self) -> int:
+        return self._mask.bit_count()
+
+    def __bool__(self) -> bool:
+        return self._mask != 0
+
+    def min(self) -> int:
+        if self._mask == 0:
+            raise ValueError("min() of empty domain")
+        return self._offset  # normalized: bit 0 set
+
+    def max(self) -> int:
+        if self._mask == 0:
+            raise ValueError("max() of empty domain")
+        return self._offset + self._mask.bit_length() - 1
+
+    def value(self) -> int:
+        """The single value of a singleton domain."""
+        if not self.is_singleton():
+            raise ValueError(f"domain {self} is not a singleton")
+        return self._offset
+
+    def __contains__(self, v: int) -> bool:
+        i = v - self._offset
+        return i >= 0 and (self._mask >> i) & 1 == 1
+
+    def __iter__(self) -> Iterator[int]:
+        mask, offset = self._mask, self._offset
+        while mask:
+            low = mask & -mask
+            yield offset + low.bit_length() - 1
+            mask ^= low
+
+    def __reversed__(self) -> Iterator[int]:
+        return reversed(list(self))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._mask == other._mask and (
+            self._mask == 0 or self._offset == other._offset
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._mask, self._offset if self._mask else 0))
+
+    def __repr__(self) -> str:
+        if self._mask == 0:
+            return "Domain({})"
+        vals = list(self)
+        if len(vals) > 12:
+            shown = ", ".join(map(str, vals[:10]))
+            return f"Domain({{{shown}, ... {vals[-1]}}} size={len(vals)})"
+        return f"Domain({{{', '.join(map(str, vals))}}})"
+
+    # ------------------------------------------------------------------
+    # Set algebra (all return new Domain objects)
+    # ------------------------------------------------------------------
+    def _aligned(self, other: "Domain") -> tuple[int, int, int]:
+        """Return (mask_self, mask_other, offset) on a common offset."""
+        if self._mask == 0:
+            return 0, other._mask, other._offset
+        if other._mask == 0:
+            return self._mask, 0, self._offset
+        off = min(self._offset, other._offset)
+        return (
+            self._mask << (self._offset - off),
+            other._mask << (other._offset - off),
+            off,
+        )
+
+    def intersect(self, other: "Domain") -> "Domain":
+        a, b, off = self._aligned(other)
+        return Domain.from_mask(a & b, off)
+
+    def union(self, other: "Domain") -> "Domain":
+        a, b, off = self._aligned(other)
+        return Domain.from_mask(a | b, off)
+
+    def difference(self, other: "Domain") -> "Domain":
+        a, b, off = self._aligned(other)
+        return Domain.from_mask(a & ~b, off)
+
+    def remove(self, v: int) -> "Domain":
+        i = v - self._offset
+        if i < 0 or (self._mask >> i) & 1 == 0:
+            return self
+        return Domain.from_mask(self._mask ^ (1 << i), self._offset)
+
+    def remove_below(self, lo: int) -> "Domain":
+        """Keep only values >= lo."""
+        if self._mask == 0 or lo <= self._offset:
+            return self
+        shift = lo - self._offset
+        return Domain.from_mask(self._mask >> shift, lo)
+
+    def remove_above(self, hi: int) -> "Domain":
+        """Keep only values <= hi."""
+        if self._mask == 0:
+            return self
+        width = hi - self._offset + 1
+        if width <= 0:
+            return EMPTY_DOMAIN
+        if width >= self._mask.bit_length():
+            return self
+        return Domain.from_mask(self._mask & ((1 << width) - 1), self._offset)
+
+    def clamp(self, lo: int, hi: int) -> "Domain":
+        return self.remove_below(lo).remove_above(hi)
+
+    def shift(self, delta: int) -> "Domain":
+        """Domain of ``{v + delta}``."""
+        if self._mask == 0:
+            return self
+        return Domain.from_mask(self._mask, self._offset + delta)
+
+    def negate(self) -> "Domain":
+        """Domain of ``{-v}``."""
+        if self._mask == 0:
+            return self
+        hi = self.max()
+        # reverse the bit pattern within its width
+        width = self._mask.bit_length()
+        rev = int(format(self._mask, f"0{width}b")[::-1], 2)
+        return Domain.from_mask(rev, -hi)
+
+    def next_value(self, v: int) -> Optional[int]:
+        """Smallest domain value >= v, or None."""
+        d = self.remove_below(v)
+        return d.min() if d else None
+
+    def prev_value(self, v: int) -> Optional[int]:
+        """Largest domain value <= v, or None."""
+        d = self.remove_above(v)
+        return d.max() if d else None
+
+    def is_subset_of(self, other: "Domain") -> bool:
+        a, b, _ = self._aligned(other)
+        return a & ~b == 0
+
+    # ------------------------------------------------------------------
+    # NumPy bridges (hot paths in the placement kernel)
+    # ------------------------------------------------------------------
+    def to_bool_array(self, length: int):
+        """Boolean vector v of the given length with ``v[i] = (i in self)``.
+
+        Requires all domain values to lie within ``[0, length)``.
+        """
+        import numpy as np
+
+        if self._mask == 0:
+            return np.zeros(length, dtype=bool)
+        if self._offset < 0 or self.max() >= length:
+            raise ValueError(
+                f"domain [{self.min()},{self.max()}] outside [0,{length})"
+            )
+        full = self._mask << self._offset
+        raw = np.frombuffer(
+            full.to_bytes((length + 7) // 8, "little"), dtype=np.uint8
+        )
+        return np.unpackbits(raw, bitorder="little")[:length].astype(bool)
+
+    @staticmethod
+    def from_bool_array(vec) -> "Domain":
+        """Domain ``{i : vec[i]}`` from a boolean vector."""
+        import numpy as np
+
+        bits = np.packbits(np.asarray(vec, dtype=bool), bitorder="little")
+        return Domain.from_mask(int.from_bytes(bits.tobytes(), "little"), 0)
+
+
+EMPTY_DOMAIN = Domain()

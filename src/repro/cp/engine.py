@@ -1,0 +1,152 @@
+"""Propagation engine: variables, trail, and the fixpoint loop.
+
+The engine is the mutable heart of the solver.  It owns
+
+* the registered variables,
+* the :class:`~repro.cp.trail.Trail` used for chronological backtracking,
+* a priority-bucketed propagation queue, and
+* run statistics.
+
+Domain updates flow through :meth:`Engine.update_domain`, which trails the
+previous domain, classifies the modification event, and schedules the
+subscribed propagators.  :meth:`Engine.fixpoint` drains the queue in
+priority order until quiescence or failure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.cp.domain import Domain
+from repro.cp.events import Event, classify
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.stats import EngineStats
+from repro.cp.trail import Trail
+from repro.cp.variable import IntVar
+
+
+class Inconsistent(Exception):
+    """Raised when propagation wipes out a domain (the node fails)."""
+
+
+_NUM_PRIORITIES = len(Priority)
+
+
+class Engine:
+    """Propagation engine with trailed backtracking."""
+
+    def __init__(self) -> None:
+        self.trail = Trail()
+        self.variables: List[IntVar] = []
+        self.propagators: List[Propagator] = []
+        self._queues: List[Deque[Propagator]] = [deque() for _ in range(_NUM_PRIORITIES)]
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def register_variable(self, var: IntVar) -> int:
+        self.variables.append(var)
+        return len(self.variables) - 1
+
+    def new_var(self, lo: int, hi: int, name: str = "") -> IntVar:
+        """Create a variable with domain ``[lo, hi]``."""
+        return IntVar(self, Domain.range(lo, hi), name)
+
+    def new_var_from(self, domain: Domain, name: str = "") -> IntVar:
+        if domain.is_empty():
+            raise ValueError("cannot create a variable with an empty domain")
+        return IntVar(self, domain, name)
+
+    def post(self, propagator: Propagator) -> Propagator:
+        """Register a constraint's propagator and run its initial filtering."""
+        self.propagators.append(propagator)
+        propagator.post(self)
+        self.fixpoint()
+        return propagator
+
+    # ------------------------------------------------------------------
+    # Domain updates
+    # ------------------------------------------------------------------
+    def update_domain(
+        self, var: IntVar, new: Domain, cause: Optional[Propagator] = None
+    ) -> bool:
+        """Shrink ``var`` to ``new``; trail, classify, schedule. True if changed."""
+        old = var.domain
+        if new.mask == old.mask and (new.mask == 0 or new.offset == old.offset):
+            return False
+        if new.is_empty():
+            self.stats.failures += 1
+            raise Inconsistent(f"{var.name}: domain wiped out")
+        if not new.is_subset_of(old):
+            raise ValueError(
+                f"update_domain must shrink: {new!r} is not a subset of {old!r}"
+            )
+        event = classify(old.min(), old.max(), len(old), new.min(), new.max(), len(new))
+        var.domain = new
+        self.trail.push(lambda: _restore(var, old))
+        self.stats.domain_updates += 1
+        for prop, mask in var.watchers:
+            if prop is cause or not prop.active:
+                continue
+            if (event & mask) and prop.on_event(var, event):
+                self.schedule(prop)
+        return True
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def schedule(self, prop: Propagator) -> None:
+        if not prop._queued and prop.active:
+            prop._queued = True
+            self._queues[prop.priority].append(prop)
+
+    def fixpoint(self) -> None:
+        """Run propagators to quiescence; raises :class:`Inconsistent` on failure."""
+        queues = self._queues
+        try:
+            while True:
+                prop = None
+                for q in queues:
+                    if q:
+                        prop = q.popleft()
+                        break
+                if prop is None:
+                    return
+                prop._queued = False
+                if not prop.active:
+                    continue
+                self.stats.propagations += 1
+                prop.propagate(self)
+        except Inconsistent:
+            self._flush_queue()
+            raise
+
+    def _flush_queue(self) -> None:
+        for q in self._queues:
+            while q:
+                q.popleft()._queued = False
+
+    # ------------------------------------------------------------------
+    # Search support
+    # ------------------------------------------------------------------
+    def push_level(self) -> int:
+        return self.trail.push_level()
+
+    def pop_level(self) -> None:
+        self.trail.pop_level()
+        self._flush_queue()
+
+    def depth(self) -> int:
+        return self.trail.depth()
+
+    def all_fixed(self, variables: Optional[List[IntVar]] = None) -> bool:
+        for v in variables if variables is not None else self.variables:
+            if not v.is_fixed():
+                return False
+        return True
+
+
+def _restore(var: IntVar, old: Domain) -> None:
+    var.domain = old

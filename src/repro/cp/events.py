@@ -1,0 +1,35 @@
+"""Domain-modification event flags.
+
+Propagators subscribe to variables with an event mask; the engine wakes a
+propagator only when a modification matching its mask occurs.  Masks compose
+with ``|``.
+"""
+
+from __future__ import annotations
+
+from enum import IntFlag
+
+
+class Event(IntFlag):
+    """What changed about a variable's domain."""
+
+    #: Any value was removed from the domain.
+    DOMAIN = 1
+    #: The minimum or maximum changed.
+    BOUNDS = 2
+    #: The domain became a singleton.
+    FIX = 4
+
+    #: Convenience: wake on everything.
+    ANY = DOMAIN | BOUNDS | FIX
+
+
+def classify(old_min: int, old_max: int, old_size: int,
+             new_min: int, new_max: int, new_size: int) -> Event:
+    """Compute the event set implied by a domain shrink."""
+    ev = Event.DOMAIN
+    if new_min != old_min or new_max != old_max:
+        ev |= Event.BOUNDS
+    if new_size == 1 and old_size != 1:
+        ev |= Event.FIX
+    return ev

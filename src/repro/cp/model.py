@@ -1,0 +1,186 @@
+"""Declarative model layer on top of the engine.
+
+:class:`Model` offers a compact API for building constraint models —
+variable factories and constraint helpers that construct the propagators in
+:mod:`repro.cp.constraints` — so application code (the placement model, the
+tests, the examples) reads like the formulation in the paper rather than
+like propagator plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cp.constraints import (
+    AbsDifference,
+    AllDifferent,
+    AtLeast,
+    AtMost,
+    Count,
+    MinDistance,
+    BoolOr,
+    Cumulative,
+    DiffN,
+    Element,
+    EqualOffset,
+    IffInSet,
+    IffLessEqual,
+    LessEqualOffset,
+    LinearEqual,
+    LinearLessEqual,
+    Maximum,
+    Minimum,
+    NotEqual,
+    NotEqualOffset,
+    Rect,
+    SumOfTwo,
+    TableConstraint,
+    Task,
+)
+from repro.cp.domain import Domain
+from repro.cp.engine import Engine
+from repro.cp.propagator import Propagator
+from repro.cp.variable import IntVar
+
+
+class Model:
+    """A constraint model: an engine plus sugar for building it."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self.engine = Engine()
+        self.constraints: List[Propagator] = []
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def int_var(self, lo: int, hi: int, name: str = "") -> IntVar:
+        return self.engine.new_var(lo, hi, name)
+
+    def int_var_from(self, values: Sequence[int], name: str = "") -> IntVar:
+        return self.engine.new_var_from(Domain(values), name)
+
+    def bool_var(self, name: str = "") -> IntVar:
+        return self.engine.new_var(0, 1, name)
+
+    def constant(self, value: int, name: str = "") -> IntVar:
+        return self.engine.new_var(value, value, name or f"c{value}")
+
+    # ------------------------------------------------------------------
+    # Constraint helpers (each posts immediately and returns the propagator)
+    # ------------------------------------------------------------------
+    def post(self, propagator: Propagator) -> Propagator:
+        self.constraints.append(propagator)
+        return self.engine.post(propagator)
+
+    def add_le(self, x: IntVar, y: IntVar, offset: int = 0) -> Propagator:
+        """``x + offset <= y``."""
+        return self.post(LessEqualOffset(x, y, offset))
+
+    def add_eq(self, x: IntVar, y: IntVar, offset: int = 0) -> Propagator:
+        """``x == y + offset``."""
+        return self.post(EqualOffset(x, y, offset))
+
+    def add_ne(self, x: IntVar, y: IntVar, offset: int = 0) -> Propagator:
+        """``x != y + offset``."""
+        if offset == 0:
+            return self.post(NotEqual(x, y))
+        return self.post(NotEqualOffset(x, y, offset))
+
+    def add_sum(self, z: IntVar, x: IntVar, y: IntVar) -> Propagator:
+        """``z == x + y``."""
+        return self.post(SumOfTwo(z, x, y))
+
+    def add_linear_le(
+        self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int
+    ) -> Propagator:
+        return self.post(LinearLessEqual(coeffs, xs, c))
+
+    def add_linear_eq(
+        self, coeffs: Sequence[int], xs: Sequence[IntVar], c: int
+    ) -> Propagator:
+        return self.post(LinearEqual(coeffs, xs, c))
+
+    def add_element(
+        self, table: Sequence[int], index: IntVar, result: IntVar
+    ) -> Propagator:
+        return self.post(Element(table, index, result))
+
+    def element_of(
+        self, table: Sequence[int], index: IntVar, name: str = ""
+    ) -> IntVar:
+        """Create and return ``result`` with ``result == table[index]``."""
+        result = self.int_var(min(table), max(table), name or "elem")
+        self.add_element(table, index, result)
+        return result
+
+    def add_max(self, m: IntVar, xs: Sequence[IntVar]) -> Propagator:
+        return self.post(Maximum(m, xs))
+
+    def max_of(self, xs: Sequence[IntVar], name: str = "max") -> IntVar:
+        m = self.int_var(
+            min(x.min() for x in xs), max(x.max() for x in xs), name
+        )
+        self.add_max(m, xs)
+        return m
+
+    def add_min(self, m: IntVar, xs: Sequence[IntVar]) -> Propagator:
+        return self.post(Minimum(m, xs))
+
+    def add_table(
+        self, xs: Sequence[IntVar], tuples: Sequence[Tuple[int, ...]]
+    ) -> Propagator:
+        return self.post(TableConstraint(xs, tuples))
+
+    def add_alldifferent(self, xs: Sequence[IntVar]) -> Propagator:
+        return self.post(AllDifferent(xs))
+
+    def add_count(
+        self, xs: Sequence[IntVar], value: int, lo: int = 0,
+        hi: "int | None" = None,
+    ) -> Propagator:
+        """``lo <= |{i : x_i == value}| <= hi``."""
+        return self.post(Count(xs, value, lo, hi))
+
+    def add_atmost(self, xs: Sequence[IntVar], value: int, n: int) -> Propagator:
+        return self.post(AtMost(xs, value, n))
+
+    def add_atleast(self, xs: Sequence[IntVar], value: int, n: int) -> Propagator:
+        return self.post(AtLeast(xs, value, n))
+
+    def add_abs_diff(self, z: IntVar, x: IntVar, y: IntVar) -> Propagator:
+        """``z == |x - y|``."""
+        return self.post(AbsDifference(z, x, y))
+
+    def abs_diff_of(self, x: IntVar, y: IntVar, name: str = "") -> IntVar:
+        """Create and return ``z`` with ``z == |x - y|``."""
+        hi = max(x.max() - y.min(), y.max() - x.min(), 0)
+        z = self.int_var(0, max(hi, 0), name or "absdiff")
+        self.add_abs_diff(z, x, y)
+        return z
+
+    def add_min_distance(self, x: IntVar, y: IntVar, d: int) -> Propagator:
+        """``|x - y| >= d``."""
+        return self.post(MinDistance(x, y, d))
+
+    def add_iff_le(self, b: IntVar, x: IntVar, c: int) -> Propagator:
+        return self.post(IffLessEqual(b, x, c))
+
+    def add_iff_in(self, b: IntVar, x: IntVar, values: Sequence[int]) -> Propagator:
+        return self.post(IffInSet(b, x, values))
+
+    def add_or(self, bs: Sequence[IntVar]) -> Propagator:
+        return self.post(BoolOr(bs))
+
+    def add_cumulative(self, tasks: Sequence[Task], capacity: int) -> Propagator:
+        return self.post(Cumulative(tasks, capacity))
+
+    def add_diffn(self, rects: Sequence[Rect]) -> Propagator:
+        return self.post(DiffN(rects))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={len(self.engine.variables)}, "
+            f"constraints={len(self.constraints)})"
+        )

@@ -1,0 +1,85 @@
+"""Propagator base class and scheduling priorities.
+
+A propagator implements a filtering algorithm for one constraint.  The
+engine calls :meth:`Propagator.propagate` until a fixpoint is reached;
+propagators signal failure by raising
+:class:`~repro.cp.engine.Inconsistent`.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cp.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cp.engine import Engine
+    from repro.cp.variable import IntVar
+
+
+class Priority(IntEnum):
+    """Cheapest propagators run first; the queue is priority-ordered."""
+
+    UNARY = 0       # O(1) per call (bounds arithmetic on two vars)
+    LINEAR = 1      # O(n) in arity
+    QUADRATIC = 2   # pairwise algorithms
+    EXPENSIVE = 3   # global geometric kernels, table GAC, ...
+
+
+class Propagator:
+    """Base class for constraint filtering algorithms.
+
+    Subclasses set :attr:`priority`, subscribe to their variables in
+    :meth:`post`, and implement :meth:`propagate`.
+    """
+
+    priority: Priority = Priority.LINEAR
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or type(self).__name__
+        self._queued = False  # engine bookkeeping: already in the queue?
+        self._active = True
+
+    # ------------------------------------------------------------------
+    def post(self, engine: "Engine") -> None:
+        """Subscribe to variables and run the initial propagation.
+
+        Default implementation subscribes to :meth:`variables` with
+        :attr:`Event.ANY` and schedules an initial run.
+        """
+        for v in self.variables():
+            v.watch(self, Event.ANY)
+        engine.schedule(self)
+
+    def variables(self) -> Sequence["IntVar"]:
+        """The variables this constraint ranges over (override)."""
+        return ()
+
+    def propagate(self, engine: "Engine") -> None:
+        """Filter domains; raise ``Inconsistent`` on wipe-out (override)."""
+        raise NotImplementedError
+
+    def on_event(self, var: "IntVar", event: Event) -> bool:
+        """Return True if the propagator should be scheduled for ``event``.
+
+        Hook for propagators that want finer-grained wakeups than the event
+        mask alone provides (e.g. watch only their own entailment state).
+        """
+        return True
+
+    def deactivate(self, engine: "Engine") -> None:
+        """Entailed: stop waking up until backtracking past this point."""
+        if self._active:
+            self._active = False
+            engine.trail.push(self._reactivate)
+
+    def _reactivate(self) -> None:
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"

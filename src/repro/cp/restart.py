@@ -1,0 +1,119 @@
+"""Restart-based search.
+
+Chronological DFS is brittle on packing instances: one unlucky early
+decision condemns the whole dive (heavy-tailed runtime distributions).
+The standard remedy is randomized restarts — run DFS with a randomized
+value order under a failure budget, and restart with a grown budget when
+it is exceeded.  Budgets follow the Luby sequence (1, 1, 2, 1, 1, 2, 4,
+...), which is within a log factor of the optimal universal restart
+schedule (Luby, Sinclair, Zuckerman 1993).
+
+Used by the placer as an optional construction strategy and by ablation
+A4; exposed generally because it is a solver-level facility.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.cp.branching import ValueSelector, VarSelector, input_order
+from repro.cp.engine import Engine
+from repro.cp.search import DepthFirstSearch, SearchLimit, Solution
+from repro.cp.stats import SearchStats
+from repro.cp.variable import IntVar
+
+
+def luby(i: int) -> int:
+    """The i-th term (1-based) of the Luby restart sequence."""
+    if i <= 0:
+        raise ValueError("luby is defined for i >= 1")
+    k = 1
+    while (1 << k) - 1 < i:  # smallest k with 2^k - 1 >= i
+        k += 1
+    if (1 << k) - 1 == i:
+        return 1 << (k - 1)
+    return luby(i - ((1 << (k - 1)) - 1))
+
+
+def shuffled_min_first(seed: int) -> ValueSelector:
+    """Value order: minimum first, remaining values shuffled.
+
+    Keeps the bottom-left bias that the extent objective wants while
+    diversifying the tail — exactly what restarts need.
+    """
+    rng = random.Random(seed)
+
+    def pick(v: IntVar):
+        vals = list(v.domain)
+        if len(vals) <= 1:
+            return vals
+        head, tail = vals[0], vals[1:]
+        rng.shuffle(tail)
+        return [head] + tail
+
+    return pick
+
+
+@dataclass
+class RestartingSearch:
+    """First-solution search with Luby restarts and value randomization."""
+
+    engine: Engine
+    decision_vars: Sequence[IntVar]
+    var_select: VarSelector = input_order
+    base_failures: int = 64
+    time_limit: Optional[float] = None
+    seed: int = 0
+    #: called with the solution while the engine still holds its state
+    #: (domains fixed) — lets callers extract derived structures
+    on_solution: Optional[object] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: number of restarts performed in the last :meth:`first_solution` call
+    restarts: int = 0
+
+    def first_solution(self) -> Optional[Solution]:
+        start = time.monotonic()
+        deadline = (
+            start + self.time_limit if self.time_limit is not None else None
+        )
+        self.restarts = 0
+        attempt = 0
+        while True:
+            attempt += 1
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if remaining is not None and remaining == 0.0:
+                self.stats.stop_reason = "time"
+                return None
+            limit = SearchLimit(
+                time_seconds=remaining,
+                failures=self.base_failures * luby(attempt),
+            )
+            search = DepthFirstSearch(
+                self.engine,
+                self.decision_vars,
+                var_select=self.var_select,
+                val_select=shuffled_min_first(self.seed + attempt),
+                limit=limit,
+            )
+            solution = None
+            for sol in search.solutions():
+                if self.on_solution is not None:
+                    self.on_solution(sol)  # engine state is live here
+                solution = sol
+                break
+            self.stats = self.stats + search.stats
+            if solution is not None:
+                self.stats.stop_reason = ""
+                return solution
+            if search.stats.stop_reason == "exhausted":
+                self.stats.stop_reason = "exhausted"
+                return None  # proven infeasible
+            if search.stats.stop_reason == "time":
+                self.stats.stop_reason = "time"
+                return None
+            self.restarts += 1  # failure budget exceeded: restart

@@ -1,0 +1,197 @@
+"""Depth-first search with trailing backtracking.
+
+The search is iterative (explicit frame stack, no recursion) so instance
+size never hits the interpreter recursion limit.  Each decision pushes one
+trail level; failed values are undone by popping it.  A ``node_hook`` runs
+inside every decision's propagation attempt — branch-and-bound uses it to
+impose the current objective bound, which survives backtracking because it
+is re-imposed at every node rather than posted as a trailed constraint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.cp.branching import (
+    ValueSelector,
+    VarSelector,
+    input_order,
+    min_value,
+)
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.stats import SearchStats
+from repro.cp.variable import IntVar
+
+Solution = Dict[str, int]
+
+
+@dataclass
+class SearchLimit:
+    """Resource limits; ``None`` means unlimited."""
+
+    time_seconds: Optional[float] = None
+    nodes: Optional[int] = None
+    solutions: Optional[int] = None
+    failures: Optional[int] = None
+
+
+class _Frame:
+    __slots__ = ("var", "values")
+
+    def __init__(self, var: IntVar, values: Iterator[int]) -> None:
+        self.var = var
+        self.values = values
+
+
+class DepthFirstSearch:
+    """Enumerate solutions over ``decision_vars`` by DFS.
+
+    Parameters
+    ----------
+    engine:
+        The propagation engine (root propagation must already have run).
+    decision_vars:
+        The variables the search must fix; auxiliary variables may remain
+        unfixed in a solution if propagation leaves them so.
+    var_select / val_select:
+        Branching heuristics (see :mod:`repro.cp.branching`).
+    limit:
+        Optional resource limits.
+    node_hook:
+        Called inside each decision attempt, after the value is fixed and
+        before the fixpoint; may raise
+        :class:`~repro.cp.engine.Inconsistent`.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        decision_vars: Sequence[IntVar],
+        var_select: VarSelector = input_order,
+        val_select: ValueSelector = min_value,
+        limit: Optional[SearchLimit] = None,
+        node_hook: Optional[Callable[[Engine], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.decision_vars = list(decision_vars)
+        self.var_select = var_select
+        self.val_select = val_select
+        self.limit = limit or SearchLimit()
+        self.node_hook = node_hook
+        self.stats = SearchStats()
+        self._deadline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def _limits_exceeded(self) -> Optional[str]:
+        lim, st = self.limit, self.stats
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return "time"
+        if lim.nodes is not None and st.nodes >= lim.nodes:
+            return "nodes"
+        if lim.solutions is not None and st.solutions >= lim.solutions:
+            return "solutions"
+        if lim.failures is not None and st.backtracks >= lim.failures:
+            return "failures"
+        return None
+
+    def _snapshot(self) -> Solution:
+        return {
+            v.name: v.value() for v in self.decision_vars if v.is_fixed()
+        }
+
+    def _try_next(self, frame: _Frame) -> bool:
+        """Try values of ``frame`` until one survives propagation."""
+        engine = self.engine
+        for value in frame.values:
+            if value not in frame.var.domain:
+                continue  # pruned since the iterator was built
+            engine.push_level()
+            self.stats.nodes += 1
+            try:
+                frame.var.fix(value)
+                if self.node_hook is not None:
+                    self.node_hook(engine)
+                engine.fixpoint()
+                return True
+            except Inconsistent:
+                engine.pop_level()
+                self.stats.backtracks += 1
+                reason = self._limits_exceeded()
+                if reason is not None:
+                    raise _SearchStopped(reason)
+        return False
+
+    def solutions(self) -> Iterator[Solution]:
+        """Generate solutions; restores the engine state on exhaustion."""
+        engine = self.engine
+        start = time.monotonic()
+        if self.limit.time_seconds is not None:
+            self._deadline = start + self.limit.time_seconds
+        frames: List[_Frame] = []
+        base_depth = engine.depth()
+        try:
+            # Apply the node hook at the root too (bounds from prior solutions).
+            if self.node_hook is not None:
+                self.node_hook(engine)
+                engine.fixpoint()
+            while True:
+                reason = self._limits_exceeded()
+                if reason is not None:
+                    raise _SearchStopped(reason)
+                var = self.var_select(self.decision_vars)
+                if var is None:
+                    self.stats.solutions += 1
+                    self.stats.max_depth = max(self.stats.max_depth, len(frames))
+                    yield self._snapshot()
+                    if not self._backtrack(frames):
+                        self.stats.stop_reason = "exhausted"
+                        return
+                    continue
+                frame = _Frame(var, iter(self.val_select(var)))
+                if self._try_next(frame):
+                    frames.append(frame)
+                elif not self._backtrack(frames):
+                    self.stats.stop_reason = "exhausted"
+                    return
+        except _SearchStopped as stop:
+            self.stats.stop_reason = stop.reason
+            return
+        except Inconsistent:
+            # root-level failure (e.g. node hook wiped a domain at the root)
+            self.stats.stop_reason = "exhausted"
+            return
+        finally:
+            engine.trail.pop_to(base_depth)
+            self.stats.elapsed += time.monotonic() - start
+            self._deadline = None
+
+    def _backtrack(self, frames: List[_Frame]) -> bool:
+        engine = self.engine
+        while frames:
+            engine.pop_level()
+            self.stats.backtracks += 1
+            if self._try_next(frames[-1]):
+                return True
+            frames.pop()
+        return False
+
+    # ------------------------------------------------------------------
+    def first_solution(self) -> Optional[Solution]:
+        """Convenience: the first solution or None."""
+        for sol in self.solutions():
+            return sol
+        return None
+
+    def all_solutions(self) -> List[Solution]:
+        return list(self.solutions())
+
+    def count_solutions(self) -> int:
+        return sum(1 for _ in self.solutions())
+
+
+class _SearchStopped(Exception):
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason

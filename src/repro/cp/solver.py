@@ -1,0 +1,117 @@
+"""High-level solving facade.
+
+Wraps model + search + (optional) objective into the three calls the rest
+of the project uses: :meth:`Solver.solve` (first solution),
+:meth:`Solver.enumerate` (all solutions) and :meth:`Solver.minimize`
+(branch-and-bound).  Results carry a status, the solution, and statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.cp.bnb import BnBResult, BranchAndBound, Objective
+from repro.cp.branching import ValueSelector, VarSelector, input_order, min_value
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.search import DepthFirstSearch, SearchLimit, Solution
+from repro.cp.stats import SearchStats
+from repro.cp.variable import IntVar
+
+
+class Status(Enum):
+    """Outcome classification of a solver run."""
+
+    OPTIMAL = "optimal"          # minimize: proved best; solve: found & exhausted
+    FEASIBLE = "feasible"        # found a solution but stopped on a limit
+    INFEASIBLE = "infeasible"    # exhausted with no solution
+    UNKNOWN = "unknown"          # stopped on a limit with no solution
+
+
+@dataclass
+class SolveResult:
+    status: Status
+    solution: Optional[Solution] = None
+    objective: Optional[int] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+    trajectory: List[tuple] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return self.solution is not None
+
+
+class Solver:
+    """Search configuration bound to a model."""
+
+    def __init__(
+        self,
+        model: Model,
+        decision_vars: Sequence[IntVar],
+        var_select: VarSelector = input_order,
+        val_select: ValueSelector = min_value,
+        limit: Optional[SearchLimit] = None,
+    ) -> None:
+        self.model = model
+        self.decision_vars = list(decision_vars)
+        self.var_select = var_select
+        self.val_select = val_select
+        self.limit = limit
+
+    # ------------------------------------------------------------------
+    def _search(self) -> DepthFirstSearch:
+        return DepthFirstSearch(
+            self.model.engine,
+            self.decision_vars,
+            var_select=self.var_select,
+            val_select=self.val_select,
+            limit=self.limit,
+        )
+
+    def solve(self) -> SolveResult:
+        """Find one solution."""
+        search = self._search()
+        sol = search.first_solution()
+        if sol is not None:
+            return SolveResult(Status.FEASIBLE, sol, stats=search.stats)
+        status = (
+            Status.INFEASIBLE
+            if search.stats.stop_reason == "exhausted"
+            else Status.UNKNOWN
+        )
+        return SolveResult(status, stats=search.stats)
+
+    def enumerate(
+        self, callback: Optional[Callable[[Solution], None]] = None
+    ) -> List[Solution]:
+        """All solutions (subject to limits)."""
+        search = self._search()
+        out = []
+        for sol in search.solutions():
+            out.append(sol)
+            if callback is not None:
+                callback(sol)
+        return out
+
+    def minimize(self, objective_var: IntVar) -> SolveResult:
+        """Branch-and-bound minimization of ``objective_var``."""
+        bnb = BranchAndBound(
+            self.model.engine,
+            Objective.minimize(objective_var),
+            self.decision_vars,
+            var_select=self.var_select,
+            val_select=self.val_select,
+            limit=self.limit,
+        )
+        res: BnBResult = bnb.run()
+        if res.best is None:
+            status = (
+                Status.INFEASIBLE if res.proved_optimal else Status.UNKNOWN
+            )
+            return SolveResult(status, stats=res.stats)
+        status = Status.OPTIMAL if res.proved_optimal else Status.FEASIBLE
+        return SolveResult(
+            status, res.best, res.objective, res.stats, list(res.trajectory)
+        )

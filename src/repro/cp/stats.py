@@ -1,0 +1,71 @@
+"""Run statistics for the engine and search.
+
+Kept as plain dataclasses so they can be summed across runs and rendered in
+benchmark reports.  Per the HPC guides, measurement comes before tuning:
+these counters are the profiling hooks for the solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters maintained by :class:`repro.cp.engine.Engine`."""
+
+    propagations: int = 0
+    domain_updates: int = 0
+    failures: int = 0
+
+    def reset(self) -> None:
+        self.propagations = 0
+        self.domain_updates = 0
+        self.failures = 0
+
+    def __add__(self, other: "EngineStats") -> "EngineStats":
+        return EngineStats(
+            self.propagations + other.propagations,
+            self.domain_updates + other.domain_updates,
+            self.failures + other.failures,
+        )
+
+
+@dataclass
+class SearchStats:
+    """Counters maintained by the search algorithms."""
+
+    nodes: int = 0
+    backtracks: int = 0
+    solutions: int = 0
+    max_depth: int = 0
+    #: wall-clock seconds spent inside the search loop
+    elapsed: float = 0.0
+    #: why the search stopped: "exhausted", "limit", or "" while running
+    stop_reason: str = ""
+
+    def __add__(self, other: "SearchStats") -> "SearchStats":
+        return SearchStats(
+            self.nodes + other.nodes,
+            self.backtracks + other.backtracks,
+            self.solutions + other.solutions,
+            max(self.max_depth, other.max_depth),
+            self.elapsed + other.elapsed,
+            self.stop_reason or other.stop_reason,
+        )
+
+
+@dataclass
+class SolveStats:
+    """Combined engine + search statistics for one solver run."""
+
+    engine: EngineStats = field(default_factory=EngineStats)
+    search: SearchStats = field(default_factory=SearchStats)
+
+    def summary(self) -> str:
+        e, s = self.engine, self.search
+        return (
+            f"nodes={s.nodes} backtracks={s.backtracks} solutions={s.solutions} "
+            f"propagations={e.propagations} failures={e.failures} "
+            f"elapsed={s.elapsed:.3f}s"
+        )

@@ -1,0 +1,57 @@
+"""Trailing: undo log for chronological backtracking.
+
+The engine records undo closures as search decisions mutate state.  A level
+is opened per search node; backtracking pops all entries down to the saved
+marker and replays them in reverse order.  Domains are immutable, so a
+variable's undo entry simply restores its previous :class:`~repro.cp.domain.Domain`
+reference; global constraints (e.g. the placement kernel) push their own
+closures to restore occupancy grids and anchor masks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class Trail:
+    """A stack of undo callbacks with level markers."""
+
+    __slots__ = ("_entries", "_levels")
+
+    def __init__(self) -> None:
+        self._entries: List[Callable[[], None]] = []
+        self._levels: List[int] = []
+
+    # ------------------------------------------------------------------
+    def push(self, undo: Callable[[], None]) -> None:
+        """Record an undo action for the current level."""
+        self._entries.append(undo)
+
+    def push_level(self) -> int:
+        """Open a new backtracking level; returns its index."""
+        self._levels.append(len(self._entries))
+        return len(self._levels) - 1
+
+    def pop_level(self) -> None:
+        """Undo everything recorded since the last :meth:`push_level`."""
+        if not self._levels:
+            raise RuntimeError("pop_level on empty level stack")
+        marker = self._levels.pop()
+        entries = self._entries
+        while len(entries) > marker:
+            entries.pop()()
+
+    def pop_to(self, level: int) -> None:
+        """Pop levels until ``depth() == level``."""
+        while len(self._levels) > level:
+            self.pop_level()
+
+    def depth(self) -> int:
+        return len(self._levels)
+
+    def size(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._levels.clear()

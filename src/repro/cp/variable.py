@@ -1,0 +1,82 @@
+"""Finite-domain integer variables.
+
+An :class:`IntVar` owns an immutable :class:`~repro.cp.domain.Domain` and a
+subscriber list of ``(propagator, event_mask)`` pairs.  All mutation goes
+through the owning :class:`~repro.cp.engine.Engine`, which handles trailing,
+event classification, and propagator scheduling; the methods here are thin
+conveniences that delegate to it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
+
+from repro.cp.domain import Domain
+from repro.cp.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cp.engine import Engine
+    from repro.cp.propagator import Propagator
+
+
+class IntVar:
+    """An integer decision variable."""
+
+    __slots__ = ("engine", "name", "domain", "watchers", "index")
+
+    def __init__(self, engine: "Engine", domain: Domain, name: str = "") -> None:
+        self.engine = engine
+        self.domain = domain
+        self.name = name or f"v{id(self) & 0xFFFF:x}"
+        self.watchers: List[Tuple["Propagator", Event]] = []
+        self.index = engine.register_variable(self)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def min(self) -> int:
+        return self.domain.min()
+
+    def max(self) -> int:
+        return self.domain.max()
+
+    def size(self) -> int:
+        return len(self.domain)
+
+    def is_fixed(self) -> bool:
+        return self.domain.is_singleton()
+
+    def value(self) -> int:
+        return self.domain.value()
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.domain
+
+    def values(self) -> Iterable[int]:
+        return iter(self.domain)
+
+    def __repr__(self) -> str:
+        return f"IntVar({self.name}={self.domain!r})"
+
+    # ------------------------------------------------------------------
+    # Mutation (delegates to engine)
+    # ------------------------------------------------------------------
+    def watch(self, propagator: "Propagator", events: Event = Event.ANY) -> None:
+        """Subscribe ``propagator`` to modifications of this variable."""
+        self.watchers.append((propagator, events))
+
+    def set_domain(self, new: Domain, cause: Optional["Propagator"] = None) -> bool:
+        """Replace the domain with ``new`` (must be a subset); returns True if changed."""
+        return self.engine.update_domain(self, new, cause)
+
+    def fix(self, v: int, cause: Optional["Propagator"] = None) -> bool:
+        return self.set_domain(self.domain.intersect(Domain.singleton(v)), cause)
+
+    def remove(self, v: int, cause: Optional["Propagator"] = None) -> bool:
+        return self.set_domain(self.domain.remove(v), cause)
+
+    def remove_below(self, lo: int, cause: Optional["Propagator"] = None) -> bool:
+        return self.set_domain(self.domain.remove_below(lo), cause)
+
+    def remove_above(self, hi: int, cause: Optional["Propagator"] = None) -> bool:
+        return self.set_domain(self.domain.remove_above(hi), cause)

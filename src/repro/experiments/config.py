@@ -1,0 +1,57 @@
+"""Shared experiment configuration.
+
+The Table I setup: 30 automatically generated modules (20-100 CLBs, 0-4
+BRAMs, 4 design alternatives) placed on a heterogeneous fabric, repeated
+over many seeds; the placer minimizes the x extent within a wall-clock
+budget.  Run counts and budgets are scaled down by default so the bench
+suite completes in minutes; the paper-faithful full scale is selected with
+``REPRO_FULL=1`` in the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.fabric.devices import irregular_device
+from repro.fabric.grid import FabricGrid
+from repro.fabric.region import PartialRegion
+from repro.modules.generator import GeneratorConfig
+
+
+def full_scale() -> bool:
+    """True when the environment requests paper-scale experiment runs."""
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def default_fabric(width: int = 160, height: int = 24, seed: int = 42) -> PartialRegion:
+    """The Table-I fabric: heterogeneous, clock-interrupted, open x extent.
+
+    Width is generous on purpose: the placer minimizes the occupied x
+    extent, so utilization is measured within the used window and the
+    fabric only needs to be wide enough never to clip a bad placement.
+    """
+    return PartialRegion.whole_device(irregular_device(width, height, seed=seed))
+
+
+@dataclass
+class Table1Config:
+    """Parameters of the Table I reproduction."""
+
+    #: independent experiment repetitions (paper: 50)
+    n_runs: int = field(default_factory=lambda: 50 if full_scale() else 5)
+    #: modules per run (paper: 30)
+    n_modules: int = 30
+    #: design alternatives per module in the 'with' condition (paper: 4)
+    n_alternatives: int = 4
+    #: anytime budget per placement run, seconds
+    time_limit: float = field(default_factory=lambda: 20.0 if full_scale() else 8.0)
+    #: base seed; run i uses seed base_seed + i
+    base_seed: int = 1000
+    fabric_width: int = 160
+    fabric_height: int = 24
+    fabric_seed: int = 42
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+
+    def region(self) -> PartialRegion:
+        return default_fabric(self.fabric_width, self.fabric_height, self.fabric_seed)

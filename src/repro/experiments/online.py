@@ -1,0 +1,202 @@
+"""Online service-level experiment (ablation A5).
+
+The related work (Section II) frames placement quality as *service level*:
+"the amount of module requests that can be fulfilled" in an online,
+non-deterministic context-switching environment [4, 5].  This driver
+simulates such a workload — modules arrive, run for a while, and leave —
+and measures the acceptance ratio of three space managers:
+
+* KAMER (Bazargan-style online placement over maximal empty rectangles),
+* incremental CP placement *without* design alternatives, and
+* incremental CP placement *with* design alternatives.
+
+The hypothesis (and the paper's thesis transplanted to the online
+setting): alternatives reduce fragmentation, so more requests fit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.incremental import IncrementalPlacer
+from repro.core.placer import PlacerConfig
+from repro.fabric.region import PartialRegion
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+
+
+@dataclass(frozen=True)
+class Request:
+    """One arrival in the online trace."""
+
+    module: Module
+    arrival: int
+    lifetime: int
+
+
+def generate_trace(
+    n_requests: int,
+    seed: int = 0,
+    mean_interarrival: int = 2,
+    mean_lifetime: int = 30,
+    generator_config: Optional[GeneratorConfig] = None,
+) -> List[Request]:
+    """A seeded arrival/departure trace of module requests."""
+    rng = random.Random(seed)
+    cfg = generator_config or GeneratorConfig(
+        clb_min=16, clb_max=56, bram_max=2, height_min=3, height_max=6
+    )
+    gen = ModuleGenerator(seed=seed, config=cfg)
+    t = 0
+    trace = []
+    for _ in range(n_requests):
+        t += rng.randint(1, 2 * mean_interarrival - 1)
+        trace.append(
+            Request(
+                module=gen.generate(),
+                arrival=t,
+                lifetime=rng.randint(2, 2 * mean_lifetime - 2),
+            )
+        )
+    return trace
+
+
+@dataclass
+class OnlineStats:
+    """Result of one online simulation."""
+
+    label: str
+    accepted: int = 0
+    rejected: int = 0
+    rejected_names: List[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.accepted + self.rejected
+
+    @property
+    def acceptance_ratio(self) -> float:
+        return self.accepted / self.total if self.total else 0.0
+
+
+def simulate_incremental(
+    region: PartialRegion,
+    trace: Sequence[Request],
+    with_alternatives: bool,
+    label: str,
+    sub_time_limit: float = 0.5,
+) -> OnlineStats:
+    """Drive the incremental CP placer over the trace."""
+    placer = IncrementalPlacer(
+        region,
+        PlacerConfig(time_limit=sub_time_limit, first_solution_only=True),
+    )
+    stats = OnlineStats(label)
+    active: List[Tuple[int, str]] = []  # (departure time, module name)
+    for req in trace:
+        # departures first
+        still = []
+        for departure, name in active:
+            if departure <= req.arrival:
+                placer.remove(name)
+            else:
+                still.append((departure, name))
+        active = still
+        module = req.module if with_alternatives else req.module.restricted(1)
+        if placer.add(module) is not None:
+            stats.accepted += 1
+            active.append((req.arrival + req.lifetime, module.name))
+        else:
+            stats.rejected += 1
+            stats.rejected_names.append(module.name)
+    return stats
+
+
+def simulate_kamer(
+    region: PartialRegion,
+    trace: Sequence[Request],
+    with_alternatives: bool = True,
+    label: str = "kamer",
+) -> OnlineStats:
+    """Drive a KAMER-style free-space manager over the trace.
+
+    Uses the batch MER computation on the live free mask per request —
+    equivalent to (and simpler than) maintaining the split structure, since
+    departures would force re-merging anyway.
+    """
+    from repro.fabric.masks import compatibility_masks, valid_anchor_mask
+
+    stats = OnlineStats(label)
+    occupied = np.zeros((region.height, region.width), dtype=bool)
+    active: List[Tuple[int, List[Tuple[int, int]]]] = []
+    for req in trace:
+        still = []
+        for departure, cells in active:
+            if departure <= req.arrival:
+                for x, y in cells:
+                    occupied[y, x] = False
+            else:
+                still.append((departure, cells))
+        active = still
+        free_region = PartialRegion(
+            region.grid, region.reconfigurable & ~occupied
+        )
+        compat = compatibility_masks(free_region)
+        module = req.module if with_alternatives else req.module.restricted(1)
+        placed_cells: Optional[List[Tuple[int, int]]] = None
+        for fp in module.shapes:
+            mask = valid_anchor_mask(free_region, sorted(fp.cells), compat)
+            ys, xs = np.nonzero(mask)
+            if xs.size == 0:
+                continue
+            k = np.lexsort((ys, xs))[0]
+            x0, y0 = int(xs[k]), int(ys[k])
+            placed_cells = [(x0 + dx, y0 + dy) for dx, dy, _ in fp.cells]
+            break
+        if placed_cells is None:
+            stats.rejected += 1
+            stats.rejected_names.append(module.name)
+        else:
+            for x, y in placed_cells:
+                occupied[y, x] = True
+            stats.accepted += 1
+            active.append((req.arrival + req.lifetime, placed_cells))
+    return stats
+
+
+def online_comparison(
+    n_requests: int = 40,
+    seed: int = 3,
+    region: Optional[PartialRegion] = None,
+) -> List[OnlineStats]:
+    """A1-style three-way comparison on one trace."""
+    from repro.fabric.devices import irregular_device
+
+    region = region or PartialRegion.whole_device(
+        irregular_device(40, 12, seed=9)
+    )
+    trace = generate_trace(n_requests, seed=seed)
+    return [
+        simulate_kamer(region, trace, with_alternatives=False,
+                       label="first-fit (1 shape)"),
+        simulate_kamer(region, trace, with_alternatives=True,
+                       label="first-fit (alternatives)"),
+        simulate_incremental(region, trace, False, "cp (1 shape)"),
+        simulate_incremental(region, trace, True, "cp (alternatives)"),
+    ]
+
+
+def format_online(stats: Sequence[OnlineStats]) -> str:
+    """Tabular rendering of online simulation results."""
+    header = f"{'space manager':<26} {'accepted':>9} {'rejected':>9} {'ratio':>7}"
+    lines = [header, "-" * len(header)]
+    for s in stats:
+        lines.append(
+            f"{s.label:<26} {s.accepted:>9} {s.rejected:>9} "
+            f"{s.acceptance_ratio:>6.1%}"
+        )
+    return "\n".join(lines)

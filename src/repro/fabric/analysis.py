@@ -1,0 +1,114 @@
+"""Fabric characterization.
+
+Quantifies how hostile a device is to module placement — the properties
+Section I blames for placement restrictions: amount and location of
+dedicated resources, irregularity of their columns, and interruption by
+clock tiles.  Used by the heterogeneity ablation (A2) to describe its
+sweep axis and by examples/docs to print device summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.fabric.grid import FabricGrid
+from repro.fabric.resource import ResourceType
+
+
+@dataclass
+class ColumnProfile:
+    """Per-column classification of a fabric."""
+
+    #: dominant resource type per column
+    kinds: List[ResourceType]
+    #: True where the column is pure (a single resource type throughout)
+    uniform: List[bool]
+
+    def columns_of(self, kind: ResourceType) -> List[int]:
+        return [x for x, k in enumerate(self.kinds) if k is kind]
+
+
+def column_profile(grid: FabricGrid) -> ColumnProfile:
+    """Classify each column by its dominant resource."""
+    kinds: List[ResourceType] = []
+    uniform: List[bool] = []
+    for x in range(grid.width):
+        col = grid.cells[:, x]
+        values, counts = np.unique(col, return_counts=True)
+        kinds.append(ResourceType(int(values[np.argmax(counts)])))
+        uniform.append(len(values) == 1)
+    return ColumnProfile(kinds, uniform)
+
+
+def clb_run_lengths(grid: FabricGrid) -> List[int]:
+    """Widths of maximal runs of pure-CLB columns.
+
+    These runs bound the module body widths a fabric can host; their
+    distribution is the fragmentation potential of the device.
+    """
+    profile = column_profile(grid)
+    runs: List[int] = []
+    current = 0
+    for kind, uni in zip(profile.kinds, profile.uniform):
+        if kind is ResourceType.CLB and uni:
+            current += 1
+        else:
+            if current:
+                runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs
+
+
+def heterogeneity_index(grid: FabricGrid) -> float:
+    """Fraction of cells that are not plain CLB (0 = homogeneous)."""
+    return 1.0 - grid.count(ResourceType.CLB) / grid.area
+
+
+def interruption_count(grid: FabricGrid) -> int:
+    """Columns whose resource type is interrupted (e.g. by clock tiles).
+
+    The paper singles these out: "some resource columns differ from their
+    resource type (e.g. they contain clock resources)".
+    """
+    profile = column_profile(grid)
+    return sum(
+        1
+        for kind, uni in zip(profile.kinds, profile.uniform)
+        if not uni and kind is not ResourceType.CLB
+    )
+
+
+def resource_summary(grid: FabricGrid) -> Dict[str, float]:
+    """One-line quantitative fingerprint of a device."""
+    runs = clb_run_lengths(grid)
+    return {
+        "width": grid.width,
+        "height": grid.height,
+        "heterogeneity": round(heterogeneity_index(grid), 4),
+        "interrupted_columns": interruption_count(grid),
+        "clb_runs": len(runs),
+        "mean_run_width": round(sum(runs) / len(runs), 2) if runs else 0.0,
+        "max_run_width": max(runs, default=0),
+        "min_run_width": min(runs, default=0),
+    }
+
+
+def format_summary(grid: FabricGrid, name: str = "device") -> str:
+    """Human-readable multi-line device summary."""
+    s = resource_summary(grid)
+    counts = ", ".join(
+        f"{k.name}:{n}" for k, n in sorted(grid.resource_counts().items())
+    )
+    return (
+        f"{name}: {s['width']}x{s['height']}  [{counts}]\n"
+        f"  heterogeneity index:   {s['heterogeneity']:.1%}\n"
+        f"  interrupted columns:   {s['interrupted_columns']}\n"
+        f"  CLB runs:              {s['clb_runs']} "
+        f"(width {s['min_run_width']}..{s['max_run_width']}, "
+        f"mean {s['mean_run_width']})"
+    )

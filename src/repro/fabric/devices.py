@@ -1,0 +1,173 @@
+"""Synthetic device generators.
+
+The paper evaluates on "a heterogeneous FPGA model ... modelled after a real
+world FPGA" (Section III-B, V).  We provide three families:
+
+``homogeneous_device``
+    All-CLB fabric — the baseline the 2-D packing literature assumes
+    (Section II); used for the DiffN/geost cross-checks and ablation A2.
+
+``columnar_device``
+    Previous-generation style: dedicated resources "located regularly
+    aligned in columns" (Section I) — BRAM/DSP columns at fixed strides,
+    IO at the left/right edges.
+
+``irregular_device``
+    Current-generation style: dedicated resources "spread more irregularly
+    over the device", with "some resource columns differ[ing] from their
+    resource type (e.g. they contain clock resources)" (Section I) — column
+    strides are jittered per-seed and resource columns are interrupted by
+    clock tiles around the horizontal center line.
+
+A small named catalog (:func:`device_catalog`) pins the instances used by
+tests, examples and benchmarks so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.fabric.grid import FabricGrid
+from repro.fabric.resource import ResourceType
+
+
+def homogeneous_device(width: int, height: int) -> FabricGrid:
+    """An all-CLB fabric (the homogeneous xy-plane of Section II)."""
+    return FabricGrid.filled(width, height, ResourceType.CLB)
+
+
+def columnar_device(
+    width: int,
+    height: int,
+    bram_stride: int = 8,
+    dsp_stride: int = 12,
+    io_edges: bool = True,
+) -> FabricGrid:
+    """Virtex-style fabric with regular resource columns.
+
+    Every ``bram_stride``-th column is BRAM and every ``dsp_stride``-th is
+    DSP (BRAM wins collisions, mirroring real parts where memory columns
+    displace multipliers).  With ``io_edges`` the outermost columns are IO.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("device dimensions must be positive")
+    grid = FabricGrid.filled(width, height, ResourceType.CLB)
+    cells = grid.cells
+    for x in range(width):
+        if io_edges and (x == 0 or x == width - 1):
+            cells[:, x] = int(ResourceType.IO)
+        elif bram_stride > 0 and x % bram_stride == bram_stride // 2:
+            cells[:, x] = int(ResourceType.BRAM)
+        elif dsp_stride > 0 and x % dsp_stride == dsp_stride // 2 + 1:
+            cells[:, x] = int(ResourceType.DSP)
+    return grid
+
+
+def irregular_device(
+    width: int,
+    height: int,
+    seed: int = 0,
+    bram_stride: int = 8,
+    dsp_stride: int = 0,
+    jitter: int = 2,
+    clk_rows: int = 1,
+    io_edges: bool = True,
+) -> FabricGrid:
+    """Modern-style fabric with irregular columns and clock interruptions.
+
+    Dedicated columns follow a *jittered* stride: the k-th BRAM column sits
+    near ``k * bram_stride`` but shifted by up to ``jitter`` tiles, so
+    spacing between consecutive columns varies (the paper's "spread more
+    irregularly over the device") while the logic runs between them stay
+    wide enough to host module bodies — as on real parts, where column
+    spacing varies but is never degenerate.  Each dedicated column is
+    additionally interrupted by ``clk_rows`` clock tiles around the
+    vertical midpoint ("some resource columns differ from their resource
+    type (e.g. they contain clock resources)").  ``dsp_stride == 0``
+    disables DSP columns.
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError("device dimensions must be positive")
+    if bram_stride < 0 or dsp_stride < 0 or jitter < 0:
+        raise ValueError("strides and jitter must be non-negative")
+    rng = random.Random(seed)
+    grid = FabricGrid.filled(width, height, ResourceType.CLB)
+    cells = grid.cells
+
+    lo_x, hi_x = (1, width - 2) if io_edges else (0, width - 1)
+    if io_edges:
+        cells[:, 0] = int(ResourceType.IO)
+        cells[:, width - 1] = int(ResourceType.IO)
+
+    def jittered_columns(stride: int, phase: int) -> List[int]:
+        if stride <= 0:
+            return []
+        cols = []
+        x = phase
+        while x <= hi_x:
+            c = x + rng.randint(-jitter, jitter)
+            if lo_x <= c <= hi_x:
+                cols.append(c)
+            x += stride
+        return sorted(set(cols))
+
+    bram_cols = jittered_columns(bram_stride, bram_stride // 2 + 1)
+    dsp_cols = [
+        c for c in jittered_columns(dsp_stride, dsp_stride // 2 + 2)
+        if c not in bram_cols
+    ]
+    for x in bram_cols:
+        cells[:, x] = int(ResourceType.BRAM)
+    for x in dsp_cols:
+        cells[:, x] = int(ResourceType.DSP)
+
+    # clock tiles interrupt dedicated columns around the center line
+    if clk_rows > 0:
+        mid = height // 2
+        lo = max(0, mid - clk_rows // 2)
+        hi = min(height, lo + clk_rows)
+        for x in bram_cols + dsp_cols:
+            cells[lo:hi, x] = int(ResourceType.CLK)
+    return grid
+
+
+def with_static_columns(grid: FabricGrid, first: int, last: int) -> FabricGrid:
+    """Mark columns ``[first, last]`` unavailable (a static region)."""
+    if not (0 <= first <= last < grid.width):
+        raise ValueError("static column range outside fabric")
+    out = grid.copy()
+    out.cells[:, first : last + 1] = int(ResourceType.UNAVAILABLE)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+def device_catalog() -> Dict[str, Callable[[], FabricGrid]]:
+    """Named, deterministic devices used across the test/bench suite."""
+    return {
+        # tiny fabrics for unit tests and doc examples
+        "homog-8x8": lambda: homogeneous_device(8, 8),
+        "homog-16x16": lambda: homogeneous_device(16, 16),
+        "columnar-24x16": lambda: columnar_device(24, 16),
+        "irregular-24x16": lambda: irregular_device(24, 16, seed=7),
+        # mid-size fabrics for examples / figures
+        "columnar-48x32": lambda: columnar_device(48, 32),
+        "irregular-48x32": lambda: irregular_device(48, 32, seed=11),
+        # the Table-I scale fabric: heterogeneous, clock-interrupted
+        "irregular-64x48": lambda: irregular_device(64, 48, seed=42),
+        "columnar-64x48": lambda: columnar_device(64, 48),
+    }
+
+
+def make_device(name: str) -> FabricGrid:
+    """Instantiate a catalog device by name."""
+    catalog = device_catalog()
+    try:
+        return catalog[name]()
+    except KeyError:
+        known = ", ".join(sorted(catalog))
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None

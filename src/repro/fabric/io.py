@@ -1,0 +1,65 @@
+"""JSON (de)serialization for fabrics and partial regions.
+
+The design flow (Figure 2) feeds the placer a *partial region
+specification*; this module defines that on-disk format.  A region file is
+a JSON object::
+
+    {
+      "name": "demo",
+      "fabric": ["..#..", "..#..", ...],     # ASCII rows, top row first
+      "reconfigurable": ["11011", ...]       # optional 0/1 rows, top first
+    }
+
+The ASCII alphabet is :data:`repro.fabric.resource.RESOURCE_CHARS`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.fabric.grid import FabricGrid
+from repro.fabric.region import PartialRegion
+
+
+def region_to_dict(region: PartialRegion) -> dict:
+    """Serialize a region to the JSON structure documented above."""
+    mask_rows = [
+        "".join("1" if v else "0" for v in row)
+        for row in region.reconfigurable[::-1]
+    ]
+    return {
+        "name": region.name,
+        "fabric": region.grid.render().splitlines(),
+        "reconfigurable": mask_rows,
+    }
+
+
+def region_from_dict(data: dict) -> PartialRegion:
+    """Inverse of :func:`region_to_dict` (validates mask shape/alphabet)."""
+    grid = FabricGrid.from_rows(data["fabric"])
+    mask = None
+    if "reconfigurable" in data and data["reconfigurable"] is not None:
+        rows = data["reconfigurable"]
+        if len(rows) != grid.height or any(len(r) != grid.width for r in rows):
+            raise ValueError("reconfigurable mask shape mismatch")
+        bad = {ch for row in rows for ch in row} - {"0", "1"}
+        if bad:
+            raise ValueError(f"reconfigurable mask must be 0/1, got {bad}")
+        mask = np.array(
+            [[ch == "1" for ch in row] for row in reversed(rows)], dtype=bool
+        )
+    return PartialRegion(grid, mask, data.get("name", "pr"))
+
+
+def save_region(region: PartialRegion, path: Union[str, Path]) -> None:
+    """Write a region spec file."""
+    Path(path).write_text(json.dumps(region_to_dict(region), indent=2))
+
+
+def load_region(path: Union[str, Path]) -> PartialRegion:
+    """Read a region spec file."""
+    return region_from_dict(json.loads(Path(path).read_text()))

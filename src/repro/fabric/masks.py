@@ -1,0 +1,114 @@
+"""Vectorized valid-anchor computation.
+
+This realizes constraints M_a and M_b of the paper (Eqs. 2-3) as array
+algebra: an anchor position ``(x, y)`` is valid for a footprint iff every
+footprint cell ``(dx, dy, k)`` lands on an available tile of resource type
+``k``.  The computation ANDs shifted per-resource compatibility masks — a
+boolean cross-correlation evaluated with NumPy views (no copies of the
+fabric are made; each cell contributes one slice-AND).
+
+Footprint cells must be normalized so ``min dx == min dy == 0``; anchors
+are then the footprint's lower-left bounding-box corner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.fabric.grid import FabricGrid
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+
+#: (dx, dy, kind) relative cell of a footprint
+Cell = Tuple[int, int, ResourceType]
+
+
+def compatibility_masks(region: PartialRegion) -> Dict[ResourceType, np.ndarray]:
+    """Per-resource boolean maps of cells a module tile of that type may use."""
+    allowed = region.allowed_mask()
+    out: Dict[ResourceType, np.ndarray] = {}
+    for kind in ResourceType:
+        if kind is ResourceType.UNAVAILABLE:
+            continue
+        out[kind] = region.grid.resource_mask(kind) & allowed
+    return out
+
+
+def valid_anchor_mask(
+    region: Union[PartialRegion, FabricGrid],
+    cells: Sequence[Cell],
+    compat: Dict[ResourceType, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Boolean (H, W) array: True where the footprint may be anchored.
+
+    Parameters
+    ----------
+    region:
+        The partial region (or a bare grid, treated as fully reconfigurable).
+    cells:
+        Normalized footprint cells ``(dx, dy, kind)`` with ``dx, dy >= 0``
+        and ``min dx == min dy == 0``.
+    compat:
+        Optional precomputed :func:`compatibility_masks` (reused across the
+        many footprints of a module library).
+    """
+    if isinstance(region, FabricGrid):
+        region = PartialRegion.whole_device(region)
+    if not cells:
+        raise ValueError("footprint has no cells")
+    if min(c[0] for c in cells) != 0 or min(c[1] for c in cells) != 0:
+        raise ValueError("footprint cells must be normalized to origin 0,0")
+    if compat is None:
+        compat = compatibility_masks(region)
+
+    H, W = region.height, region.width
+    valid = np.ones((H, W), dtype=bool)
+    for dx, dy, kind in cells:
+        if kind is ResourceType.UNAVAILABLE:
+            raise ValueError("footprint cells cannot require UNAVAILABLE")
+        source = compat[kind]
+        shifted = np.zeros((H, W), dtype=bool)
+        if dy < H and dx < W:
+            shifted[: H - dy, : W - dx] = source[dy:, dx:]
+        valid &= shifted
+        if not valid.any():
+            break
+    return valid
+
+
+def anchors_list(valid: np.ndarray) -> list[Tuple[int, int]]:
+    """The (x, y) anchor coordinates of a validity mask, bottom-left order.
+
+    Sorted by x then y — the value ordering used by the min-extent
+    objective's branching (place as far left as possible first).
+    """
+    ys, xs = np.nonzero(valid)
+    order = np.lexsort((ys, xs))
+    return [(int(xs[i]), int(ys[i])) for i in order]
+
+
+def brute_force_anchor_mask(
+    region: PartialRegion, cells: Sequence[Cell]
+) -> np.ndarray:
+    """Reference implementation: per-anchor loop.
+
+    Exists solely so property-based tests can cross-check the vectorized
+    fast path; do not use in production code paths.
+    """
+    H, W = region.height, region.width
+    allowed = region.allowed_mask()
+    grid = region.grid.cells
+    valid = np.zeros((H, W), dtype=bool)
+    for y in range(H):
+        for x in range(W):
+            ok = True
+            for dx, dy, kind in cells:
+                xx, yy = x + dx, y + dy
+                if xx >= W or yy >= H or not allowed[yy, xx] or \
+                        grid[yy, xx] != int(kind):
+                    ok = False
+                    break
+            valid[y, x] = ok
+    return valid

@@ -1,0 +1,89 @@
+"""Resource types of a heterogeneous FPGA.
+
+The paper's tiles carry an *internal resource type* ``k`` representing a
+physical FPGA resource: configurable logic (CLB), embedded memory (BRAM),
+multipliers / DSP blocks, IO, and clock resources; in addition the static
+region is modelled "as a tile or several tiles with a resource type defined
+as not available" (Section III-B).  We also reserve a type for on-FPGA
+communication macros (bus attachment points), which the paper mentions as a
+use of internal resource types.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict
+
+
+class ResourceType(IntEnum):
+    """Physical resource classes of fabric tiles.
+
+    Values are small ints so a fabric is a dense ``int8`` NumPy grid.
+    """
+
+    #: Configurable logic block — the common reconfigurable resource.
+    CLB = 0
+    #: Embedded block RAM (dedicated memory; larger physical tile).
+    BRAM = 1
+    #: Dedicated multiplier / DSP block.
+    DSP = 2
+    #: Input/output resources.
+    IO = 3
+    #: Clock management resources (interrupt resource columns on modern parts).
+    CLK = 4
+    #: Bus-macro / communication-infrastructure attachment point.
+    BUSMACRO = 5
+    #: Not available to modules (static region, holes, hard macros).
+    UNAVAILABLE = 6
+
+    @property
+    def is_placeable(self) -> bool:
+        """Can a module tile be mapped onto this resource at all?"""
+        return self is not ResourceType.UNAVAILABLE
+
+    @property
+    def is_dedicated(self) -> bool:
+        """Dedicated (non-CLB) resources restrict placement (Section I)."""
+        return self in (ResourceType.BRAM, ResourceType.DSP)
+
+
+#: One display character per resource type, used by the ASCII renderers.
+RESOURCE_CHARS: Dict[ResourceType, str] = {
+    ResourceType.CLB: ".",
+    ResourceType.BRAM: "B",
+    ResourceType.DSP: "D",
+    ResourceType.IO: "I",
+    ResourceType.CLK: "K",
+    ResourceType.BUSMACRO: "M",
+    ResourceType.UNAVAILABLE: "#",
+}
+
+#: Relative physical area of one tile of each type, used by area metrics.
+#: The paper notes embedded memory consumes more area than multipliers and
+#: logic (Section III-B); these weights only affect area-weighted reports.
+RESOURCE_AREA_WEIGHT: Dict[ResourceType, float] = {
+    ResourceType.CLB: 1.0,
+    ResourceType.BRAM: 4.0,
+    ResourceType.DSP: 2.0,
+    ResourceType.IO: 1.0,
+    ResourceType.CLK: 1.0,
+    ResourceType.BUSMACRO: 1.0,
+    ResourceType.UNAVAILABLE: 1.0,
+}
+
+
+def parse_resource(token: "str | int | ResourceType") -> ResourceType:
+    """Parse a resource type from an int code, name, or display char."""
+    if isinstance(token, ResourceType):
+        return token
+    if isinstance(token, int):
+        return ResourceType(token)
+    text = token.strip()
+    if len(text) == 1:
+        for kind, ch in RESOURCE_CHARS.items():
+            if ch == text:
+                return kind
+    try:
+        return ResourceType[text.upper()]
+    except KeyError:
+        raise ValueError(f"unknown resource type: {token!r}") from None

@@ -1,0 +1,108 @@
+"""Formal tile / tileset objects matching the paper's notation.
+
+Section III defines: a tile ``t_{x,y,k}`` with origin coordinates ``(x, y)``
+and resource type ``k``; a tileset ``T_k`` as a non-empty set of tiles of
+identical type; a shape ``S`` as a non-empty set of tilesets; a module ``M``
+as a non-empty set of shapes; and a partial region ``P`` as a non-empty set
+of tilesets with *absolute* coordinates.
+
+These classes are the readable, formal layer.  The solver-facing fast path
+converts them into NumPy grids/footprints (:mod:`repro.fabric.grid`,
+:mod:`repro.modules.footprint`); round-trip conversions are tested for
+equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+from repro.fabric.resource import ResourceType
+
+
+@dataclass(frozen=True, order=True)
+class Tile:
+    """A unit tile ``t_{x,y,k}``: 1x1 cell of resource type ``k``."""
+
+    x: int
+    y: int
+    kind: ResourceType
+
+    def translated(self, dx: int, dy: int) -> "Tile":
+        return Tile(self.x + dx, self.y + dy, self.kind)
+
+    def __str__(self) -> str:
+        return f"t({self.x},{self.y},{self.kind.name})"
+
+
+class TileSet:
+    """A non-empty set of tiles sharing one resource type (``T_k``)."""
+
+    __slots__ = ("kind", "_tiles")
+
+    def __init__(self, tiles: Iterable[Tile]) -> None:
+        tiles = frozenset(tiles)
+        if not tiles:
+            raise ValueError("a tileset must be non-empty (paper: n > 0)")
+        kinds = {t.kind for t in tiles}
+        if len(kinds) > 1:
+            raise ValueError(
+                f"tiles in a tileset must share one resource type, got {kinds}"
+            )
+        self._tiles: FrozenSet[Tile] = tiles
+        self.kind: ResourceType = next(iter(kinds))
+
+    @staticmethod
+    def from_coords(
+        coords: Iterable[Tuple[int, int]], kind: ResourceType
+    ) -> "TileSet":
+        return TileSet(Tile(x, y, kind) for x, y in coords)
+
+    @staticmethod
+    def block(x: int, y: int, w: int, h: int, kind: ResourceType) -> "TileSet":
+        """A ``w`` x ``h`` rectangle of tiles with origin ``(x, y)``.
+
+        E.g. the paper's multiplier example is ``block(0, 0, 2, 2, DSP)``:
+        four tiles ``{t_00, t_01, t_10, t_11}``.
+        """
+        if w <= 0 or h <= 0:
+            raise ValueError("block dimensions must be positive")
+        return TileSet(
+            Tile(x + i, y + j, kind) for i in range(w) for j in range(h)
+        )
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tile]:
+        return iter(self._tiles)
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    def __contains__(self, t: Tile) -> bool:
+        return t in self._tiles
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TileSet):
+            return NotImplemented
+        return self._tiles == other._tiles
+
+    def __hash__(self) -> int:
+        return hash(self._tiles)
+
+    def coords(self) -> FrozenSet[Tuple[int, int]]:
+        return frozenset((t.x, t.y) for t in self._tiles)
+
+    def translated(self, dx: int, dy: int) -> "TileSet":
+        return TileSet(t.translated(dx, dy) for t in self._tiles)
+
+    def bounding_box(self) -> Tuple[int, int, int, int]:
+        """(min_x, min_y, width, height)."""
+        xs = [t.x for t in self._tiles]
+        ys = [t.y for t in self._tiles]
+        return min(xs), min(ys), max(xs) - min(xs) + 1, max(ys) - min(ys) + 1
+
+    def overlaps(self, other: "TileSet") -> bool:
+        return bool(self.coords() & other.coords())
+
+    def __repr__(self) -> str:
+        return f"TileSet({self.kind.name}, n={len(self._tiles)})"

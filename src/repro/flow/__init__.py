@@ -1,0 +1,52 @@
+"""ReCoBus-Builder-style design flow (Figure 2).
+
+The paper's placer is "planned to be a part of the ReCoBus-Builder
+framework": partial region specification + module specifications go into
+the constraint solver, which produces the optimal placement; the framework
+then synthesizes the communication architecture and assembles bitstreams.
+This package provides that surrounding flow against our simulated fabric:
+
+* :mod:`repro.flow.design_flow` — the end-to-end orchestration,
+* :mod:`repro.flow.busmacro` — on-FPGA communication (bus macro) modelling,
+* :mod:`repro.flow.bitstream` — deterministic mock bitstream assembly with
+  partial-reconfiguration diffs,
+* :mod:`repro.flow.visualize` — figure-style ASCII renderings.
+"""
+
+from repro.flow.design_flow import DesignFlow, FlowResult
+from repro.flow.busmacro import add_bus_row, attach_bus_macro, bus_aligned_modules
+from repro.flow.bitstream import Bitstream, assemble_bitstream, partial_diff
+from repro.flow.visualize import alternatives_gallery, comparison_figure
+from repro.flow.constraints_export import (
+    export_constraints,
+    parse_constraints,
+    reconstruct_placements,
+    save_constraints,
+)
+from repro.flow.scheduler import (
+    Phase,
+    ReconfigurationScheduler,
+    ScheduleResult,
+    compare_policies,
+)
+
+__all__ = [
+    "DesignFlow",
+    "FlowResult",
+    "add_bus_row",
+    "attach_bus_macro",
+    "bus_aligned_modules",
+    "Bitstream",
+    "assemble_bitstream",
+    "partial_diff",
+    "alternatives_gallery",
+    "comparison_figure",
+    "export_constraints",
+    "save_constraints",
+    "parse_constraints",
+    "reconstruct_placements",
+    "Phase",
+    "ReconfigurationScheduler",
+    "ScheduleResult",
+    "compare_policies",
+]

@@ -1,0 +1,85 @@
+"""On-FPGA communication infrastructure: bus macros.
+
+ReCoBus-style systems run a horizontal communication bus through the
+reconfigurable region; modules attach to it through *bus macros* at fixed
+attachment points.  The paper notes that "internal resource types can
+further be used to represent communication macros for bus attachment"
+(Section III-A) — which is exactly how we model it: attachment points are
+fabric tiles of type :attr:`ResourceType.BUSMACRO`, and a bus-attached
+module carries a BUSMACRO tile in its footprint.  Constraint M_b then
+forces every placement to put the module's attachment cell on an
+attachment point, with no extra machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fabric.grid import FabricGrid
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+
+
+def add_bus_row(
+    grid: FabricGrid, y: int, stride: int = 4, phase: int = 1
+) -> FabricGrid:
+    """Place bus-macro attachment tiles along row ``y`` every ``stride``.
+
+    Only CLB tiles are converted (dedicated columns cannot host macros);
+    returns a new grid.
+    """
+    if not 0 <= y < grid.height:
+        raise ValueError(f"bus row {y} outside fabric height {grid.height}")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    out = grid.copy()
+    for x in range(phase, grid.width, stride):
+        if out.cells[y, x] == int(ResourceType.CLB):
+            out.cells[y, x] = int(ResourceType.BUSMACRO)
+    return out
+
+
+def attach_bus_macro(
+    fp: Footprint, column: Optional[int] = None, row: int = 0
+) -> Footprint:
+    """Replace one CLB cell of the footprint with a BUSMACRO cell.
+
+    By default the leftmost CLB cell of the given row becomes the
+    attachment point.  Raises if the footprint has no CLB cell there.
+    """
+    cells = list(fp.cells)
+    candidates = [
+        (x, y, k)
+        for x, y, k in cells
+        if k is ResourceType.CLB and y == row and (column is None or x == column)
+    ]
+    if not candidates:
+        raise ValueError(
+            f"no CLB cell at row {row}"
+            + (f", column {column}" if column is not None else "")
+        )
+    target = min(candidates)
+    cells.remove(target)
+    cells.append((target[0], target[1], ResourceType.BUSMACRO))
+    return Footprint(cells)
+
+
+def bus_aligned_modules(modules: List[Module], row: int = 0) -> List[Module]:
+    """Attach a bus macro to every shape of every module.
+
+    Shapes without a CLB cell in the attachment row are dropped (they
+    cannot connect to the bus); modules losing all shapes raise.
+    """
+    out: List[Module] = []
+    for m in modules:
+        shapes: List[Footprint] = []
+        for fp in m.shapes:
+            try:
+                shapes.append(attach_bus_macro(fp, row=row))
+            except ValueError:
+                continue
+        if not shapes:
+            raise ValueError(f"module {m.name!r} has no bus-attachable shape")
+        out.append(Module(m.name, shapes, m.info))
+    return out

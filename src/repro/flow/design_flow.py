@@ -1,0 +1,91 @@
+"""End-to-end design flow (Figure 2).
+
+    partial region specification ──┐
+                                   ├──> constraint solver ──> optimal placement
+    module specification ──────────┘
+
+:class:`DesignFlow` loads a partial-region spec and module specs (JSON, see
+:mod:`repro.fabric.io` and :mod:`repro.modules.spec`), generates the
+placement constraints, invokes the CP placer (optionally with LNS
+improvement), and assembles the floorplan artefacts: report, rendering and
+mock bitstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.core.lns import LNSConfig, LNSPlacer
+from repro.core.placer import CPPlacer, PlacerConfig
+from repro.core.report import placement_report, render_placement
+from repro.core.result import PlacementResult
+from repro.fabric.io import load_region
+from repro.fabric.region import PartialRegion
+from repro.flow.bitstream import Bitstream, assemble_bitstream
+from repro.modules.library import ModuleLibrary
+from repro.modules.module import Module
+from repro.modules.spec import load_modules
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produces for one design."""
+
+    placement: PlacementResult
+    report: str
+    rendering: str
+    bitstream: Bitstream
+
+    @property
+    def ok(self) -> bool:
+        return self.placement.all_placed and bool(self.placement.placements)
+
+
+class DesignFlow:
+    """Orchestrates region spec + module specs -> placed floorplan."""
+
+    def __init__(
+        self,
+        region: Union[PartialRegion, str, Path],
+        modules: Union[ModuleLibrary, Sequence[Module], str, Path],
+        use_lns: bool = True,
+        time_limit: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        self.region = (
+            region if isinstance(region, PartialRegion) else load_region(region)
+        )
+        if isinstance(modules, (str, Path)):
+            library = load_modules(modules)
+        elif isinstance(modules, ModuleLibrary):
+            library = modules
+        else:
+            library = ModuleLibrary(modules)
+        self.library = library
+        self.use_lns = use_lns
+        self.time_limit = time_limit
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def run(self) -> FlowResult:
+        """Execute the flow; placements are verified before returning."""
+        modules = list(self.library)
+        if self.use_lns:
+            placer = LNSPlacer(
+                LNSConfig(time_limit=self.time_limit, seed=self.seed)
+            )
+            result = placer.place(self.region, modules)
+        else:
+            result = CPPlacer(PlacerConfig(time_limit=self.time_limit)).place(
+                self.region, modules
+            )
+        if result.placements:
+            result.verify()
+        return FlowResult(
+            placement=result,
+            report=placement_report(result),
+            rendering=render_placement(result),
+            bitstream=assemble_bitstream(result),
+        )

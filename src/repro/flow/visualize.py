@@ -1,0 +1,51 @@
+"""Figure-style ASCII visualizations.
+
+Recreates the pictures of the paper as text: the design-alternative
+gallery (Figure 1), and side-by-side with/without-alternatives placements
+(Figures 3 and 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.report import render_placement, side_by_side
+from repro.core.result import PlacementResult
+from repro.modules.module import Module
+
+
+def alternatives_gallery(module: Module, gap: int = 3) -> str:
+    """All design alternatives of a module, side by side (Figure 1)."""
+    blocks = [fp.render().splitlines() for fp in module.shapes]
+    height = max(len(b) for b in blocks)
+    widths = [max((len(r) for r in b), default=0) for b in blocks]
+    # pad each block to its width and common height (top-aligned like Fig 1)
+    padded: List[List[str]] = []
+    for b, w in zip(blocks, widths):
+        rows = [r.ljust(w) for r in b]
+        rows = [" " * w] * (height - len(rows)) + rows
+        padded.append(rows)
+    lines = []
+    header = (" " * gap).join(
+        f"alt {i} ({fp.width}x{fp.height})".ljust(w)
+        for i, (fp, w) in enumerate(zip(module.shapes, widths))
+    )
+    lines.append(f"module {module.name}: {module.n_alternatives} design alternatives")
+    lines.append(header)
+    for y in range(height):
+        lines.append((" " * gap).join(padded[i][y] for i in range(len(padded))))
+    return "\n".join(lines)
+
+
+def comparison_figure(
+    without: PlacementResult, with_alts: PlacementResult
+) -> str:
+    """The Figure 5 layout: left = no alternatives, right = alternatives."""
+    return side_by_side(
+        render_placement(without),
+        render_placement(with_alts),
+        labels=(
+            f"without alternatives (extent={without.extent})",
+            f"with alternatives (extent={with_alts.extent})",
+        ),
+    )

@@ -1,0 +1,108 @@
+"""k-dimensional boxes.
+
+geost's primitives: a :class:`Box` is an axis-aligned half-open region
+``[origin, origin + size)``; a :class:`ShiftedBox` is a box expressed
+relative to an object's anchor, optionally carrying a *resource type* —
+the extension the paper adds so boxes can be matched against heterogeneous
+fabric resources ("the geost definition of a box is extended with a
+resource property", Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from repro.fabric.resource import ResourceType
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned half-open box ``[origin, origin + size)``."""
+
+    origin: Tuple[int, ...]
+    size: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.origin) != len(self.size):
+            raise ValueError("origin and size must have equal dimension")
+        if not self.origin:
+            raise ValueError("boxes must have at least one dimension")
+        if any(s <= 0 for s in self.size):
+            raise ValueError(f"box sides must be positive, got {self.size}")
+
+    @property
+    def dim(self) -> int:
+        return len(self.origin)
+
+    @property
+    def end(self) -> Tuple[int, ...]:
+        return tuple(o + s for o, s in zip(self.origin, self.size))
+
+    def volume(self) -> int:
+        v = 1
+        for s in self.size:
+            v *= s
+        return v
+
+    def contains_point(self, p: Tuple[int, ...]) -> bool:
+        return all(o <= x < o + s for x, o, s in zip(p, self.origin, self.size))
+
+    def intersects(self, other: "Box") -> bool:
+        return all(
+            a < b + t and b < a + s
+            for a, s, b, t in zip(self.origin, self.size, other.origin, other.size)
+        )
+
+    def intersection(self, other: "Box") -> Optional["Box"]:
+        lo = tuple(max(a, b) for a, b in zip(self.origin, other.origin))
+        hi = tuple(min(a, b) for a, b in zip(self.end, other.end))
+        if any(h <= l for l, h in zip(lo, hi)):
+            return None
+        return Box(lo, tuple(h - l for l, h in zip(lo, hi)))
+
+    def translated(self, delta: Tuple[int, ...]) -> "Box":
+        return Box(tuple(o + d for o, d in zip(self.origin, delta)), self.size)
+
+    def points(self) -> Iterator[Tuple[int, ...]]:
+        """Iterate lattice points (tests / tiny boxes only)."""
+        def rec(prefix: Tuple[int, ...], d: int) -> Iterator[Tuple[int, ...]]:
+            if d == self.dim:
+                yield prefix
+                return
+            for v in range(self.origin[d], self.origin[d] + self.size[d]):
+                yield from rec(prefix + (v,), d + 1)
+
+        return rec((), 0)
+
+
+@dataclass(frozen=True)
+class ShiftedBox:
+    """A box relative to an object anchor, with an optional resource type."""
+
+    offset: Tuple[int, ...]
+    size: Tuple[int, ...]
+    #: the paper's extension: which fabric resource these cells must map to
+    resource: Optional[ResourceType] = None
+
+    def __post_init__(self) -> None:
+        if len(self.offset) != len(self.size):
+            raise ValueError("offset and size must have equal dimension")
+        if any(s <= 0 for s in self.size):
+            raise ValueError(f"shifted-box sides must be positive, got {self.size}")
+
+    @property
+    def dim(self) -> int:
+        return len(self.offset)
+
+    def at(self, anchor: Tuple[int, ...]) -> Box:
+        """The absolute box when the object anchor is placed at ``anchor``."""
+        return Box(
+            tuple(a + o for a, o in zip(anchor, self.offset)), self.size
+        )
+
+    def volume(self) -> int:
+        v = 1
+        for s in self.size:
+            v *= s
+        return v

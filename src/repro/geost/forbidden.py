@@ -1,0 +1,95 @@
+"""Forbidden-region algebra.
+
+geost prunes an object's anchor domain against *forbidden anchor boxes*:
+regions of anchor space where placing the object (with a given shape) would
+intersect an obstacle.  Obstacles are
+
+* the compulsory parts of other objects (the cells they occupy under every
+  remaining placement), and
+* external forbidden regions — the paper's second extension: "the geost
+  kernel implements a constraint defining regions where modules are not
+  placed.  This ... is extended with a resource property" (Section IV).
+  A resource-typed forbidden region only blocks shifted boxes of matching
+  resource type, which is how heterogeneous fabric is encoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.fabric.resource import ResourceType
+from repro.geost.boxes import Box, ShiftedBox
+from repro.geost.objects import GeostObject
+
+
+@dataclass(frozen=True)
+class ForbiddenRegion:
+    """An absolute box that blocks boxes of a given resource (None = all)."""
+
+    box: Box
+    #: None blocks every shifted box; otherwise only boxes of this resource
+    resource: Optional[ResourceType] = None
+
+    def blocks(self, sbox: ShiftedBox) -> bool:
+        return self.resource is None or self.resource is sbox.resource
+
+
+def anchor_forbidden_box(sbox: ShiftedBox, obstacle: Box) -> Box:
+    """Anchors at which ``sbox`` would intersect ``obstacle``.
+
+    For each dimension with obstacle origin ``b``, obstacle size ``t``,
+    box offset ``f`` and box size ``z``, intersection happens iff the anchor
+    ``p`` satisfies ``b - f - z < p < b + t - f``, i.e. ``p`` lies in the
+    half-open box ``[b - f - z + 1, b + t - f)`` of size ``t + z - 1``.
+    """
+    origin = tuple(
+        b - f - z + 1
+        for b, f, z in zip(obstacle.origin, sbox.offset, sbox.size)
+    )
+    size = tuple(t + z - 1 for t, z in zip(obstacle.size, sbox.size))
+    return Box(origin, size)
+
+
+def compulsory_boxes(obj: GeostObject) -> List[Box]:
+    """The cells ``obj`` occupies under *every* remaining placement.
+
+    Only meaningful when the shape variable is fixed (otherwise the
+    intersection across shapes is taken conservatively as empty).  For a
+    fixed shape, each shifted box contributes the interval
+    ``[anchor_max + offset, anchor_min + offset + size)`` per dimension,
+    when non-empty.
+    """
+    if not obj.shape_var.is_fixed():
+        return []
+    shape = obj.shape(obj.shape_var.value())
+    lo = obj.anchor_min()
+    hi = obj.anchor_max()
+    out: List[Box] = []
+    for sbox in shape.boxes:
+        origin = tuple(h + f for h, f in zip(hi, sbox.offset))
+        end = tuple(l + f + z for l, f, z in zip(lo, sbox.offset, sbox.size))
+        size = tuple(e - o for o, e in zip(origin, end))
+        if all(s > 0 for s in size):
+            out.append(Box(origin, size))
+    return out
+
+
+def forbidden_anchor_boxes(
+    shape_boxes: Sequence[ShiftedBox],
+    obstacles: Sequence[Box],
+    regions: Sequence[ForbiddenRegion] = (),
+) -> List[Box]:
+    """All forbidden anchor boxes for one candidate shape.
+
+    ``obstacles`` block every shifted box (other objects' material);
+    ``regions`` block only resource-matching boxes (fabric heterogeneity).
+    """
+    out: List[Box] = []
+    for sbox in shape_boxes:
+        for ob in obstacles:
+            out.append(anchor_forbidden_box(sbox, ob))
+        for region in regions:
+            if region.blocks(sbox):
+                out.append(anchor_forbidden_box(sbox, region.box))
+    return out

@@ -1,0 +1,68 @@
+"""geost objects: anchor variables plus a shape variable.
+
+"In the geost constraint kernel, a module is defined as a finite set of
+shapes" (Section IV): a :class:`GeostObject` holds one CP variable per
+dimension for its anchor and one CP variable ranging over shape ids of a
+shared :class:`~repro.geost.shapes.ShapeTable`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cp.variable import IntVar
+from repro.geost.shapes import GeostShape, ShapeTable
+
+
+class GeostObject:
+    """One placeable object of a geost constraint."""
+
+    __slots__ = ("oid", "origin", "shape_var", "table")
+
+    def __init__(
+        self,
+        oid: int,
+        origin: Sequence[IntVar],
+        shape_var: IntVar,
+        table: ShapeTable,
+    ) -> None:
+        if not origin:
+            raise ValueError("an object needs at least one origin variable")
+        for sid in shape_var.domain:
+            if not 0 <= sid < len(table):
+                raise ValueError(f"shape id {sid} not in the shape table")
+        dims = {table[sid].dim for sid in shape_var.domain}
+        if dims != {len(origin)}:
+            raise ValueError(
+                f"shape dims {dims} do not match {len(origin)} origin vars"
+            )
+        self.oid = oid
+        self.origin = list(origin)
+        self.shape_var = shape_var
+        self.table = table
+
+    @property
+    def dim(self) -> int:
+        return len(self.origin)
+
+    def is_fixed(self) -> bool:
+        return self.shape_var.is_fixed() and all(v.is_fixed() for v in self.origin)
+
+    def anchor_min(self) -> Tuple[int, ...]:
+        return tuple(v.min() for v in self.origin)
+
+    def anchor_max(self) -> Tuple[int, ...]:
+        return tuple(v.max() for v in self.origin)
+
+    def candidate_shapes(self) -> List[int]:
+        return list(self.shape_var.domain)
+
+    def shape(self, sid: int) -> GeostShape:
+        return self.table[sid]
+
+    def fixed_placement(self) -> Tuple[Tuple[int, ...], int]:
+        """(anchor, shape id) — only valid when :meth:`is_fixed`."""
+        return tuple(v.value() for v in self.origin), self.shape_var.value()
+
+    def __repr__(self) -> str:
+        return f"GeostObject(oid={self.oid}, dim={self.dim})"

@@ -1,0 +1,103 @@
+"""geost shapes and the shared shape table.
+
+A :class:`GeostShape` is a non-empty set of shifted boxes ("a shape is
+defined as a set of boxes", Section IV).  Shapes live in a
+:class:`ShapeTable` indexed by shape id, and each object's *shape variable*
+ranges over ids of that table — this is geost's polymorphism, which is
+exactly how the paper encodes design alternatives.
+
+Conversion helpers decompose a :class:`~repro.modules.footprint.Footprint`
+into maximal vertical runs of same-resource cells, giving compact shifted
+boxes that carry the resource property.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.fabric.resource import ResourceType
+from repro.geost.boxes import Box, ShiftedBox
+from repro.modules.footprint import Footprint
+
+
+class GeostShape:
+    """A non-empty collection of shifted boxes."""
+
+    __slots__ = ("boxes",)
+
+    def __init__(self, boxes: Iterable[ShiftedBox]) -> None:
+        boxes = tuple(boxes)
+        if not boxes:
+            raise ValueError("a geost shape needs at least one box")
+        dims = {b.dim for b in boxes}
+        if len(dims) != 1:
+            raise ValueError("mixed dimensions in one shape")
+        self.boxes = boxes
+
+    @property
+    def dim(self) -> int:
+        return self.boxes[0].dim
+
+    def bounding_box(self) -> Box:
+        k = self.dim
+        lo = [min(b.offset[d] for b in self.boxes) for d in range(k)]
+        hi = [max(b.offset[d] + b.size[d] for b in self.boxes) for d in range(k)]
+        return Box(tuple(lo), tuple(h - l for l, h in zip(lo, hi)))
+
+    def volume(self) -> int:
+        return sum(b.volume() for b in self.boxes)
+
+    def absolute_boxes(self, anchor: Tuple[int, ...]) -> List[Box]:
+        return [b.at(anchor) for b in self.boxes]
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def __repr__(self) -> str:
+        return f"GeostShape(boxes={len(self.boxes)}, dim={self.dim})"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_footprint(fp: Footprint) -> "GeostShape":
+        """Decompose a footprint into vertical same-resource runs."""
+        boxes: List[ShiftedBox] = []
+        by_col: Dict[Tuple[int, ResourceType], List[int]] = {}
+        for x, y, k in fp.cells:
+            by_col.setdefault((x, k), []).append(y)
+        for (x, kind), ys in sorted(by_col.items()):
+            ys.sort()
+            run_start = ys[0]
+            prev = ys[0]
+            for y in ys[1:] + [None]:  # sentinel flushes the last run
+                if y is not None and y == prev + 1:
+                    prev = y
+                    continue
+                boxes.append(
+                    ShiftedBox((x, run_start), (1, prev - run_start + 1), kind)
+                )
+                if y is not None:
+                    run_start = prev = y
+        return GeostShape(boxes)
+
+
+class ShapeTable:
+    """Shared registry: shape id -> :class:`GeostShape`."""
+
+    def __init__(self) -> None:
+        self._shapes: List[GeostShape] = []
+
+    def add(self, shape: GeostShape) -> int:
+        self._shapes.append(shape)
+        return len(self._shapes) - 1
+
+    def add_footprint(self, fp: Footprint) -> int:
+        return self.add(GeostShape.from_footprint(fp))
+
+    def __getitem__(self, sid: int) -> GeostShape:
+        return self._shapes[sid]
+
+    def __len__(self) -> int:
+        return len(self._shapes)
+
+    def ids(self) -> range:
+        return range(len(self._shapes))

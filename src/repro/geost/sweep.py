@@ -1,0 +1,118 @@
+"""The geost sweep-point algorithm.
+
+Bounds filtering for one object: find the lexicographically smallest (or
+largest) anchor point, with a chosen dimension most significant, that is
+feasible for *at least one* candidate shape — i.e. not covered by that
+shape's forbidden anchor boxes.  When the point under inspection is
+infeasible for every shape, each shape yields a forbidden box containing
+it; the intersection of those boxes is a region that is infeasible for
+*all* shapes, so the sweep jumps past it (odometer-style) instead of
+stepping by one.  This is the essence of Beldiceanu et al.'s k-dimensional
+sweep, specialized to interval (bounds) domains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geost.boxes import Box
+
+#: inclusive per-dimension bounds of the anchor search space
+Bounds = Sequence[Tuple[int, int]]
+
+
+def _covering_intersection(
+    p: Tuple[int, ...], per_shape_boxes: Sequence[Sequence[Box]]
+) -> Optional[Box]:
+    """If ``p`` is infeasible for every shape, a box around ``p`` that is
+    infeasible for every shape; ``None`` if ``p`` is feasible for some shape.
+    """
+    cover: Optional[Box] = None
+    for boxes in per_shape_boxes:
+        found = None
+        for b in boxes:
+            if b.contains_point(p):
+                found = b
+                break
+        if found is None:
+            return None  # p feasible for this shape
+        cover = found if cover is None else cover.intersection(found)
+        # intersection always contains p, hence is never None
+    return cover
+
+
+def sweep_min(
+    bounds: Bounds,
+    per_shape_boxes: Sequence[Sequence[Box]],
+    dim: int,
+) -> Optional[Tuple[int, ...]]:
+    """Smallest feasible point with ``dim`` as the most significant axis.
+
+    Returns ``None`` when no feasible point exists in ``bounds``.  The
+    returned point's ``dim`` coordinate is the new lower bound for that
+    anchor variable.
+    """
+    k = len(bounds)
+    if not per_shape_boxes:
+        raise ValueError("at least one candidate shape is required")
+    order = [dim] + [d for d in range(k) if d != dim]  # most significant first
+    p = [lo for lo, _ in bounds]
+    if any(lo > hi for lo, hi in bounds):
+        return None
+    while True:
+        cover = _covering_intersection(tuple(p), per_shape_boxes)
+        if cover is None:
+            return tuple(p)
+        # jump past the covering region along the least significant axis,
+        # carrying into more significant axes odometer-style
+        for pos in range(k - 1, -1, -1):
+            d = order[pos]
+            nxt = cover.end[d] if pos == k - 1 else p[d] + 1
+            # only the least significant axis can use the full jump; more
+            # significant axes advance by one step when carrying
+            if pos == k - 1:
+                p[d] = max(nxt, p[d] + 1)
+            else:
+                p[d] = nxt
+            if p[d] <= bounds[d][1]:
+                # reset all less significant axes to their minima
+                for q in range(pos + 1, k):
+                    p[order[q]] = bounds[order[q]][0]
+                break
+            if pos == 0:
+                return None  # most significant axis overflowed
+
+
+def sweep_max(
+    bounds: Bounds,
+    per_shape_boxes: Sequence[Sequence[Box]],
+    dim: int,
+) -> Optional[Tuple[int, ...]]:
+    """Mirror of :func:`sweep_min`: largest feasible point on axis ``dim``.
+
+    Implemented by reflecting the search space through the origin and
+    reusing :func:`sweep_min` — reflection maps box ``[o, o+s)`` to
+    ``[-o-s+1, -o+1)`` i.e. origin ``-(o+s-1)``, same size.
+    """
+    refl_bounds = [(-hi, -lo) for lo, hi in bounds]
+    refl_shapes = [
+        [
+            Box(
+                tuple(-(o + s - 1) for o, s in zip(b.origin, b.size)),
+                b.size,
+            )
+            for b in boxes
+        ]
+        for boxes in per_shape_boxes
+    ]
+    p = sweep_min(refl_bounds, refl_shapes, dim)
+    if p is None:
+        return None
+    return tuple(-v for v in p)
+
+
+def point_feasible(
+    p: Tuple[int, ...], per_shape_boxes: Sequence[Sequence[Box]]
+) -> bool:
+    """Is ``p`` outside the forbidden boxes of at least one shape?"""
+    return _covering_intersection(p, per_shape_boxes) is None

@@ -1,0 +1,28 @@
+"""Placement quality metrics: utilization, fragmentation, run statistics."""
+
+from repro.metrics.utilization import (
+    extent_utilization,
+    region_utilization,
+    resource_utilization,
+    weighted_extent_utilization,
+)
+from repro.metrics.fragmentation import (
+    external_fragmentation,
+    internal_fragmentation,
+    largest_free_rectangle,
+    maximal_empty_rectangles,
+)
+from repro.metrics.stats import RunAggregate, aggregate_runs
+
+__all__ = [
+    "extent_utilization",
+    "region_utilization",
+    "resource_utilization",
+    "weighted_extent_utilization",
+    "external_fragmentation",
+    "internal_fragmentation",
+    "largest_free_rectangle",
+    "maximal_empty_rectangles",
+    "RunAggregate",
+    "aggregate_runs",
+]

@@ -1,0 +1,65 @@
+"""Aggregation of repeated experiment runs (Table I reports means of 50)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class RunAggregate:
+    """Mean / stdev / extrema of one measured quantity across runs."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+
+    def add(self, v: float) -> None:
+        self.values.append(float(v))
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"no samples recorded for {self.name!r}")
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def summary(self, as_percent: bool = False) -> str:
+        if not self.values:
+            return f"{self.name}: (no samples)"
+        if as_percent:
+            return (
+                f"{self.name}: mean={self.mean:.1%} sd={self.stdev:.1%} "
+                f"[{self.min:.1%}, {self.max:.1%}] n={self.n}"
+            )
+        return (
+            f"{self.name}: mean={self.mean:.3g} sd={self.stdev:.3g} "
+            f"[{self.min:.3g}, {self.max:.3g}] n={self.n}"
+        )
+
+
+def aggregate_runs(samples: Sequence[Dict[str, float]]) -> Dict[str, RunAggregate]:
+    """Turn a list of per-run metric dicts into named aggregates."""
+    out: Dict[str, RunAggregate] = {}
+    for sample in samples:
+        for k, v in sample.items():
+            out.setdefault(k, RunAggregate(k)).add(v)
+    return out

@@ -1,0 +1,41 @@
+"""Module model: footprints, design alternatives, generators.
+
+A *module* (Section III-A) is a set of functionally equivalent *shapes*
+(design alternatives); each shape is a set of typed tiles.  Shapes need not
+cover their bounding box — only the tiles a shape actually uses are
+resource-checked and overlap-checked, which is exactly the paper's
+formulation (constraints range over the tiles of the shape, Eqs. 2-4).
+"""
+
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+from repro.modules.transform import (
+    mirror_horizontal,
+    mirror_vertical,
+    rotate90,
+    rotate180,
+    rotate270,
+)
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.library import ModuleLibrary
+from repro.modules.spec import module_from_dict, module_to_dict, load_modules, save_modules
+from repro.modules.validation import validate_footprint, validate_module
+
+__all__ = [
+    "Footprint",
+    "Module",
+    "mirror_horizontal",
+    "mirror_vertical",
+    "rotate90",
+    "rotate180",
+    "rotate270",
+    "GeneratorConfig",
+    "ModuleGenerator",
+    "ModuleLibrary",
+    "module_from_dict",
+    "module_to_dict",
+    "load_modules",
+    "save_modules",
+    "validate_footprint",
+    "validate_module",
+]

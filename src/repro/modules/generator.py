@@ -1,0 +1,144 @@
+"""Random module generator matching the paper's workload.
+
+Section V-A: "test results are derived from 50 runs of placing 30
+automatically generated modules ... resource requirements ... between 20
+and 100 CLBs, and between 0 and 4 embedded memory blocks.  The module
+alternatives considered include variants in which the module is rotated 180
+degrees and additionally have different internal and external layout. ...
+A module is represented with four different module shapes."
+
+:class:`ModuleGenerator` reproduces exactly that distribution; the four
+alternatives per module are
+
+1. the base layout,
+2. its 180-degree rotation,
+3. an *internal* relayout (same bounding box, BRAM strip at a different
+   internal column / anchored at the other end), and
+4. an *external* relayout (different bounding box, same resources).
+
+All randomness is seeded, so every experiment is reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+from repro.modules.transform import (
+    build_body,
+    distinct_footprints,
+    external_relayout,
+    internal_relayout,
+    rotate90,
+    rotate180,
+)
+
+
+@dataclass
+class GeneratorConfig:
+    """Workload parameters (defaults = the paper's Table I workload)."""
+
+    clb_min: int = 20
+    clb_max: int = 100
+    bram_min: int = 0
+    bram_max: int = 4
+    #: candidate body heights (in tiles) for the base layout
+    height_min: int = 4
+    height_max: int = 10
+    #: maximum CLB-body width in columns.  Real modules on column-oriented
+    #: fabrics are tall and narrow so their logic fits between dedicated
+    #: resource columns; the sampled height is raised when necessary so the
+    #: body never exceeds this width.
+    max_width: int = 6
+    #: how many shape alternatives to emit per module (paper: 4)
+    n_alternatives: int = 4
+
+    def validate(self) -> None:
+        if not (0 < self.clb_min <= self.clb_max):
+            raise ValueError("invalid CLB range")
+        if not (0 <= self.bram_min <= self.bram_max):
+            raise ValueError("invalid BRAM range")
+        if not (0 < self.height_min <= self.height_max):
+            raise ValueError("invalid height range")
+        if self.max_width < 1:
+            raise ValueError("max_width must be >= 1")
+        if self.n_alternatives < 1:
+            raise ValueError("n_alternatives must be >= 1")
+
+
+class ModuleGenerator:
+    """Seeded generator of modules with design alternatives."""
+
+    def __init__(self, seed: int = 0, config: Optional[GeneratorConfig] = None):
+        self.rng = random.Random(seed)
+        self.config = config or GeneratorConfig()
+        self.config.validate()
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Module:
+        """One module with up to ``n_alternatives`` distinct shapes."""
+        cfg, rng = self.config, self.rng
+        self._counter += 1
+        n_clb = rng.randint(cfg.clb_min, cfg.clb_max)
+        n_bram = rng.randint(cfg.bram_min, cfg.bram_max)
+        height = rng.randint(cfg.height_min, cfg.height_max)
+        # keep the body within max_width columns (tall-narrow modules)
+        height = max(height, -(-n_clb // cfg.max_width))
+        n_cols = -(-n_clb // height)
+        bram_col = rng.randint(0, n_cols) if n_bram else 0
+
+        base = build_body(n_clb, height, n_bram, bram_col)
+        alternatives: List[Footprint] = [base]
+
+        # 2) rigid rotation by 180 degrees (always legal)
+        alternatives.append(rotate180(base))
+
+        # 3) internal relayout: same bbox, strip moved / re-anchored
+        if n_bram:
+            other_col = rng.choice(
+                [c for c in range(n_cols + 1) if c != bram_col] or [bram_col]
+            )
+            alternatives.append(
+                build_body(n_clb, height, n_bram, other_col, bram_from_top=True)
+            )
+        else:
+            # no dedicated resources: a horizontal mirror is the internal
+            # variant (same bbox, different tile arrangement)
+            alternatives.append(internal_relayout(base, rng))
+            from repro.modules.transform import mirror_horizontal
+
+            alternatives.append(mirror_horizontal(base))
+
+        # 4) external relayout: different bounding box
+        alt_height = self._different_height(height, n_clb)
+        alternatives.append(external_relayout(base, alt_height))
+        if not n_bram:
+            # BRAM-free modules may also rotate 90 degrees (the paper's
+            # restriction only applies to embedded-memory modules)
+            alternatives.append(rotate90(base))
+
+        shapes = distinct_footprints(alternatives)[: cfg.n_alternatives]
+        return Module(
+            f"mod{self._counter:03d}",
+            shapes,
+            info={"n_clb": n_clb, "n_bram": n_bram, "base_height": height},
+        )
+
+    def _different_height(self, height: int, n_clb: int) -> int:
+        """A body height different from ``height`` but still legal."""
+        cfg, rng = self.config, self.rng
+        # the re-aspected body may be a few tiles taller or shorter, but
+        # must still respect the max_width column budget
+        lo = max(cfg.height_min, height - 3, -(-n_clb // cfg.max_width))
+        hi = height + 3
+        options = [h for h in range(lo, hi + 1) if h != height]
+        return rng.choice(options) if options else height
+
+    def generate_set(self, n: int) -> List[Module]:
+        """The paper's unit of work: a set of ``n`` modules (Table I: 30)."""
+        return [self.generate() for _ in range(n)]

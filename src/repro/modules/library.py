@@ -1,0 +1,84 @@
+"""Module library: a named collection of IP cores.
+
+The ReCoBus-style flow (Figure 2) takes "specification of the partial
+modules"; a :class:`ModuleLibrary` is the in-memory registry those specs
+load into, with lookup, filtering, and aggregate statistics used by the
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.fabric.resource import ResourceType
+from repro.modules.module import Module
+
+
+class ModuleLibrary:
+    """An ordered, name-indexed collection of modules."""
+
+    def __init__(self, modules: Iterable[Module] = ()) -> None:
+        self._modules: Dict[str, Module] = {}
+        for m in modules:
+            self.add(m)
+
+    # ------------------------------------------------------------------
+    def add(self, module: Module) -> None:
+        if module.name in self._modules:
+            raise ValueError(f"duplicate module name {module.name!r}")
+        self._modules[module.name] = module
+
+    def remove(self, name: str) -> Module:
+        try:
+            return self._modules.pop(name)
+        except KeyError:
+            raise KeyError(f"no module named {name!r}") from None
+
+    def get(self, name: str) -> Module:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KeyError(f"no module named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modules
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def names(self) -> List[str]:
+        return list(self._modules)
+
+    # ------------------------------------------------------------------
+    def using(self, kind: ResourceType) -> List[Module]:
+        """Modules with at least one shape using the given resource."""
+        return [m for m in self if m.uses(kind)]
+
+    def restricted(self, n_alternatives: int) -> "ModuleLibrary":
+        """Library with every module cut to its first ``n`` alternatives."""
+        return ModuleLibrary(m.restricted(n_alternatives) for m in self)
+
+    def total_shapes(self) -> int:
+        """Total shape count (paper: 30 modules -> 120 shapes with 4 alts)."""
+        return sum(m.n_alternatives for m in self)
+
+    def total_area(self, primary_only: bool = True) -> int:
+        """Sum of module tile counts (primary shape by convention)."""
+        return sum(m.primary().area for m in self)
+
+    def stats(self) -> dict:
+        areas = [m.primary().area for m in self]
+        return {
+            "modules": len(self),
+            "shapes": self.total_shapes(),
+            "total_area": sum(areas),
+            "min_area": min(areas) if areas else 0,
+            "max_area": max(areas) if areas else 0,
+            "bram_modules": len(self.using(ResourceType.BRAM)),
+        }
+
+    def __repr__(self) -> str:
+        return f"ModuleLibrary(n={len(self)}, shapes={self.total_shapes()})"

@@ -1,0 +1,92 @@
+"""Module: a named set of design alternatives.
+
+``M = {S_1, ..., S_n}, n > 0`` (Section III-A).  Alternatives are
+functionally equivalent implementations; the placement model chooses one
+per module via its *shape variable*.  The paper permits alternatives with
+different tile counts and resource mixes ("there is no constraint defined
+in the placement model which limits the different shapes ... in this way"),
+so :class:`Module` only enforces non-emptiness and offers an equivalence
+report rather than a hard check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.transform import distinct_footprints
+
+
+@dataclass(frozen=True)
+class Module:
+    """A reconfigurable module with one or more shape alternatives."""
+
+    name: str
+    shapes: tuple
+    #: free-form metadata (e.g. the netlist/IP core it came from)
+    info: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __init__(self, name: str, shapes: Sequence[Footprint], info: dict | None = None):
+        shapes_t = tuple(distinct_footprints(list(shapes)))
+        if not shapes_t:
+            raise ValueError(f"module {name!r} needs at least one shape")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "shapes", shapes_t)
+        object.__setattr__(self, "info", dict(info or {}))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __iter__(self) -> Iterator[Footprint]:
+        return iter(self.shapes)
+
+    @property
+    def n_alternatives(self) -> int:
+        return len(self.shapes)
+
+    def primary(self) -> Footprint:
+        """The first (reference) shape."""
+        return self.shapes[0]
+
+    def restricted(self, n: int) -> "Module":
+        """A copy keeping only the first ``n`` alternatives (n >= 1).
+
+        Used by the Table I experiment to compare 'without design
+        alternatives' (n=1) against 'with' (n=4) on identical modules.
+        """
+        if n < 1:
+            raise ValueError("must keep at least one alternative")
+        return Module(self.name, self.shapes[:n], self.info)
+
+    def min_area(self) -> int:
+        return min(s.area for s in self.shapes)
+
+    def max_area(self) -> int:
+        return max(s.area for s in self.shapes)
+
+    def min_width(self) -> int:
+        return min(s.width for s in self.shapes)
+
+    def resource_counts(self) -> Dict[ResourceType, int]:
+        """Resource requirement of the primary shape."""
+        return self.primary().resource_counts()
+
+    def is_resource_equivalent(self) -> bool:
+        """Do all alternatives consume identical resource multisets?
+
+        True for the paper's Figure 1 example; not required in general.
+        """
+        ref = self.primary().resource_counts()
+        return all(s.resource_counts() == ref for s in self.shapes)
+
+    def uses(self, kind: ResourceType) -> bool:
+        return any(kind in s.resource_counts() for s in self.shapes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Module({self.name!r}, alternatives={len(self.shapes)}, "
+            f"area={self.primary().area})"
+        )

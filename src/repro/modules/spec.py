@@ -1,0 +1,61 @@
+"""Module specification files.
+
+The design flow's module specs (Figure 2) are JSON: each module is a name
+plus a list of shapes, each shape ASCII-art rows over the resource alphabet
+(:data:`repro.fabric.resource.RESOURCE_CHARS`), top row first::
+
+    {
+      "modules": [
+        {"name": "fir", "shapes": [["..B", "..B", "..."], ["...", "B.."]]}
+      ]
+    }
+
+This mirrors the paper's flow where "a user can add module bounding box
+definitions" on top of the netlists.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.modules.footprint import Footprint
+from repro.modules.library import ModuleLibrary
+from repro.modules.module import Module
+
+
+def footprint_to_rows(fp: Footprint) -> List[str]:
+    """ASCII rows of a footprint, top row first."""
+    return fp.render().splitlines()
+
+
+def module_to_dict(module: Module) -> dict:
+    """Serialize one module to the spec structure."""
+    return {
+        "name": module.name,
+        "shapes": [footprint_to_rows(s) for s in module.shapes],
+        "info": module.info,
+    }
+
+
+def module_from_dict(data: dict) -> Module:
+    """Inverse of :func:`module_to_dict` (validates required keys)."""
+    if "name" not in data or "shapes" not in data:
+        raise ValueError("module spec needs 'name' and 'shapes'")
+    shapes = [Footprint.from_rows(rows) for rows in data["shapes"]]
+    return Module(data["name"], shapes, data.get("info"))
+
+
+def save_modules(library: ModuleLibrary, path: Union[str, Path]) -> None:
+    """Write a module spec file for a whole library."""
+    payload = {"modules": [module_to_dict(m) for m in library]}
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_modules(path: Union[str, Path]) -> ModuleLibrary:
+    """Read a module spec file into a library."""
+    data = json.loads(Path(path).read_text())
+    if "modules" not in data:
+        raise ValueError("module spec file needs a 'modules' list")
+    return ModuleLibrary(module_from_dict(m) for m in data["modules"])

@@ -1,0 +1,206 @@
+"""Geometric and layout transforms producing design alternatives.
+
+The paper's alternatives (Section V-A) are: 180-degree rotation, *internal*
+relayout (same bounding box, dedicated resources at different positions
+within the module) and *external* relayout (different bounding box).  It
+also notes that modules using embedded memory cannot simply be rotated
+90/270 degrees, because BRAM columns are vertical on the fabric — their
+external bounding box can be re-aspected only if the internal position of
+resources is adjusted (BRAM strips stay vertical).
+
+Transforms operate on :class:`~repro.modules.footprint.Footprint` objects
+and return new footprints (normalization is automatic).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+
+
+# ----------------------------------------------------------------------
+# Rigid transforms
+# ----------------------------------------------------------------------
+def rotate180(fp: Footprint) -> Footprint:
+    """Rotate by 180 degrees (always fabric-legal; the paper's default)."""
+    return Footprint((-x, -y, k) for x, y, k in fp.cells)
+
+
+def rotate90(fp: Footprint) -> Footprint:
+    """Rotate counter-clockwise by 90 degrees.
+
+    Only fabric-legal for modules without vertical dedicated-resource
+    strips; the paper notes rotations by 90/270 require internal changes
+    for BRAM modules.  The caller decides applicability (see
+    :func:`repro.core.alternatives.legal_rigid_transforms`).
+    """
+    return Footprint((-y, x, k) for x, y, k in fp.cells)
+
+
+def rotate270(fp: Footprint) -> Footprint:
+    """Rotate counter-clockwise by 270 degrees (inverse of rotate90)."""
+    return Footprint((y, -x, k) for x, y, k in fp.cells)
+
+
+def mirror_horizontal(fp: Footprint) -> Footprint:
+    """Mirror across the vertical axis (x -> -x)."""
+    return Footprint((-x, y, k) for x, y, k in fp.cells)
+
+
+def mirror_vertical(fp: Footprint) -> Footprint:
+    """Mirror across the horizontal axis (y -> -y)."""
+    return Footprint((x, -y, k) for x, y, k in fp.cells)
+
+
+# ----------------------------------------------------------------------
+# Layout transforms (body builders used by generator & relayouts)
+# ----------------------------------------------------------------------
+def build_body(
+    n_clb: int,
+    height: int,
+    bram_cells: int = 0,
+    bram_column: int = 0,
+    bram_from_top: bool = False,
+) -> Footprint:
+    """Construct a module layout: a CLB body plus one vertical BRAM strip.
+
+    The CLB body fills columns of the given ``height`` left-to-right,
+    bottom-to-top (the final column may be partial, giving an L-shaped
+    outline).  If ``bram_cells > 0`` a vertical strip of BRAM tiles is
+    inserted as column index ``bram_column`` of the layout; CLB columns at
+    or right of it shift one step right.  ``bram_from_top`` anchors the
+    strip at the top of the body instead of the bottom.
+
+    This mirrors how IP cores map onto column-oriented fabrics: logic in
+    CLB columns, memory in a neighbouring BRAM column.
+    """
+    if n_clb <= 0:
+        raise ValueError("a module needs at least one CLB")
+    if height <= 0:
+        raise ValueError("height must be positive")
+    if bram_cells < 0:
+        raise ValueError("bram_cells must be non-negative")
+    n_cols = -(-n_clb // height)  # ceil
+    if bram_cells > 0 and not 0 <= bram_column <= n_cols:
+        raise ValueError(f"bram_column must be within [0, {n_cols}]")
+
+    cells = []
+    remaining = n_clb
+    for col in range(n_cols):
+        x = col + (1 if bram_cells > 0 and col >= bram_column else 0)
+        col_h = min(height, remaining)
+        for y in range(col_h):
+            cells.append((x, y, ResourceType.CLB))
+        remaining -= col_h
+    if bram_cells > 0:
+        strip_h = bram_cells
+        body_h = min(height, n_clb)  # height actually reached by the body
+        if bram_from_top:
+            y0 = max(0, body_h - strip_h)
+        else:
+            y0 = 0
+        for j in range(strip_h):
+            cells.append((bram_column, y0 + j, ResourceType.BRAM))
+        # routing rule (Section III-A): tiles must stay adjacent.  A
+        # top-anchored strip can disconnect a short final column whose
+        # cells end below the strip; fall back to bottom anchoring then
+        # (bottom-anchored strips always touch row 0 of their neighbours).
+        if bram_from_top and y0 > 0:
+            from repro.modules.validation import connected_components
+
+            fp = Footprint(cells)
+            if len(connected_components(set(fp.coords()))) > 1:
+                return build_body(
+                    n_clb, height, bram_cells, bram_column, bram_from_top=False
+                )
+            return fp
+    return Footprint(cells)
+
+
+def internal_relayout(
+    fp: Footprint, rng: Optional[random.Random] = None
+) -> Footprint:
+    """Move dedicated-resource strips to a different internal position.
+
+    Keeps the bounding box and all resource counts; only the column index
+    and vertical anchoring of the BRAM/DSP strips change.  Returns ``fp``
+    itself if the module has no dedicated resources (nothing to move).
+    """
+    rng = rng or random.Random(0)
+    dedicated = [(x, y, k) for x, y, k in fp.cells if k.is_dedicated]
+    if not dedicated:
+        return fp
+    plain = [(x, y, k) for x, y, k in fp.cells if not k.is_dedicated]
+    ded_cols = sorted({x for x, _, _ in dedicated})
+    plain_cols = sorted({x for x, _, _ in plain})
+    if not plain_cols:
+        return fp
+    # choose a new column position for the strip among the body columns
+    choices = [c for c in range(fp.width) if c not in ded_cols]
+    if not choices:
+        return fp
+    new_col = rng.choice(choices)
+    old_col = ded_cols[0]
+    moved = [(new_col, y, k) for _, y, k in dedicated]
+    # swap: plain cells that sat in new_col move to the vacated column(s)
+    out = []
+    for x, y, k in plain:
+        if x == new_col:
+            out.append((old_col, y, k))
+        else:
+            out.append((x, y, k))
+    # collision check: if the swap created duplicates, bail out unchanged
+    all_cells = out + moved
+    if len({(x, y) for x, y, _ in all_cells}) != len(all_cells):
+        return fp
+    return Footprint(all_cells)
+
+
+def external_relayout(fp: Footprint, new_height: int) -> Footprint:
+    """Re-aspect the CLB body to ``new_height``, keeping strips vertical.
+
+    This is the paper's *external layout* alternative: a different bounding
+    box with identical resource consumption.  Dedicated strips remain
+    vertical columns (they cannot rotate on a column-oriented fabric); only
+    the CLB body is re-packed.
+    """
+    counts = fp.resource_counts()
+    n_clb = counts.get(ResourceType.CLB, 0)
+    n_bram = counts.get(ResourceType.BRAM, 0)
+    others = {
+        k: n for k, n in counts.items()
+        if k not in (ResourceType.CLB, ResourceType.BRAM)
+    }
+    if others:
+        raise ValueError(
+            f"external_relayout supports CLB+BRAM shapes, got extra {others}"
+        )
+    if n_clb == 0:
+        return fp
+    if new_height <= 0:
+        raise ValueError("new_height must be positive")
+    if n_bram > new_height:
+        # the strip wouldn't fit the new body height; keep strip anchored at 0
+        # and let the bbox grow — still a valid alternative
+        pass
+    n_cols = -(-n_clb // new_height)
+    return build_body(
+        n_clb,
+        new_height,
+        bram_cells=n_bram,
+        bram_column=n_cols // 2 if n_bram else 0,
+    )
+
+
+def distinct_footprints(fps: List[Footprint]) -> List[Footprint]:
+    """Deduplicate while preserving order (alternatives may coincide)."""
+    seen = set()
+    out = []
+    for fp in fps:
+        if fp not in seen:
+            seen.add(fp)
+            out.append(fp)
+    return out

@@ -1,0 +1,156 @@
+"""Module design rules.
+
+Section III-A: "Usually the tiles, which constitute a shape, are located
+directly adjacent to one another.  However, this is not a requirement.
+Routing restrictions place some limits on the freedom to construct modules
+with nonadjacent tiles.  We therefore do not consider such design
+alternatives."
+
+This module makes those rules explicit and checkable:
+
+* **connectivity** — a shape's tiles form one 4-connected component
+  (routable without leaving the module's own area);
+* **vertical dedicated strips** — BRAM/DSP cells form vertical runs, one
+  column each (column-oriented fabrics cannot host horizontal strips);
+* **aspect sanity** — bounding boxes within a configurable aspect-ratio
+  band (extremely elongated modules are unroutable in practice).
+
+`validate_module` aggregates per-shape findings; the generator's output is
+tested to be rule-clean, and spec files can be linted on load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+
+
+@dataclass
+class Violation:
+    """One broken design rule."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.detail}"
+
+
+def connected_components(cells: Set[Tuple[int, int]]) -> List[Set[Tuple[int, int]]]:
+    """4-connected components of a cell set."""
+    remaining = set(cells)
+    out: List[Set[Tuple[int, int]]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        comp = {seed}
+        frontier = [seed]
+        remaining.discard(seed)
+        while frontier:
+            x, y = frontier.pop()
+            for nxt in ((x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)):
+                if nxt in remaining:
+                    remaining.discard(nxt)
+                    comp.add(nxt)
+                    frontier.append(nxt)
+        out.append(comp)
+    return out
+
+
+def check_connectivity(fp: Footprint) -> List[Violation]:
+    """Rule: tiles form one 4-connected component (Section III-A)."""
+    comps = connected_components(set(fp.coords()))
+    if len(comps) == 1:
+        return []
+    return [
+        Violation(
+            "connectivity",
+            f"shape splits into {len(comps)} disconnected tile groups "
+            f"(routing cannot leave the module area)",
+        )
+    ]
+
+
+def check_vertical_strips(fp: Footprint) -> List[Violation]:
+    """Dedicated resources must form vertical, per-column runs."""
+    out: List[Violation] = []
+    for kind in (ResourceType.BRAM, ResourceType.DSP):
+        cells = sorted(fp.cells_of(kind))
+        by_col: Dict[int, List[int]] = {}
+        for x, y in cells:
+            by_col.setdefault(x, []).append(y)
+        for x, ys in by_col.items():
+            ys.sort()
+            if ys != list(range(ys[0], ys[0] + len(ys))):
+                out.append(
+                    Violation(
+                        "vertical-strip",
+                        f"{kind.name} cells in column {x} are not a "
+                        f"contiguous vertical run: rows {ys}",
+                    )
+                )
+    return out
+
+
+def check_aspect(fp: Footprint, max_ratio: float = 8.0) -> List[Violation]:
+    """Rule: bounding-box aspect ratio within the routable band."""
+    ratio = max(fp.width, fp.height) / min(fp.width, fp.height)
+    if ratio > max_ratio:
+        return [
+            Violation(
+                "aspect",
+                f"bounding box {fp.width}x{fp.height} has ratio "
+                f"{ratio:.1f} > {max_ratio}",
+            )
+        ]
+    return []
+
+
+@dataclass
+class ValidationReport:
+    """Per-shape violations of one module."""
+
+    module: str
+    by_shape: Dict[int, List[Violation]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not any(self.by_shape.values())
+
+    def all_violations(self) -> List[Violation]:
+        return [v for vs in self.by_shape.values() for v in vs]
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.module}: ok"
+        lines = [f"{self.module}:"]
+        for sid, vs in self.by_shape.items():
+            for v in vs:
+                lines.append(f"  shape {sid}: {v}")
+        return "\n".join(lines)
+
+
+def validate_footprint(
+    fp: Footprint, max_aspect_ratio: float = 8.0
+) -> List[Violation]:
+    """All design-rule violations of one shape."""
+    return (
+        check_connectivity(fp)
+        + check_vertical_strips(fp)
+        + check_aspect(fp, max_aspect_ratio)
+    )
+
+
+def validate_module(
+    module: Module, max_aspect_ratio: float = 8.0
+) -> ValidationReport:
+    """Design-rule report across all shapes of a module."""
+    report = ValidationReport(module.name)
+    for sid, fp in enumerate(module.shapes):
+        vs = validate_footprint(fp, max_aspect_ratio)
+        if vs:
+            report.by_shape[sid] = vs
+    return report

@@ -1,0 +1,35 @@
+"""Baseline placers from the related-work taxonomy (Section II).
+
+These implement the classic alternatives the paper positions itself
+against:
+
+* greedy offline heuristics — first-fit / best-fit / bottom-left
+  (:mod:`repro.placer.greedy`),
+* Bazargan-style online placement managing free space with maximal empty
+  rectangles (KAMER, :mod:`repro.placer.kamer`), and
+* a simulated-annealing placer over (order, alternative) encodings
+  (:mod:`repro.placer.annealing`).
+
+All of them produce :class:`repro.core.result.PlacementResult` objects and
+pass the same verification, so benchmark ablation A3 compares them
+apples-to-apples against the CP placer.
+"""
+
+from repro.placer.base import BasePlacer
+from repro.placer.greedy import BottomLeftPlacer, FirstFitPlacer, BestFitPlacer
+from repro.placer.kamer import KamerPlacer
+from repro.placer.annealing import AnnealingConfig, AnnealingPlacer
+from repro.placer.slots import SlotConfig, SlotPlacer, slot_utilization
+
+__all__ = [
+    "BasePlacer",
+    "BottomLeftPlacer",
+    "FirstFitPlacer",
+    "BestFitPlacer",
+    "KamerPlacer",
+    "AnnealingConfig",
+    "AnnealingPlacer",
+    "SlotConfig",
+    "SlotPlacer",
+    "slot_utilization",
+]

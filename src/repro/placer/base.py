@@ -1,0 +1,100 @@
+"""Shared scaffolding for the baseline placers.
+
+Baselines maintain an explicit occupancy mask and query anchor feasibility
+through the same vectorized machinery as the kernel
+(:func:`repro.fabric.masks.valid_anchor_mask` plus an occupancy
+convolution), so their placements satisfy M_a / M_b / M_c by construction
+and are cross-checked by ``PlacementResult.verify`` in the tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.masks import compatibility_masks, valid_anchor_mask
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+
+
+class _State:
+    """Occupancy-tracking placement state shared by the greedy baselines."""
+
+    def __init__(self, region: PartialRegion, modules: Sequence[Module]) -> None:
+        self.region = region
+        self.modules = list(modules)
+        self.H, self.W = region.height, region.width
+        self.occupancy = np.zeros((self.H, self.W), dtype=bool)
+        compat = compatibility_masks(region)
+        #: static anchors per (module index, shape index)
+        self.static: List[List[np.ndarray]] = [
+            [
+                valid_anchor_mask(region, sorted(fp.cells), compat)
+                for fp in m.shapes
+            ]
+            for m in self.modules
+        ]
+        #: per (module, shape) cell offset arrays (dy, dx)
+        self.offsets: List[List[np.ndarray]] = [
+            [
+                np.array([(dy, dx) for dx, dy, _ in sorted(fp.cells)], dtype=np.int64)
+                for fp in m.shapes
+            ]
+            for m in self.modules
+        ]
+        self.placements: List[Placement] = []
+
+    # ------------------------------------------------------------------
+    def anchors(self, mi: int, si: int) -> np.ndarray:
+        """Current (H, W) anchor feasibility of one shape."""
+        static = self.static[mi][si]
+        if not self.occupancy.any():
+            return static
+        off = self.offsets[mi][si]
+        ys, xs = np.nonzero(static)
+        if ys.size == 0:
+            return static
+        # check occupancy under each candidate anchor (vectorized gather)
+        cy = ys[:, None] + off[None, :, 0]
+        cx = xs[:, None] + off[None, :, 1]
+        free = ~self.occupancy[cy, cx].any(axis=1)
+        out = np.zeros_like(static)
+        out[ys[free], xs[free]] = True
+        return out
+
+    def commit(self, mi: int, si: int, x: int, y: int) -> None:
+        off = self.offsets[mi][si]
+        self.occupancy[y + off[:, 0], x + off[:, 1]] = True
+        self.placements.append(Placement(self.modules[mi], si, x, y))
+
+    def extent(self) -> int:
+        return max((p.right for p in self.placements), default=0)
+
+
+class BasePlacer:
+    """Interface of every baseline placer."""
+
+    name = "base"
+
+    def place(
+        self, region: PartialRegion, modules: Sequence[Module]
+    ) -> PlacementResult:
+        start = time.monotonic()
+        state = _State(region, modules)
+        unplaced = self._run(state)
+        return PlacementResult(
+            region,
+            state.placements,
+            unplaced,
+            status="feasible" if not unplaced else "partial",
+            elapsed=time.monotonic() - start,
+            stats={"method": self.name},
+        )
+
+    def _run(self, state: _State) -> List[Module]:
+        """Place modules; return the ones that did not fit (override)."""
+        raise NotImplementedError

@@ -1,0 +1,118 @@
+"""Greedy offline placers.
+
+Three classics, all alternative-aware (they consider every shape of a
+module when scoring candidate positions, so the benefit of design
+alternatives can be measured for cheap heuristics too):
+
+* :class:`BottomLeftPlacer` — modules by decreasing area, each at the
+  lowest-leftmost feasible anchor over all its shapes.
+* :class:`FirstFitPlacer` — modules in input order, first feasible anchor
+  scanning columns left to right (shape order as given).
+* :class:`BestFitPlacer` — each module at the position minimizing the
+  resulting global extent, ties broken by lower-left preference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.modules.module import Module
+from repro.placer.base import BasePlacer, _State
+
+
+def _bottom_left_anchor(state: _State, mi: int) -> Optional[Tuple[int, int, int]]:
+    """(shape, x, y) minimizing (x, y) over all shapes; None if unplaceable."""
+    best: Optional[Tuple[int, int, int]] = None  # (x, y, shape)
+    for si in range(len(state.modules[mi].shapes)):
+        mask = state.anchors(mi, si)
+        ys, xs = np.nonzero(mask)
+        if xs.size == 0:
+            continue
+        order = np.lexsort((ys, xs))
+        x, y = int(xs[order[0]]), int(ys[order[0]])
+        if best is None or (x, y) < (best[0], best[1]):
+            best = (x, y, si)
+    if best is None:
+        return None
+    return best[2], best[0], best[1]
+
+
+class BottomLeftPlacer(BasePlacer):
+    """Decreasing-area order, bottom-left rule."""
+
+    name = "bottom-left"
+
+    def _run(self, state: _State) -> List[Module]:
+        order = sorted(
+            range(len(state.modules)),
+            key=lambda i: -state.modules[i].primary().area,
+        )
+        unplaced: List[Module] = []
+        for mi in order:
+            pick = _bottom_left_anchor(state, mi)
+            if pick is None:
+                unplaced.append(state.modules[mi])
+                continue
+            si, x, y = pick
+            state.commit(mi, si, x, y)
+        return unplaced
+
+
+class FirstFitPlacer(BasePlacer):
+    """Input order, first feasible anchor (column-major scan)."""
+
+    name = "first-fit"
+
+    def _run(self, state: _State) -> List[Module]:
+        unplaced: List[Module] = []
+        for mi in range(len(state.modules)):
+            placed = False
+            for si in range(len(state.modules[mi].shapes)):
+                mask = state.anchors(mi, si)
+                ys, xs = np.nonzero(mask)
+                if xs.size == 0:
+                    continue
+                order = np.lexsort((ys, xs))
+                state.commit(mi, si, int(xs[order[0]]), int(ys[order[0]]))
+                placed = True
+                break
+            if not placed:
+                unplaced.append(state.modules[mi])
+        return unplaced
+
+
+class BestFitPlacer(BasePlacer):
+    """Decreasing-area order; position minimizing the resulting extent."""
+
+    name = "best-fit"
+
+    def _run(self, state: _State) -> List[Module]:
+        order = sorted(
+            range(len(state.modules)),
+            key=lambda i: -state.modules[i].primary().area,
+        )
+        unplaced: List[Module] = []
+        for mi in order:
+            current = state.extent()
+            best: Optional[Tuple[Tuple[int, int, int], Tuple[int, int, int]]] = None
+            for si, fp in enumerate(state.modules[mi].shapes):
+                mask = state.anchors(mi, si)
+                ys, xs = np.nonzero(mask)
+                if xs.size == 0:
+                    continue
+                rights = xs + fp.width
+                # resulting extent if placed here
+                scores = np.maximum(rights, current)
+                key = np.lexsort((ys, xs, scores))
+                j = key[0]
+                cand_score = (int(scores[j]), int(xs[j]), int(ys[j]))
+                if best is None or cand_score < best[0]:
+                    best = (cand_score, (si, int(xs[j]), int(ys[j])))
+            if best is None:
+                unplaced.append(state.modules[mi])
+                continue
+            si, x, y = best[1]
+            state.commit(mi, si, x, y)
+        return unplaced

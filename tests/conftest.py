@@ -1,0 +1,44 @@
+"""Shared test configuration.
+
+Hypothesis profiles: deadlines are disabled because CP propagation work is
+intentionally bursty (bitset reallocation, numpy warm-up) and wall-clock
+deadlines make property tests flaky on loaded CI machines.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=300,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+@pytest.fixture
+def small_region():
+    """A small heterogeneous region used across integration tests."""
+    from repro.fabric.devices import irregular_device
+    from repro.fabric.region import PartialRegion
+
+    return PartialRegion.whole_device(irregular_device(32, 12, seed=3))
+
+
+@pytest.fixture
+def tiny_homogeneous():
+    from repro.fabric.devices import homogeneous_device
+    from repro.fabric.region import PartialRegion
+
+    return PartialRegion.whole_device(homogeneous_device(8, 6))

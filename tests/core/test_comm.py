@@ -1,0 +1,145 @@
+"""Communication-aware placement and distance constraints."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.comm import CommAwarePlacer, CommConfig
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+
+
+class TestAbsDifference:
+    @given(st.integers(0, 5), st.integers(0, 5))
+    def test_solution_set(self, xa, ya):
+        m = Model()
+        x = m.int_var(0, xa, "x")
+        y = m.int_var(0, ya, "y")
+        z = m.abs_diff_of(x, y, "z")
+        got = {
+            (s["x"], s["y"], s["z"])
+            for s in Solver(m, [x, y, z]).enumerate()
+        }
+        want = {
+            (a, b, abs(a - b))
+            for a in range(xa + 1)
+            for b in range(ya + 1)
+        }
+        assert got == want
+
+    def test_forward_bounds(self):
+        m = Model()
+        x = m.int_var(0, 3, "x")
+        y = m.int_var(7, 9, "y")
+        z = m.abs_diff_of(x, y, "z")
+        assert z.min() == 4 and z.max() == 9
+
+    def test_backward_bounds(self):
+        m = Model()
+        x = m.int_var(0, 100, "x")
+        y = m.int_var(50, 50, "y")
+        z = m.abs_diff_of(x, y, "z")
+        z.remove_above(3)
+        m.engine.fixpoint()
+        assert x.min() == 47 and x.max() == 53
+
+
+class TestMinDistance:
+    @given(st.integers(0, 4))
+    def test_solution_set(self, d):
+        m = Model()
+        x = m.int_var(0, 5, "x")
+        y = m.int_var(0, 5, "y")
+        m.add_min_distance(x, y, d)
+        got = {(s["x"], s["y"]) for s in Solver(m, [x, y]).enumerate()}
+        want = {
+            (a, b)
+            for a in range(6)
+            for b in range(6)
+            if abs(a - b) >= d
+        }
+        assert got == want
+
+    def test_negative_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_min_distance(m.int_var(0, 1), m.int_var(0, 1), -1)
+
+
+class TestCommAwarePlacement:
+    def _modules(self, n=3):
+        return [
+            Module(f"m{i}", [Footprint.rectangle(2, 2)]) for i in range(n)
+        ]
+
+    def test_communicating_pair_placed_adjacent(self):
+        region = PartialRegion.whole_device(homogeneous_device(12, 2))
+        modules = self._modules(3)
+        # m0 and m2 talk a lot; m1 is silent
+        result = CommAwarePlacer(CommConfig(time_limit=None)).place(
+            region, modules, [(0, 2, 10)]
+        )
+        assert result.placement.status == "optimal"
+        result.placement.verify()
+        ps = {p.module.name: p for p in result.placement.placements}
+        assert abs(ps["m0"].x - ps["m2"].x) <= 2
+        assert result.wirelength == 0 or result.wirelength is not None
+
+    def test_extent_cap_respected(self):
+        region = PartialRegion.whole_device(homogeneous_device(20, 2))
+        modules = self._modules(3)
+        result = CommAwarePlacer(
+            CommConfig(time_limit=None, max_extent=6)
+        ).place(region, modules, [(0, 1, 1)])
+        assert result.placement.status == "optimal"
+        assert max(p.right for p in result.placement.placements) <= 6
+
+    def test_wirelength_matches_edges(self):
+        region = PartialRegion.whole_device(homogeneous_device(12, 4))
+        modules = self._modules(3)
+        edges = [(0, 1, 2), (1, 2, 3)]
+        result = CommAwarePlacer(CommConfig(time_limit=None)).place(
+            region, modules, edges
+        )
+        assert result.wirelength == sum(result.edge_lengths())
+
+    def test_validation(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 2))
+        modules = self._modules(2)
+        placer = CommAwarePlacer()
+        with pytest.raises(ValueError):
+            placer.place(region, modules, [(0, 0, 1)])
+        with pytest.raises(ValueError):
+            placer.place(region, modules, [(0, 5, 1)])
+        with pytest.raises(ValueError):
+            placer.place(region, modules, [(0, 1, 0)])
+
+    def test_infeasible_cap(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 2))
+        modules = self._modules(3)
+        result = CommAwarePlacer(
+            CommConfig(time_limit=None, max_extent=3)
+        ).place(region, modules, [(0, 1, 1)])
+        assert result.placement.status == "infeasible"
+
+    def test_heterogeneous_comm_placement(self):
+        from repro.modules.generator import GeneratorConfig, ModuleGenerator
+
+        region = PartialRegion.whole_device(irregular_device(48, 12, seed=5))
+        cfg = GeneratorConfig(clb_min=8, clb_max=16, bram_max=1,
+                              height_min=2, height_max=4)
+        modules = ModuleGenerator(seed=3, config=cfg).generate_set(4)
+        result = CommAwarePlacer(CommConfig(time_limit=4.0)).place(
+            region, modules, [(0, 1, 3), (2, 3, 1)]
+        )
+        assert result.placement.placements
+        result.placement.verify()

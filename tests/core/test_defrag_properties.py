@@ -1,0 +1,72 @@
+"""Property-based invariants of defragmentation and relocation.
+
+Random fragmented states are generated end-to-end (random fabric, random
+modules, placed and randomly evicted); the defragmenter must always
+return a *valid* placement whose extent never grew, whatever it does.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.defrag import defragment
+from repro.core.placer import CPPlacer, PlacerConfig
+from repro.core.relocation import relocation_sites
+from repro.core.result import PlacementResult
+from repro.fabric.devices import irregular_device
+from repro.fabric.region import PartialRegion
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+
+
+def fragmented_state(seed: int, evict_mask: int):
+    region = PartialRegion.whole_device(
+        irregular_device(40, 10, seed=seed, bram_stride=6, jitter=1)
+    )
+    cfg = GeneratorConfig(clb_min=4, clb_max=12, bram_max=1,
+                          height_min=2, height_max=3, max_width=4)
+    modules = ModuleGenerator(seed=seed, config=cfg).generate_set(5)
+    res = CPPlacer(
+        PlacerConfig(time_limit=2.0, first_solution_only=True)
+    ).place(region, modules)
+    if not res.all_placed:
+        return None
+    survivors = [
+        p for i, p in enumerate(res.placements) if (evict_mask >> i) & 1
+    ]
+    if not survivors:
+        return None
+    return PlacementResult(region, survivors)
+
+
+class TestDefragProperties:
+    @given(st.integers(0, 25), st.integers(1, 31), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_defrag_always_valid_and_never_worse(
+        self, seed, evict_mask, allow_shape_change
+    ):
+        state = fragmented_state(seed, evict_mask)
+        if state is None:
+            return
+        out = defragment(state, allow_shape_change=allow_shape_change)
+        out.result.verify()
+        assert out.final_extent <= out.initial_extent
+        assert len(out.result.placements) == len(state.placements)
+        # the same modules are still present
+        assert {p.module.name for p in out.result.placements} == {
+            p.module.name for p in state.placements
+        }
+
+    @given(st.integers(0, 25), st.integers(1, 31))
+    @settings(max_examples=15, deadline=None)
+    def test_relocation_sites_are_actually_feasible(self, seed, evict_mask):
+        state = fragmented_state(seed, evict_mask)
+        if state is None:
+            return
+        p = state.placements[0]
+        for site in relocation_sites(state, p)[:10]:
+            from repro.core.result import Placement
+
+            moved = Placement(p.module, site.shape_index, site.x, site.y)
+            others = [q for q in state.placements if q is not p]
+            PlacementResult(state.region, others + [moved]).verify()

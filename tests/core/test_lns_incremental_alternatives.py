@@ -1,0 +1,162 @@
+"""LNS placer, incremental placement, alternative expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alternatives import (
+    expand_alternatives,
+    legal_rigid_transforms,
+    with_alternatives,
+)
+from repro.core.incremental import IncrementalPlacer
+from repro.core.lns import LNSConfig, LNSPlacer
+from repro.core.placer import PlacerConfig
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+from repro.modules.transform import build_body, rotate90
+
+
+class TestLNS:
+    def _instance(self, n=6):
+        region = PartialRegion.whole_device(irregular_device(64, 16, seed=7))
+        modules = ModuleGenerator(seed=2).generate_set(n)
+        return region, modules
+
+    def test_produces_valid_improving_placement(self):
+        region, modules = self._instance()
+        res = LNSPlacer(LNSConfig(time_limit=4.0, seed=1)).place(region, modules)
+        assert res.all_placed
+        res.verify()
+        traj = res.stats["trajectory"]
+        values = [v for _, v in traj]
+        assert values == sorted(values, reverse=True)
+        assert res.extent == values[-1]
+
+    def test_respects_time_budget(self):
+        region, modules = self._instance()
+        res = LNSPlacer(LNSConfig(time_limit=2.0, seed=1)).place(region, modules)
+        assert res.elapsed < 6.0  # budget + slack for the last subsolve
+
+    def test_stall_limit_terminates_early(self):
+        region, modules = self._instance(3)
+        cfg = LNSConfig(time_limit=60.0, stall_limit=2, sub_time_limit=0.3, seed=1)
+        res = LNSPlacer(cfg).place(region, modules)
+        assert res.elapsed < 30.0
+        assert res.all_placed
+
+    def test_infeasible_instance_reported(self):
+        region = PartialRegion.whole_device(homogeneous_device(2, 2))
+        modules = [Module("big", [Footprint.rectangle(3, 3)])]
+        res = LNSPlacer(LNSConfig(time_limit=1.0)).place(region, modules)
+        assert not res.placements
+        assert res.status in ("infeasible", "unknown")
+
+    def test_never_worse_than_initial(self):
+        region, modules = self._instance()
+        cfg = LNSConfig(time_limit=3.0, seed=5)
+        res = LNSPlacer(cfg).place(region, modules)
+        assert res.extent <= res.stats["initial_extent"]
+
+
+class TestIncremental:
+    def _placer(self):
+        region = PartialRegion.whole_device(homogeneous_device(12, 4))
+        return IncrementalPlacer(region, PlacerConfig(time_limit=1.0,
+                                                      first_solution_only=True))
+
+    def test_add_and_remove(self):
+        inc = self._placer()
+        m = Module("a", [Footprint.rectangle(3, 2)])
+        p = inc.add(m)
+        assert p is not None
+        assert inc.occupancy().sum() == 6
+        inc.remove("a")
+        assert inc.occupancy().sum() == 0
+
+    def test_duplicate_add_rejected(self):
+        inc = self._placer()
+        m = Module("a", [Footprint.rectangle(2, 2)])
+        inc.add(m)
+        with pytest.raises(ValueError):
+            inc.add(m)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            self._placer().remove("ghost")
+
+    def test_modules_do_not_overlap(self):
+        inc = self._placer()
+        for i in range(4):
+            assert inc.add(Module(f"m{i}", [Footprint.rectangle(3, 2)])) is not None
+        result = inc.result()
+        result.verify()
+        assert len(result.placements) == 4
+
+    def test_rejection_when_full(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        inc = IncrementalPlacer(region, PlacerConfig(time_limit=1.0,
+                                                     first_solution_only=True))
+        assert inc.add(Module("a", [Footprint.rectangle(4, 2)])) is not None
+        assert inc.add(Module("b", [Footprint.rectangle(1, 1)])) is None
+
+    def test_add_all_reports_rejects(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        inc = IncrementalPlacer(region, PlacerConfig(time_limit=1.0,
+                                                     first_solution_only=True))
+        mods = [
+            Module("a", [Footprint.rectangle(4, 2)]),
+            Module("b", [Footprint.rectangle(2, 2)]),
+        ]
+        rejected = inc.add_all(mods)
+        assert [m.name for m in rejected] == ["b"]
+
+    def test_removal_frees_space_for_new_module(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        inc = IncrementalPlacer(region, PlacerConfig(time_limit=1.0,
+                                                     first_solution_only=True))
+        inc.add(Module("a", [Footprint.rectangle(4, 2)]))
+        assert inc.add(Module("b", [Footprint.rectangle(2, 1)])) is None
+        inc.remove("a")
+        assert inc.add(Module("b2", [Footprint.rectangle(2, 1)])) is not None
+
+
+class TestAlternatives:
+    def test_bram_modules_never_rotated_90(self):
+        base = build_body(12, 4, bram_cells=2, bram_column=1)
+        transforms = legal_rigid_transforms(base)
+        rotated = rotate90(base)
+        for t in transforms:
+            assert t(base) != rotated
+
+    def test_clb_modules_may_rotate_90(self):
+        base = Footprint.rectangle(3, 2)
+        outputs = {t(base) for t in legal_rigid_transforms(base)}
+        assert rotate90(base) in outputs
+
+    def test_expand_produces_distinct_shapes(self):
+        base = build_body(18, 5, bram_cells=2, bram_column=1)
+        alts = expand_alternatives(base, max_alternatives=4)
+        assert 1 <= len(alts) <= 4
+        assert len(set(alts)) == len(alts)
+        assert alts[0] == base
+
+    def test_expand_respects_cap(self):
+        base = build_body(18, 5)
+        assert len(expand_alternatives(base, max_alternatives=2)) <= 2
+        with pytest.raises(ValueError):
+            expand_alternatives(base, max_alternatives=0)
+
+    def test_with_alternatives_builds_module(self):
+        m = with_alternatives("fir", build_body(12, 4), max_alternatives=3)
+        assert m.name == "fir"
+        assert 1 <= m.n_alternatives <= 3
+
+    def test_alternatives_preserve_resources(self):
+        base = build_body(20, 5, bram_cells=3, bram_column=2)
+        for alt in expand_alternatives(base, max_alternatives=4):
+            assert alt.resource_counts() == base.resource_counts()

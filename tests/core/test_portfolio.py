@@ -1,0 +1,90 @@
+"""Parallel portfolio placer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.portfolio import PortfolioConfig, PortfolioPlacer, _worker
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.io import region_to_dict
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+from repro.modules.spec import module_to_dict
+
+
+def small_instance():
+    region = PartialRegion.whole_device(irregular_device(64, 16, seed=7))
+    cfg = GeneratorConfig(clb_min=10, clb_max=24, bram_max=1,
+                          height_min=3, height_max=5)
+    modules = ModuleGenerator(seed=2, config=cfg).generate_set(6)
+    return region, modules
+
+
+class TestWorkerPayloads:
+    def test_worker_round_trip(self):
+        """The worker operates entirely on serialized payloads."""
+        region, modules = small_instance()
+        seed, extent, tuples = _worker(
+            region_to_dict(region),
+            [module_to_dict(m) for m in modules],
+            time_limit=2.0,
+            seed=5,
+        )
+        assert seed == 5
+        assert extent is not None
+        assert len(tuples) == len(modules)
+        names = {t[0] for t in tuples}
+        assert names == {m.name for m in modules}
+
+    def test_worker_reports_failure(self):
+        region = PartialRegion.whole_device(homogeneous_device(2, 2))
+        module = Module("big", [Footprint.rectangle(3, 3)])
+        seed, extent, tuples = _worker(
+            region_to_dict(region), [module_to_dict(module)], 0.5, 0
+        )
+        assert extent is None and tuples == []
+
+
+class TestPortfolio:
+    def test_single_worker_inline(self):
+        region, modules = small_instance()
+        res = PortfolioPlacer(
+            PortfolioConfig(n_workers=1, time_limit=2.0)
+        ).place(region, modules)
+        assert res.all_placed
+        res.verify()
+        assert res.stats["members"] == 1
+
+    def test_parallel_members_and_best_selection(self):
+        region, modules = small_instance()
+        res = PortfolioPlacer(
+            PortfolioConfig(n_workers=2, time_limit=2.0, base_seed=3)
+        ).place(region, modules)
+        assert res.all_placed
+        res.verify()
+        extents = res.stats["member_extents"]
+        assert res.extent == min(extents)
+        assert len(extents) == res.stats["solved_members"] <= 2
+
+    def test_infeasible_instance(self):
+        region = PartialRegion.whole_device(homogeneous_device(2, 2))
+        modules = [Module("big", [Footprint.rectangle(3, 3)])]
+        res = PortfolioPlacer(
+            PortfolioConfig(n_workers=1, time_limit=0.5)
+        ).place(region, modules)
+        assert not res.placements
+        assert res.status == "unknown"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PortfolioPlacer(PortfolioConfig(n_workers=0))
+
+    def test_wall_clock_is_parallel(self):
+        """2 workers x T budget must finish well under 2T."""
+        region, modules = small_instance()
+        res = PortfolioPlacer(
+            PortfolioConfig(n_workers=2, time_limit=3.0)
+        ).place(region, modules)
+        assert res.elapsed < 5.5  # budget + process startup slack

@@ -1,0 +1,121 @@
+"""Design-time region allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.region_alloc import (
+    AllocationResult,
+    allocate_regions,
+    minimal_region_width,
+)
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+
+
+def rect_module(name, w, h):
+    return Module(name, [Footprint.rectangle(w, h)])
+
+
+class TestMinimalWidth:
+    def test_exact_fit(self):
+        region = PartialRegion.whole_device(homogeneous_device(20, 4))
+        mods = [rect_module("a", 3, 4), rect_module("b", 3, 4)]
+        width, placement = minimal_region_width(region, mods)
+        assert width == 6
+        assert placement is not None
+        assert max(p.right for p in placement.placements) <= 6
+
+    def test_height_bound_forces_width(self):
+        region = PartialRegion.whole_device(homogeneous_device(20, 2))
+        # 2x2 modules on a height-2 fabric must go side by side
+        mods = [rect_module(f"m{i}", 2, 2) for i in range(3)]
+        width, _ = minimal_region_width(region, mods)
+        assert width == 6
+
+    def test_alternatives_shrink_the_region(self):
+        region = PartialRegion.whole_device(homogeneous_device(20, 2))
+        tall = Footprint.rectangle(1, 2)
+        wide = Footprint.rectangle(2, 1)
+        fixed = Module("fixed", [Footprint.rectangle(2, 2)])
+        w_without, _ = minimal_region_width(
+            region, [fixed, Module("p", [wide])]
+        )
+        w_with, _ = minimal_region_width(
+            region, [fixed, Module("p", [wide, tall])]
+        )
+        assert w_with <= w_without
+
+    def test_infeasible_returns_none(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        width, placement = minimal_region_width(
+            region, [rect_module("big", 5, 2)]
+        )
+        assert width is None and placement is None
+
+    def test_offset_start(self):
+        region = PartialRegion.whole_device(homogeneous_device(10, 2))
+        width, placement = minimal_region_width(
+            region, [rect_module("a", 2, 2)], x0=4
+        )
+        assert width == 2
+        assert all(p.x >= 4 for p in placement.placements)
+
+    def test_empty_group_rejected(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        with pytest.raises(ValueError):
+            minimal_region_width(region, [])
+
+    def test_heterogeneous_respects_resources(self):
+        region = PartialRegion.whole_device(irregular_device(48, 10, seed=3))
+        cfg = GeneratorConfig(clb_min=8, clb_max=14, bram_min=1, bram_max=1,
+                              height_min=2, height_max=4)
+        mods = ModuleGenerator(seed=4, config=cfg).generate_set(2)
+        width, placement = minimal_region_width(region, mods)
+        assert width is not None
+        placement.verify()
+        # a BRAM-using group can never fit left of the first BRAM column
+        bram_cols = [
+            x for x in range(region.width)
+            if region.grid.kind_at(x, 1).name == "BRAM"
+        ]
+        assert width > min(bram_cols)
+
+
+class TestAllocateRegions:
+    def test_disjoint_left_to_right(self):
+        region = PartialRegion.whole_device(homogeneous_device(24, 4))
+        groups = [
+            ("video", [rect_module("v1", 3, 4), rect_module("v2", 3, 4)]),
+            ("crypto", [rect_module("c1", 4, 2)]),
+        ]
+        result = allocate_regions(region, groups)
+        assert result.ok
+        video, crypto = result.regions
+        assert video.x0 == 0 and video.width == 6
+        assert crypto.x0 == video.x1
+        for r in result.regions:
+            for p in r.placement.placements:
+                assert r.x0 <= p.x and p.right <= r.x1
+
+    def test_failure_recorded_and_rest_continue(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 2))
+        groups = [
+            ("ok", [rect_module("a", 2, 2)]),
+            ("too-big", [rect_module("b", 12, 2)]),
+            ("ok2", [rect_module("c", 2, 2)]),
+        ]
+        result = allocate_regions(region, groups)
+        assert result.failed == ["too-big"]
+        assert [r.name for r in result.regions] == ["ok", "ok2"]
+
+    def test_summary(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 2))
+        result = allocate_regions(
+            region, [("g", [rect_module("a", 2, 2)])]
+        )
+        assert "g:[0,2)" in result.summary()
+        assert result.total_width() == 2

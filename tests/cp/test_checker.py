@@ -1,0 +1,135 @@
+"""Solution checker: declarative constraint semantics as a test oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cp.checker import (
+    check_solution,
+    checkable,
+    violated_constraints,
+)
+from repro.cp.constraints import Rect, Task
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+
+
+class TestCheckers:
+    def test_every_model_helper_constraint_is_checkable(self):
+        m = Model()
+        a = m.int_var(0, 5, "a")
+        b = m.int_var(0, 5, "b")
+        z = m.int_var(0, 10, "z")
+        bool1 = m.bool_var("b1")
+        m.add_le(a, b)
+        m.add_eq(a, b)
+        m.add_sum(z, a, b)
+        m.add_linear_le([1, 1], [a, b], 10)
+        m.add_linear_eq([1, -1], [a, b], 0)
+        m.add_element([0, 1, 2, 3, 4, 5], a, b)
+        m.add_max(z, [a, b])
+        m.add_table([a, b], [(0, 0), (1, 1), (2, 2), (3, 3), (4, 4), (5, 5)])
+        m.add_alldifferent([a, z])
+        m.add_count([a, b], 0, 0, 2)
+        m.add_iff_le(bool1, a, 3)
+        m.add_or([bool1])
+        m.add_cumulative([Task(a, 1, 1)], 2)
+        m.add_diffn([Rect(a, b, 1, 1)])
+        m.add_abs_diff(z, a, b)
+        m.add_min_distance(a, b, 0)
+        assert all(checkable(c) for c in m.constraints)
+
+    def test_violations_pinpointed(self):
+        m = Model()
+        a = m.int_var(0, 9, "a")
+        b = m.int_var(0, 9, "b")
+        le = m.add_le(a, b, 2)
+        ne = m.add_ne(a, b)
+        bad = {"a": 5, "b": 5}
+        violated = violated_constraints(m, bad)
+        assert set(violated) == {le, ne}
+        assert not check_solution(m, bad)
+        good = {"a": 1, "b": 4}
+        assert check_solution(m, good)
+
+    def test_missing_variable_raises(self):
+        m = Model()
+        a = m.int_var(0, 2, "a")
+        b = m.int_var(0, 2, "b")
+        m.add_le(a, b)
+        with pytest.raises(KeyError):
+            check_solution(m, {"a": 1})
+
+    def test_strict_mode_rejects_uncheckable(self):
+        from repro.cp.propagator import Propagator
+
+        class Opaque(Propagator):
+            def post(self, engine):
+                pass
+
+            def propagate(self, engine):
+                pass
+
+        m = Model()
+        m.post(Opaque())
+        assert check_solution(m, {})  # lenient: skipped
+        with pytest.raises(TypeError):
+            check_solution(m, {}, strict=True)
+
+    def test_count_subclasses_dispatch(self):
+        m = Model()
+        xs = [m.int_var(0, 2, f"v{i}") for i in range(3)]
+        atmost = m.add_atmost(xs, 1, 1)
+        assert checkable(atmost)
+        assert not check_solution(m, {"v0": 1, "v1": 1, "v2": 0})
+        assert check_solution(m, {"v0": 1, "v1": 0, "v2": 0})
+
+
+class TestSearchAgainstOracle:
+    """Every solution the engine emits must satisfy the declarative oracle."""
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_random_models(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        m = Model()
+        xs = [m.int_var(0, 4, f"v{i}") for i in range(3)]
+        from repro.cp.engine import Inconsistent
+
+        try:
+            for _ in range(rng.randint(1, 4)):
+                kind = rng.choice(["le", "ne", "sum", "count", "dist"])
+                i, j = rng.sample(range(3), 2)
+                if kind == "le":
+                    m.add_le(xs[i], xs[j], rng.randint(-2, 2))
+                elif kind == "ne":
+                    m.add_ne(xs[i], xs[j])
+                elif kind == "sum":
+                    k = 3 - i - j
+                    m.add_sum(xs[k], xs[i], xs[j])
+                elif kind == "count":
+                    m.add_count(xs, rng.randint(0, 4), 0, rng.randint(1, 3))
+                else:
+                    m.add_min_distance(xs[i], xs[j], rng.randint(0, 3))
+        except Inconsistent:
+            return
+        for sol in Solver(m, xs).enumerate():
+            assert check_solution(m, sol), f"leaked invalid solution {sol}"
+
+    def test_queens_solutions_validated(self):
+        m = Model()
+        n = 6
+        qs = [m.int_var(0, n - 1, f"q{i}") for i in range(n)]
+        m.add_alldifferent(qs)
+        for i in range(n):
+            for j in range(i + 1, n):
+                m.add_ne(qs[i], qs[j], j - i)
+                m.add_ne(qs[i], qs[j], i - j)
+        sols = Solver(m, qs).enumerate()
+        assert len(sols) == 4
+        for sol in sols:
+            assert check_solution(m, sol)

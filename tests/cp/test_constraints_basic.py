@@ -1,0 +1,324 @@
+"""Arithmetic, linear, element, min/max, table and logical constraints.
+
+Each propagator is checked two ways: targeted unit scenarios, and
+hypothesis cross-checks where the full solution set produced by search is
+compared with brute-force enumeration of the constraint's definition.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+
+
+def enumerate_solutions(model, variables):
+    return Solver(model, variables).enumerate()
+
+
+def brute(domains, predicate):
+    return [
+        combo for combo in itertools.product(*domains) if predicate(*combo)
+    ]
+
+
+# ----------------------------------------------------------------------
+class TestLessEqualOffset:
+    def test_bounds_prune(self):
+        m = Model()
+        x, y = m.int_var(0, 9, "x"), m.int_var(0, 9, "y")
+        m.add_le(x, y, 3)  # x + 3 <= y
+        assert x.max() == 6
+        assert y.min() == 3
+
+    def test_inconsistent(self):
+        m = Model()
+        x, y = m.int_var(5, 9), m.int_var(0, 4)
+        with pytest.raises(Inconsistent):
+            m.add_le(x, y, 1)
+
+    @given(st.integers(-3, 3))
+    def test_solution_set(self, c):
+        m = Model()
+        x, y = m.int_var(0, 4, "x"), m.int_var(0, 4, "y")
+        m.add_le(x, y, c)
+        got = {(s["x"], s["y"]) for s in enumerate_solutions(m, [x, y])}
+        want = {
+            (a, b)
+            for a in range(5)
+            for b in range(5)
+            if a + c <= b
+        }
+        assert got == want
+
+
+class TestEqualOffset:
+    def test_domain_consistency(self):
+        m = Model()
+        x = m.int_var_from([1, 3, 5, 9], "x")
+        y = m.int_var_from([0, 2, 5, 8], "y")
+        m.add_eq(x, y, 1)  # x == y + 1
+        assert list(x.domain) == [1, 3, 9]
+        assert list(y.domain) == [0, 2, 8]
+
+    def test_fix_propagates(self):
+        m = Model()
+        x, y = m.int_var(0, 9, "x"), m.int_var(0, 9, "y")
+        m.add_eq(x, y, -2)
+        x.fix(3)
+        m.engine.fixpoint()
+        assert y.value() == 5
+
+
+class TestNotEqual:
+    def test_prunes_on_fix(self):
+        m = Model()
+        x, y = m.int_var(3, 3, "x"), m.int_var(0, 9, "y")
+        m.add_ne(x, y)
+        assert 3 not in y.domain
+
+    def test_offset_variant(self):
+        m = Model()
+        x, y = m.int_var(0, 9, "x"), m.int_var(4, 4, "y")
+        m.add_ne(x, y, 2)  # x != y + 2 = 6
+        assert 6 not in x.domain
+
+    def test_solution_count(self):
+        m = Model()
+        x, y = m.int_var(0, 3, "x"), m.int_var(0, 3, "y")
+        m.add_ne(x, y)
+        assert len(enumerate_solutions(m, [x, y])) == 12
+
+
+class TestSumOfTwo:
+    @given(st.integers(0, 6), st.integers(0, 6))
+    def test_solution_set(self, xa, ya):
+        m = Model()
+        x = m.int_var(0, xa, "x")
+        y = m.int_var(0, ya, "y")
+        z = m.int_var(0, 12, "z")
+        m.add_sum(z, x, y)
+        got = {(s["x"], s["y"], s["z"]) for s in enumerate_solutions(m, [x, y, z])}
+        want = {
+            (a, b, a + b) for a in range(xa + 1) for b in range(ya + 1)
+        }
+        assert got == want
+
+    def test_backward_propagation(self):
+        m = Model()
+        x, y = m.int_var(0, 9, "x"), m.int_var(0, 9, "y")
+        z = m.int_var(12, 14, "z")
+        m.add_sum(z, x, y)
+        assert x.min() == 3  # 12 - 9
+
+
+class TestLinear:
+    def test_le_prunes(self):
+        m = Model()
+        xs = [m.int_var(0, 9, f"v{i}") for i in range(3)]
+        m.add_linear_le([1, 1, 1], xs, 5)
+        assert all(v.max() == 5 for v in xs)
+
+    def test_le_with_negative_coeff(self):
+        m = Model()
+        x, y = m.int_var(0, 9, "x"), m.int_var(0, 9, "y")
+        m.add_linear_le([1, -1], [x, y], -4)  # x - y <= -4  =>  x + 4 <= y
+        assert x.max() == 5
+        assert y.min() == 4
+
+    @given(
+        st.lists(st.integers(-3, 3), min_size=2, max_size=3),
+        st.integers(-6, 10),
+    )
+    def test_eq_solution_set(self, coeffs, c):
+        m = Model()
+        xs = [m.int_var(0, 3, f"v{i}") for i in range(len(coeffs))]
+        try:
+            m.add_linear_eq(coeffs, xs, c)
+        except Inconsistent:
+            got = set()
+        else:
+            got = {
+                tuple(s[f"v{i}"] for i in range(len(coeffs)))
+                for s in enumerate_solutions(m, xs)
+            }
+        want = {
+            combo
+            for combo in itertools.product(range(4), repeat=len(coeffs))
+            if sum(a * v for a, v in zip(coeffs, combo)) == c
+        }
+        assert got == want
+
+    def test_length_mismatch_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_linear_le([1, 2], [m.int_var(0, 1)], 3)
+
+
+class TestElement:
+    def test_forward(self):
+        m = Model()
+        idx = m.int_var(0, 4, "i")
+        res = m.element_of([3, 1, 4, 1, 5], idx, "r")
+        assert set(res.domain) == {1, 3, 4, 5}
+
+    def test_backward(self):
+        m = Model()
+        idx = m.int_var(0, 4, "i")
+        res = m.element_of([3, 1, 4, 1, 5], idx, "r")
+        res.remove(1)
+        res.remove(3)
+        m.engine.fixpoint()
+        assert set(idx.domain) == {2, 4}
+
+    def test_index_clamped_to_table(self):
+        m = Model()
+        idx = m.int_var(0, 99, "i")
+        m.element_of([7, 8], idx)
+        assert idx.max() == 1
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=6))
+    def test_solution_set(self, table):
+        m = Model()
+        idx = m.int_var(0, len(table) - 1, "i")
+        res = m.int_var(0, 5, "r")
+        m.add_element(table, idx, res)
+        got = {(s["i"], s["r"]) for s in enumerate_solutions(m, [idx, res])}
+        want = {(i, table[i]) for i in range(len(table))}
+        assert got == want
+
+
+class TestMinMax:
+    def test_max_bounds(self):
+        m = Model()
+        xs = [m.int_var(0, i + 3, f"v{i}") for i in range(3)]
+        mx = m.max_of(xs, "mx")
+        assert mx.max() == 5
+        assert mx.min() == 0
+
+    def test_max_pushes_operands_down(self):
+        m = Model()
+        xs = [m.int_var(0, 9, f"v{i}") for i in range(3)]
+        mx = m.int_var(0, 4, "mx")
+        m.add_max(mx, xs)
+        assert all(v.max() == 4 for v in xs)
+
+    def test_single_supporter_forced_up(self):
+        m = Model()
+        a = m.int_var(0, 3, "a")
+        b = m.int_var(0, 9, "b")
+        mx = m.int_var(7, 9, "mx")
+        m.add_max(mx, [a, b])
+        assert b.min() == 7
+
+    @given(st.integers(2, 4))
+    def test_max_solution_set(self, n):
+        m = Model()
+        xs = [m.int_var(0, 2, f"v{i}") for i in range(n)]
+        mx = m.int_var(0, 2, "mx")
+        m.add_max(mx, xs)
+        got = {
+            tuple(s[f"v{i}"] for i in range(n)) + (s["mx"],)
+            for s in enumerate_solutions(m, xs + [mx])
+        }
+        want = {
+            combo + (max(combo),)
+            for combo in itertools.product(range(3), repeat=n)
+        }
+        assert got == want
+
+    def test_min_solution_set(self):
+        m = Model()
+        xs = [m.int_var(0, 2, f"v{i}") for i in range(2)]
+        mn = m.int_var(0, 2, "mn")
+        m.add_min(mn, xs)
+        got = {
+            (s["v0"], s["v1"], s["mn"])
+            for s in enumerate_solutions(m, xs + [mn])
+        }
+        want = {
+            (a, b, min(a, b)) for a in range(3) for b in range(3)
+        }
+        assert got == want
+
+
+class TestTable:
+    def test_gac(self):
+        m = Model()
+        x, y = m.int_var(0, 3, "x"), m.int_var(0, 3, "y")
+        m.add_table([x, y], [(0, 1), (1, 2), (1, 3)])
+        assert set(x.domain) == {0, 1}
+        assert set(y.domain) == {1, 2, 3}
+
+    def test_solution_set(self):
+        tuples = [(0, 1), (2, 2), (3, 0)]
+        m = Model()
+        x, y = m.int_var(0, 3, "x"), m.int_var(0, 3, "y")
+        m.add_table([x, y], tuples)
+        got = {(s["x"], s["y"]) for s in enumerate_solutions(m, [x, y])}
+        assert got == set(tuples)
+
+    def test_empty_after_filtering_fails(self):
+        m = Model()
+        x, y = m.int_var(2, 3, "x"), m.int_var(0, 0, "y")
+        with pytest.raises(Inconsistent):
+            m.add_table([x, y], [(0, 1), (1, 1)])
+
+    def test_arity_mismatch_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_table([m.int_var(0, 1)], [(0, 1)])
+
+
+class TestLogical:
+    def test_iff_le_forward(self):
+        m = Model()
+        b, x = m.bool_var("b"), m.int_var(0, 9, "x")
+        m.add_iff_le(b, x, 4)
+        b.fix(1)
+        m.engine.fixpoint()
+        assert x.max() == 4
+
+    def test_iff_le_backward(self):
+        m = Model()
+        b, x = m.bool_var("b"), m.int_var(6, 9, "x")
+        m.add_iff_le(b, x, 4)
+        assert b.value() == 0
+
+    def test_iff_in_set(self):
+        m = Model()
+        b, x = m.bool_var("b"), m.int_var(0, 5, "x")
+        m.add_iff_in(b, x, [1, 3])
+        b.fix(0)
+        m.engine.fixpoint()
+        assert set(x.domain) == {0, 2, 4, 5}
+
+    def test_or_unit_propagation(self):
+        m = Model()
+        bs = [m.bool_var(f"b{i}") for i in range(3)]
+        m.add_or(bs)
+        bs[0].fix(0)
+        bs[1].fix(0)
+        m.engine.fixpoint()
+        assert bs[2].value() == 1
+
+    def test_or_falsified(self):
+        m = Model()
+        bs = [m.bool_var(f"b{i}") for i in range(2)]
+        m.add_or(bs)
+        bs[0].fix(0)
+        m.engine.fixpoint()
+        with pytest.raises(Inconsistent):
+            bs[1].fix(0)
+            m.engine.fixpoint()
+
+    def test_non_bool_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_iff_le(m.int_var(0, 2), m.int_var(0, 5), 3)

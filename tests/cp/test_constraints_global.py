@@ -1,0 +1,226 @@
+"""AllDifferent, Cumulative and DiffN: checked against brute force."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cp.constraints import Rect, Task
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+
+
+def enumerate_solutions(model, variables):
+    return Solver(model, variables).enumerate()
+
+
+class TestAllDifferent:
+    def test_forward_checking(self):
+        m = Model()
+        xs = [m.int_var(0, 3, f"v{i}") for i in range(3)]
+        m.add_alldifferent(xs)
+        xs[0].fix(2)
+        m.engine.fixpoint()
+        assert 2 not in xs[1].domain and 2 not in xs[2].domain
+
+    def test_hall_interval(self):
+        m = Model()
+        a = m.int_var(1, 2, "a")
+        b = m.int_var(1, 2, "b")
+        c = m.int_var(1, 3, "c")
+        m.add_alldifferent([a, b, c])
+        # {a, b} saturate [1, 2] => c must leave it
+        assert c.value() == 3
+
+    def test_pigeonhole_failure(self):
+        m = Model()
+        xs = [m.int_var(0, 1, f"v{i}") for i in range(3)]
+        with pytest.raises(Inconsistent):
+            m.add_alldifferent(xs)
+
+    def test_permutation_count(self):
+        m = Model()
+        xs = [m.int_var(0, 3, f"v{i}") for i in range(4)]
+        m.add_alldifferent(xs)
+        assert len(enumerate_solutions(m, xs)) == 24
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)).map(
+                lambda t: (min(t), max(t))
+            ),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    def test_solution_set_matches_brute_force(self, ranges):
+        m = Model()
+        xs = [m.int_var(lo, hi, f"v{i}") for i, (lo, hi) in enumerate(ranges)]
+        try:
+            m.add_alldifferent(xs)
+        except Inconsistent:
+            got = set()
+        else:
+            got = {
+                tuple(s[f"v{i}"] for i in range(len(ranges)))
+                for s in enumerate_solutions(m, xs)
+            }
+        want = {
+            combo
+            for combo in itertools.product(
+                *[range(lo, hi + 1) for lo, hi in ranges]
+            )
+            if len(set(combo)) == len(combo)
+        }
+        assert got == want
+
+
+def _cumulative_ok(starts, durations, demands, capacity):
+    events = {}
+    for s, d, dem in zip(starts, durations, demands):
+        for t in range(s, s + d):
+            events[t] = events.get(t, 0) + dem
+    return all(v <= capacity for v in events.values())
+
+
+class TestCumulative:
+    def test_profile_overflow_detected(self):
+        m = Model()
+        a = m.int_var(0, 0, "a")
+        b = m.int_var(0, 0, "b")
+        with pytest.raises(Inconsistent):
+            m.add_cumulative([Task(a, 3, 2), Task(b, 3, 2)], 3)
+
+    def test_pushes_start_past_busy_segment(self):
+        m = Model()
+        a = m.int_var(0, 0, "a")        # fixed: occupies [0, 4) at demand 2
+        b = m.int_var(0, 10, "b")       # demand 2, capacity 3 -> cannot overlap
+        m.add_cumulative([Task(a, 4, 2), Task(b, 2, 2)], 3)
+        assert b.min() == 4
+
+    def test_demand_exceeding_capacity_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_cumulative([Task(m.int_var(0, 1), 1, 5)], 4)
+
+    def test_zero_duration_tasks_ignored(self):
+        m = Model()
+        a = m.int_var(0, 5, "a")
+        m.add_cumulative([Task(a, 0, 100)], 1)  # no-op
+        assert a.size() == 6
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 3), st.integers(1, 3)),
+            min_size=2,
+            max_size=3,
+        ),
+        st.integers(2, 4),
+    )
+    def test_no_solution_lost(self, tasks, capacity):
+        """Filtering must keep every brute-force-valid assignment."""
+        horizon = 6
+        m = Model()
+        xs = [m.int_var(0, horizon, f"v{i}") for i in range(len(tasks))]
+        ts = [
+            Task(x, d, min(dem, capacity))
+            for x, (d, dem) in zip(xs, tasks)
+        ]
+        try:
+            m.add_cumulative(ts, capacity)
+        except Inconsistent:
+            got = set()
+        else:
+            got = {
+                tuple(s[f"v{i}"] for i in range(len(tasks)))
+                for s in enumerate_solutions(m, xs)
+            }
+        want = {
+            combo
+            for combo in itertools.product(range(horizon + 1), repeat=len(tasks))
+            if _cumulative_ok(
+                combo,
+                [d for d, _ in tasks],
+                [min(dem, capacity) for _, dem in tasks],
+                capacity,
+            )
+        }
+        assert got == want
+
+
+def _rects_disjoint(placements, sizes):
+    boxes = [
+        (x, y, x + w, y + h)
+        for (x, y), (w, h) in zip(placements, sizes)
+    ]
+    for i in range(len(boxes)):
+        for j in range(i + 1, len(boxes)):
+            a, b = boxes[i], boxes[j]
+            if a[0] < b[2] and b[0] < a[2] and a[1] < b[3] and b[1] < a[3]:
+                return False
+    return True
+
+
+class TestDiffN:
+    def test_forced_overlap_fails(self):
+        m = Model()
+        r1 = Rect(m.int_var(0, 0, "x1"), m.int_var(0, 0, "y1"), 2, 2)
+        r2 = Rect(m.int_var(1, 1, "x2"), m.int_var(1, 1, "y2"), 2, 2)
+        with pytest.raises(Inconsistent):
+            m.add_diffn([r1, r2])
+
+    def test_separation_propagates(self):
+        m = Model()
+        # both 3 wide in a 4-wide corridor: y-overlap forced -> x must split
+        x1, y1 = m.int_var(0, 1, "x1"), m.int_var(0, 0, "y1")
+        x2, y2 = m.int_var(0, 4, "x2"), m.int_var(0, 0, "y2")
+        m.add_diffn([Rect(x1, y1, 3, 1), Rect(x2, y2, 3, 1)])
+        x1.fix(0)
+        m.engine.fixpoint()
+        assert x2.min() == 3
+
+    def test_invalid_rect_rejected(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            Rect(m.int_var(0, 1), m.int_var(0, 1), 0, 2)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 2), st.integers(1, 2)),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    def test_solution_set_matches_brute_force(self, sizes):
+        W = H = 4
+        m = Model()
+        rects = []
+        xs = []
+        for i, (w, h) in enumerate(sizes):
+            x = m.int_var(0, W - w, f"x{i}")
+            y = m.int_var(0, H - h, f"y{i}")
+            rects.append(Rect(x, y, w, h))
+            xs.extend([x, y])
+        try:
+            m.add_diffn(rects)
+        except Inconsistent:
+            got = set()
+        else:
+            got = {
+                tuple((s[f"x{i}"], s[f"y{i}"]) for i in range(len(sizes)))
+                for s in enumerate_solutions(m, xs)
+            }
+        domains = [
+            [(x, y) for x in range(W - w + 1) for y in range(H - h + 1)]
+            for w, h in sizes
+        ]
+        want = {
+            combo
+            for combo in itertools.product(*domains)
+            if _rects_disjoint(combo, sizes)
+        }
+        assert got == want

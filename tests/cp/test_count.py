@@ -1,0 +1,78 @@
+"""Count / AtMost / AtLeast constraints."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+
+
+class TestCount:
+    def test_atmost_saturation_prunes(self):
+        m = Model()
+        xs = [m.int_var(0, 2, f"v{i}") for i in range(3)]
+        m.add_atmost(xs, 1, 1)
+        xs[0].fix(1)
+        m.engine.fixpoint()
+        assert 1 not in xs[1].domain and 1 not in xs[2].domain
+
+    def test_atleast_forces(self):
+        m = Model()
+        xs = [m.int_var(0, 2, f"v{i}") for i in range(3)]
+        m.add_atleast(xs, 2, 3)
+        m.engine.fixpoint()
+        assert all(x.value() == 2 for x in xs)
+
+    def test_overflow_fails(self):
+        m = Model()
+        xs = [m.int_var(1, 1, f"v{i}") for i in range(3)]
+        with pytest.raises(Inconsistent):
+            m.add_atmost(xs, 1, 2)
+
+    def test_underflow_fails(self):
+        m = Model()
+        xs = [m.int_var(0, 0, f"v{i}") for i in range(2)]
+        with pytest.raises(Inconsistent):
+            m.add_atleast(xs, 5, 1)
+
+    def test_validation(self):
+        m = Model()
+        from repro.cp.constraints import Count
+
+        with pytest.raises(ValueError):
+            Count([], 0)
+        with pytest.raises(ValueError):
+            Count([m.int_var(0, 1)], 0, lo=2, hi=1)
+
+    @given(
+        st.integers(2, 4),
+        st.integers(0, 2),
+        st.integers(0, 3),
+        st.integers(0, 3),
+    )
+    def test_solution_set_matches_brute_force(self, n, value, lo, hi):
+        if lo > hi or hi > n:
+            return
+        m = Model()
+        xs = [m.int_var(0, 2, f"v{i}") for i in range(n)]
+        try:
+            m.add_count(xs, value, lo, hi)
+        except Inconsistent:
+            got = set()
+        else:
+            got = {
+                tuple(s[f"v{i}"] for i in range(n))
+                for s in Solver(m, xs).enumerate()
+            }
+        want = {
+            combo
+            for combo in itertools.product(range(3), repeat=n)
+            if lo <= sum(1 for v in combo if v == value) <= hi
+        }
+        assert got == want

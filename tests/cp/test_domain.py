@@ -1,0 +1,166 @@
+"""Domain: bitset semantics checked against Python set semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cp.domain import Domain, EMPTY_DOMAIN
+
+values = st.sets(st.integers(-50, 80), max_size=25)
+nonempty = st.sets(st.integers(-50, 80), min_size=1, max_size=25)
+
+
+# ----------------------------------------------------------------------
+# Construction and basic queries
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_empty(self):
+        d = Domain()
+        assert d.is_empty()
+        assert len(d) == 0
+        assert not d
+        assert list(d) == []
+
+    def test_singleton(self):
+        d = Domain.singleton(7)
+        assert d.is_singleton()
+        assert d.value() == 7
+        assert d.min() == d.max() == 7
+
+    def test_range(self):
+        d = Domain.range(3, 7)
+        assert list(d) == [3, 4, 5, 6, 7]
+        assert d.min() == 3 and d.max() == 7
+
+    def test_range_inverted_is_empty(self):
+        assert Domain.range(5, 4).is_empty()
+
+    def test_negative_values(self):
+        d = Domain([-3, -1, 4])
+        assert list(d) == [-3, -1, 4]
+        assert d.min() == -3 and d.max() == 4
+
+    def test_from_mask_normalizes_offset(self):
+        d = Domain.from_mask(0b1100, 10)  # values 12, 13
+        assert d.offset == 12
+        assert list(d) == [12, 13]
+
+    def test_duplicates_collapse(self):
+        assert list(Domain([2, 2, 2])) == [2]
+
+    def test_min_max_of_empty_raise(self):
+        with pytest.raises(ValueError):
+            EMPTY_DOMAIN.min()
+        with pytest.raises(ValueError):
+            EMPTY_DOMAIN.max()
+
+    def test_value_of_non_singleton_raises(self):
+        with pytest.raises(ValueError):
+            Domain([1, 2]).value()
+
+    @given(values)
+    def test_iteration_matches_sorted_set(self, vs):
+        assert list(Domain(vs)) == sorted(vs)
+
+    @given(nonempty)
+    def test_min_max_size(self, vs):
+        d = Domain(vs)
+        assert d.min() == min(vs)
+        assert d.max() == max(vs)
+        assert len(d) == len(vs)
+
+    @given(values, st.integers(-60, 90))
+    def test_contains(self, vs, probe):
+        assert (probe in Domain(vs)) == (probe in vs)
+
+
+# ----------------------------------------------------------------------
+# Set algebra
+# ----------------------------------------------------------------------
+class TestAlgebra:
+    @given(values, values)
+    def test_intersect(self, a, b):
+        assert set(Domain(a).intersect(Domain(b))) == a & b
+
+    @given(values, values)
+    def test_union(self, a, b):
+        assert set(Domain(a).union(Domain(b))) == a | b
+
+    @given(values, values)
+    def test_difference(self, a, b):
+        assert set(Domain(a).difference(Domain(b))) == a - b
+
+    @given(values, st.integers(-60, 90))
+    def test_remove(self, vs, v):
+        assert set(Domain(vs).remove(v)) == vs - {v}
+
+    @given(values, st.integers(-60, 90))
+    def test_remove_below(self, vs, lo):
+        assert set(Domain(vs).remove_below(lo)) == {v for v in vs if v >= lo}
+
+    @given(values, st.integers(-60, 90))
+    def test_remove_above(self, vs, hi):
+        assert set(Domain(vs).remove_above(hi)) == {v for v in vs if v <= hi}
+
+    @given(values, st.integers(-60, 90), st.integers(-60, 90))
+    def test_clamp(self, vs, lo, hi):
+        assert set(Domain(vs).clamp(lo, hi)) == {v for v in vs if lo <= v <= hi}
+
+    @given(values, st.integers(-30, 30))
+    def test_shift(self, vs, delta):
+        assert set(Domain(vs).shift(delta)) == {v + delta for v in vs}
+
+    @given(values)
+    def test_negate(self, vs):
+        assert set(Domain(vs).negate()) == {-v for v in vs}
+
+    @given(values)
+    def test_negate_involution(self, vs):
+        d = Domain(vs)
+        assert d.negate().negate() == d
+
+    @given(values, values)
+    def test_subset(self, a, b):
+        assert Domain(a).is_subset_of(Domain(b)) == (a <= b)
+
+    @given(values, st.integers(-60, 90))
+    def test_next_value(self, vs, v):
+        expected = min((x for x in vs if x >= v), default=None)
+        assert Domain(vs).next_value(v) == expected
+
+    @given(values, st.integers(-60, 90))
+    def test_prev_value(self, vs, v):
+        expected = max((x for x in vs if x <= v), default=None)
+        assert Domain(vs).prev_value(v) == expected
+
+    @given(values, values)
+    def test_equality_is_extensional(self, a, b):
+        assert (Domain(a) == Domain(b)) == (a == b)
+
+    @given(values)
+    def test_hash_consistent(self, vs):
+        assert hash(Domain(vs)) == hash(Domain(sorted(vs)))
+
+
+# ----------------------------------------------------------------------
+# NumPy bridges
+# ----------------------------------------------------------------------
+class TestNumpyBridge:
+    @given(st.sets(st.integers(0, 63), max_size=30))
+    def test_bool_array_round_trip(self, vs):
+        d = Domain(vs)
+        vec = d.to_bool_array(64)
+        assert {i for i, b in enumerate(vec) if b} == vs
+        assert Domain.from_bool_array(vec) == d
+
+    def test_bool_array_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Domain([70]).to_bool_array(64)
+        with pytest.raises(ValueError):
+            Domain([-1]).to_bool_array(64)
+
+    def test_empty_bool_array(self):
+        assert not EMPTY_DOMAIN.to_bool_array(8).any()
+        assert Domain.from_bool_array([False] * 8).is_empty()

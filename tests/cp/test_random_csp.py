@@ -1,0 +1,129 @@
+"""Random-CSP completeness: search + propagation vs brute force.
+
+Generates small random binary CSPs over the constraint library and checks
+the enumerated solution set against exhaustive evaluation — the strongest
+general statement about solver soundness and completeness we can test.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+
+# a binary constraint is (kind, i, j, parameter)
+_KINDS = ["le", "eq", "ne", "mindist"]
+
+
+constraint_strategy = st.tuples(
+    st.sampled_from(_KINDS),
+    st.integers(0, 3),
+    st.integers(0, 3),
+    st.integers(-2, 2),
+)
+
+
+def _holds(kind: str, a: int, b: int, p: int) -> bool:
+    if kind == "le":
+        return a + p <= b
+    if kind == "eq":
+        return a == b + p
+    if kind == "ne":
+        return a != b + p
+    if kind == "mindist":
+        return abs(a - b) >= max(0, p)
+    raise AssertionError(kind)
+
+
+class TestRandomBinaryCSP:
+    @given(
+        st.integers(2, 4),
+        st.lists(constraint_strategy, max_size=6),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_solution_sets_match(self, n_vars, constraints, dom_hi):
+        constraints = [
+            (k, i % n_vars, j % n_vars, p)
+            for k, i, j, p in constraints
+            if i % n_vars != j % n_vars
+        ]
+        m = Model()
+        xs = [m.int_var(0, dom_hi, f"v{i}") for i in range(n_vars)]
+        try:
+            for kind, i, j, p in constraints:
+                if kind == "le":
+                    m.add_le(xs[i], xs[j], p)
+                elif kind == "eq":
+                    m.add_eq(xs[i], xs[j], p)
+                elif kind == "ne":
+                    m.add_ne(xs[i], xs[j], p)
+                elif kind == "mindist":
+                    m.add_min_distance(xs[i], xs[j], max(0, p))
+        except Inconsistent:
+            got = set()
+        else:
+            got = {
+                tuple(s[f"v{i}"] for i in range(n_vars))
+                for s in Solver(m, xs).enumerate()
+            }
+        want = {
+            combo
+            for combo in itertools.product(range(dom_hi + 1), repeat=n_vars)
+            if all(
+                _holds(kind, combo[i], combo[j], p)
+                for kind, i, j, p in constraints
+            )
+        }
+        assert got == want
+
+
+class TestTrailStateMachine:
+    """Randomized push/modify/pop sequences must always restore domains."""
+
+    @given(
+        st.lists(
+            st.one_of(
+                st.just(("push",)),
+                st.just(("pop",)),
+                st.tuples(
+                    st.just("narrow"), st.integers(0, 2), st.integers(0, 9)
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pop_restores_snapshots(self, ops):
+        m = Model()
+        xs = [m.int_var(0, 9, f"v{i}") for i in range(3)]
+        snapshots = []  # domains at each push
+        for op in ops:
+            if op[0] == "push":
+                snapshots.append([x.domain for x in xs])
+                m.engine.push_level()
+            elif op[0] == "pop":
+                if snapshots:
+                    m.engine.pop_level()
+                    expected = snapshots.pop()
+                    assert [x.domain for x in xs] == expected
+            else:
+                _, idx, val = op
+                try:
+                    xs[idx].remove(val)
+                except Inconsistent:
+                    # a wiped domain is fine; restore to last snapshot
+                    if snapshots:
+                        m.engine.pop_level()
+                        expected = snapshots.pop()
+                        assert [x.domain for x in xs] == expected
+        # unwind everything that is still open
+        while snapshots:
+            m.engine.pop_level()
+            expected = snapshots.pop()
+            assert [x.domain for x in xs] == expected

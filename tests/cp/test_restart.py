@@ -1,0 +1,128 @@
+"""Luby restarts and randomized-value search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cp.model import Model
+from repro.cp.restart import RestartingSearch, luby, shuffled_min_first
+from repro.cp.branching import smallest_domain
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+        ]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+    def test_powers(self):
+        # terms at positions 2^k - 1 are 2^(k-1)
+        for k in range(1, 10):
+            assert luby((1 << k) - 1) == 1 << (k - 1)
+
+
+class TestShuffledMinFirst:
+    def test_min_always_first(self):
+        m = Model()
+        v = m.int_var(3, 9, "v")
+        for seed in range(10):
+            order = list(shuffled_min_first(seed)(v))
+            assert order[0] == 3
+            assert sorted(order) == list(range(3, 10))
+
+    def test_singleton(self):
+        m = Model()
+        v = m.int_var(5, 5, "v")
+        assert list(shuffled_min_first(0)(v)) == [5]
+
+
+def queens_model(n):
+    m = Model()
+    qs = [m.int_var(0, n - 1, f"q{i}") for i in range(n)]
+    m.add_alldifferent(qs)
+    for i in range(n):
+        for j in range(i + 1, n):
+            m.add_ne(qs[i], qs[j], j - i)
+            m.add_ne(qs[i], qs[j], i - j)
+    return m, qs
+
+
+class TestRestartingSearch:
+    def test_finds_solution(self):
+        m, qs = queens_model(8)
+        search = RestartingSearch(m.engine, qs, var_select=smallest_domain,
+                                  base_failures=8, seed=1)
+        sol = search.first_solution()
+        assert sol is not None
+        vals = [sol[f"q{i}"] for i in range(8)]
+        assert len(set(vals)) == 8
+
+    def test_restores_state(self):
+        m, qs = queens_model(6)
+        sizes = [q.size() for q in qs]
+        RestartingSearch(m.engine, qs, base_failures=4, seed=2).first_solution()
+        assert [q.size() for q in qs] == sizes
+
+    def test_proves_infeasibility(self):
+        m = Model()
+        x = m.int_var(0, 1, "x")
+        y = m.int_var(0, 1, "y")
+        z = m.int_var(0, 1, "z")
+        m.add_ne(x, y)
+        m.add_ne(y, z)
+        m.add_ne(x, z)
+        search = RestartingSearch(m.engine, [x, y, z], base_failures=100)
+        assert search.first_solution() is None
+        assert search.stats.stop_reason == "exhausted"
+
+    def test_time_limit(self):
+        m, qs = queens_model(10)
+        search = RestartingSearch(
+            m.engine, qs, base_failures=1, time_limit=0.0
+        )
+        assert search.first_solution() is None
+        assert search.stats.stop_reason == "time"
+
+    def test_on_solution_sees_live_state(self):
+        m, qs = queens_model(6)
+        seen = {}
+
+        def capture(sol):
+            # engine state must reflect the solution right now
+            seen["fixed"] = all(q.is_fixed() for q in qs)
+
+        search = RestartingSearch(
+            m.engine, qs, base_failures=64, on_solution=capture
+        )
+        assert search.first_solution() is not None
+        assert seen["fixed"]
+
+    def test_restart_counter(self):
+        m, qs = queens_model(8)
+        search = RestartingSearch(m.engine, qs, base_failures=1, seed=0)
+        search.first_solution()
+        # with a 1-failure budget, 8-queens all but surely needs restarts
+        assert search.restarts >= 1
+
+
+class TestPlacerRestartConstruction:
+    def test_restart_construction_places_all(self):
+        from repro.core.placer import CPPlacer, PlacerConfig
+        from repro.fabric.devices import irregular_device
+        from repro.fabric.region import PartialRegion
+        from repro.modules.generator import ModuleGenerator
+
+        region = PartialRegion.whole_device(irregular_device(96, 20, seed=13))
+        modules = ModuleGenerator(seed=21).generate_set(8)
+        cfg = PlacerConfig(
+            time_limit=6.0, first_solution_only=True, construction="restart",
+            seed=4,
+        )
+        res = CPPlacer(cfg).place(region, modules)
+        assert res.all_placed
+        res.verify()
+        assert "restarts" in res.stats

@@ -1,0 +1,219 @@
+"""Search and branch-and-bound: completeness, limits, optimality."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cp.bnb import BranchAndBound, Objective
+from repro.cp.branching import (
+    largest_domain,
+    max_value,
+    median_value,
+    min_value,
+    random_selector,
+    random_value,
+    smallest_domain,
+    smallest_min,
+)
+from repro.cp.model import Model
+from repro.cp.search import DepthFirstSearch, SearchLimit
+from repro.cp.solver import Solver, Status
+
+
+def queens_model(n):
+    m = Model()
+    qs = [m.int_var(0, n - 1, f"q{i}") for i in range(n)]
+    m.add_alldifferent(qs)
+    for i in range(n):
+        for j in range(i + 1, n):
+            m.add_ne(qs[i], qs[j], j - i)
+            m.add_ne(qs[i], qs[j], i - j)
+    return m, qs
+
+
+QUEENS_COUNTS = {4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
+
+
+class TestSearchCompleteness:
+    @pytest.mark.parametrize("n,count", sorted(QUEENS_COUNTS.items()))
+    def test_n_queens_counts(self, n, count):
+        m, qs = queens_model(n)
+        assert Solver(m, qs).enumerate() != [] or count == 0
+        m, qs = queens_model(n)
+        assert len(Solver(m, qs).enumerate()) == count
+
+    @pytest.mark.parametrize(
+        "var_select", [smallest_domain, largest_domain, smallest_min, random_selector(3)]
+    )
+    def test_heuristics_preserve_completeness(self, var_select):
+        m, qs = queens_model(6)
+        solver = Solver(m, qs, var_select=var_select)
+        assert len(solver.enumerate()) == 4
+
+    @pytest.mark.parametrize("val_select", [min_value, max_value, median_value, random_value(7)])
+    def test_value_orders_preserve_completeness(self, val_select):
+        m, qs = queens_model(6)
+        solver = Solver(m, qs, val_select=val_select)
+        assert len(solver.enumerate()) == 4
+
+    def test_state_restored_after_search(self):
+        m, qs = queens_model(5)
+        sizes = [q.size() for q in qs]
+        Solver(m, qs).enumerate()
+        assert [q.size() for q in qs] == sizes
+        assert m.engine.depth() == 0
+
+    def test_infeasible_detected_at_post(self):
+        from repro.cp.engine import Inconsistent
+
+        m = Model()
+        x = m.int_var(0, 2, "x")
+        y = m.int_var(0, 2, "y")
+        m.add_le(x, y, 1)
+        with pytest.raises(Inconsistent):
+            m.add_le(y, x, 1)  # x + 1 <= y and y + 1 <= x: impossible
+
+    def test_infeasible_detected_by_search(self):
+        # propagation alone cannot refute x != y on 0/1 domains with parity
+        # constraint; search must exhaust and report INFEASIBLE
+        m = Model()
+        x = m.int_var(0, 1, "x")
+        y = m.int_var(0, 1, "y")
+        z = m.int_var(0, 1, "z")
+        m.add_ne(x, y)
+        m.add_ne(y, z)
+        m.add_ne(x, z)  # 3-coloring of a triangle with 2 colors
+        r = Solver(m, [x, y, z]).solve()
+        assert r.status is Status.INFEASIBLE
+
+
+class TestSearchLimits:
+    def test_node_limit(self):
+        m, qs = queens_model(8)
+        search = DepthFirstSearch(
+            m.engine, qs, limit=SearchLimit(nodes=10)
+        )
+        list(search.solutions())
+        assert search.stats.stop_reason == "nodes"
+        assert search.stats.nodes <= 11
+
+    def test_solution_limit(self):
+        m, qs = queens_model(8)
+        sols = Solver(m, qs, limit=SearchLimit(solutions=5)).enumerate()
+        assert len(sols) == 5
+
+    def test_time_limit_zero_stops_immediately(self):
+        m, qs = queens_model(8)
+        search = DepthFirstSearch(
+            m.engine, qs, limit=SearchLimit(time_seconds=0.0)
+        )
+        assert list(search.solutions()) == []
+        assert search.stats.stop_reason == "time"
+
+    def test_failure_limit(self):
+        m, qs = queens_model(8)
+        search = DepthFirstSearch(
+            m.engine, qs, limit=SearchLimit(failures=5)
+        )
+        list(search.solutions())
+        assert search.stats.stop_reason in ("failures", "exhausted")
+
+
+class TestBranchAndBound:
+    def test_optimum_matches_brute_force(self):
+        # minimize 3x - 2y subject to x + y == 6, x,y in [0,6]
+        m = Model()
+        x = m.int_var(0, 6, "x")
+        y = m.int_var(0, 6, "y")
+        m.add_linear_eq([1, 1], [x, y], 6)
+        obj = m.int_var(-12, 18, "obj")
+        m.add_linear_eq([3, -2, -1], [x, y, obj], 0)
+        res = Solver(m, [x, y]).minimize(obj)
+        want = min(
+            3 * a - 2 * b
+            for a in range(7)
+            for b in range(7)
+            if a + b == 6
+        )
+        assert res.status is Status.OPTIMAL
+        assert res.objective == want
+
+    def test_maximize(self):
+        m = Model()
+        x = m.int_var(0, 9, "x")
+        y = m.int_var(0, 9, "y")
+        m.add_linear_le([1, 1], [x, y], 10)
+        s = m.int_var(0, 18, "s")
+        m.add_linear_eq([1, 1, -1], [x, y, s], 0)
+        bnb = BranchAndBound(m.engine, Objective.maximize(s), [x, y])
+        res = bnb.run()
+        assert res.objective == 10
+        assert res.proved_optimal
+
+    def test_trajectory_is_monotone(self):
+        m, qs = queens_model(6)
+        obj = m.int_var(0, 5, "obj")
+        m.add_max(obj, [qs[0]])
+        res = Solver(m, qs).minimize(obj)
+        values = [v for _, v in res.trajectory]
+        assert values == sorted(values, reverse=True)
+        assert res.status is Status.OPTIMAL
+
+    def test_infeasible_minimize(self):
+        m = Model()
+        x = m.int_var(0, 1, "x")
+        y = m.int_var(0, 1, "y")
+        m.add_ne(x, y)
+        m.add_eq(x, y)
+        r = Solver(m, [x, y]).minimize(x)
+        assert r.status is Status.INFEASIBLE
+
+    @given(st.lists(st.integers(0, 8), min_size=2, max_size=4))
+    def test_min_of_maximum(self, highs):
+        """Minimizing max(xs) with sum constraint equals brute force."""
+        total = sum(highs) // 2
+        m = Model()
+        xs = [m.int_var(0, h, f"v{i}") for i, h in enumerate(highs)]
+        try:
+            m.add_linear_eq([1] * len(xs), xs, total)
+        except Exception:
+            return
+        obj = m.int_var(0, max(highs), "obj")
+        m.add_max(obj, xs)
+        res = Solver(m, xs).minimize(obj)
+        want = min(
+            (
+                max(combo)
+                for combo in itertools.product(
+                    *[range(h + 1) for h in highs]
+                )
+                if sum(combo) == total
+            ),
+            default=None,
+        )
+        assert res.objective == want
+
+
+class TestSolverFacade:
+    def test_feasible_status(self):
+        m = Model()
+        x = m.int_var(0, 5, "x")
+        r = Solver(m, [x]).solve()
+        assert r.status is Status.FEASIBLE
+        assert r.found
+
+    def test_unknown_status_on_limit(self):
+        m, qs = queens_model(8)
+        r = Solver(m, qs, limit=SearchLimit(time_seconds=0.0)).solve()
+        assert r.status is Status.UNKNOWN
+
+    def test_enumerate_callback(self):
+        m = Model()
+        x = m.int_var(0, 3, "x")
+        seen = []
+        Solver(m, [x]).enumerate(callback=lambda s: seen.append(s["x"]))
+        assert seen == [0, 1, 2, 3]

@@ -1,0 +1,82 @@
+"""Coverage for statistics objects and miscellaneous solver surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cp.domain import Domain
+from repro.cp.model import Model
+from repro.cp.solver import Solver, Status
+from repro.cp.stats import EngineStats, SearchStats, SolveStats
+
+
+class TestStats:
+    def test_engine_stats_add_and_reset(self):
+        a = EngineStats(1, 2, 3)
+        b = EngineStats(10, 20, 30)
+        c = a + b
+        assert (c.propagations, c.domain_updates, c.failures) == (11, 22, 33)
+        a.reset()
+        assert a.propagations == 0
+
+    def test_search_stats_add(self):
+        a = SearchStats(nodes=5, backtracks=2, solutions=1, max_depth=3,
+                        elapsed=0.5, stop_reason="")
+        b = SearchStats(nodes=7, backtracks=1, solutions=0, max_depth=9,
+                        elapsed=0.25, stop_reason="time")
+        c = a + b
+        assert c.nodes == 12 and c.max_depth == 9
+        assert c.stop_reason == "time"
+        assert c.elapsed == pytest.approx(0.75)
+
+    def test_solve_stats_summary(self):
+        s = SolveStats()
+        s.search.nodes = 42
+        assert "nodes=42" in s.summary()
+
+
+class TestSolverSurfaces:
+    def test_minimize_trajectory_recorded(self):
+        m = Model()
+        x = m.int_var(0, 9, "x")
+        y = m.int_var(0, 9, "y")
+        m.add_linear_le([1, 1], [x, y], 9)
+        res = Solver(m, [x, y]).minimize(x)
+        assert res.status is Status.OPTIMAL
+        assert res.trajectory  # at least one improving step recorded
+        assert res.trajectory[-1][1] == res.objective == 0
+
+    def test_found_property(self):
+        m = Model()
+        x = m.int_var(0, 1, "x")
+        res = Solver(m, [x]).solve()
+        assert res.found
+
+    def test_model_repr(self):
+        m = Model("demo")
+        m.int_var(0, 3)
+        assert "demo" in repr(m)
+        assert "vars=1" in repr(m)
+
+    def test_variable_repr_and_values(self):
+        m = Model()
+        v = m.int_var(1, 3, "v")
+        assert "v" in repr(v)
+        assert list(v.values()) == [1, 2, 3]
+        assert 2 in v
+
+    def test_constant(self):
+        m = Model()
+        c = m.constant(7)
+        assert c.is_fixed() and c.value() == 7
+
+    def test_domain_repr_large_and_small(self):
+        small = Domain([1, 2, 3])
+        assert "1, 2, 3" in repr(small)
+        big = Domain(range(100))
+        assert "size=100" in repr(big)
+        assert repr(Domain()) == "Domain({})"
+
+    def test_domain_reversed(self):
+        d = Domain([3, 1, 5])
+        assert list(reversed(d)) == [5, 3, 1]

@@ -1,0 +1,205 @@
+"""Trail and engine: trailing, events, propagation queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cp.domain import Domain
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.events import Event, classify
+from repro.cp.propagator import Priority, Propagator
+from repro.cp.trail import Trail
+
+
+class TestTrail:
+    def test_push_pop_level(self):
+        t = Trail()
+        log = []
+        t.push_level()
+        t.push(lambda: log.append("a"))
+        t.push(lambda: log.append("b"))
+        t.pop_level()
+        assert log == ["b", "a"]  # reverse order
+
+    def test_nested_levels(self):
+        t = Trail()
+        log = []
+        t.push_level()
+        t.push(lambda: log.append(1))
+        t.push_level()
+        t.push(lambda: log.append(2))
+        t.pop_level()
+        assert log == [2]
+        t.pop_level()
+        assert log == [2, 1]
+
+    def test_pop_to(self):
+        t = Trail()
+        log = []
+        for i in range(4):
+            t.push_level()
+            t.push(lambda i=i: log.append(i))
+        t.pop_to(1)
+        assert log == [3, 2, 1]
+        assert t.depth() == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            Trail().pop_level()
+
+    def test_entries_below_level_survive(self):
+        t = Trail()
+        log = []
+        t.push(lambda: log.append("root"))
+        t.push_level()
+        t.pop_level()
+        assert log == []  # root entry untouched
+
+
+class TestEvents:
+    def test_classify_value_removal(self):
+        ev = classify(0, 9, 10, 0, 9, 9)
+        assert ev == Event.DOMAIN
+
+    def test_classify_bounds(self):
+        ev = classify(0, 9, 10, 1, 9, 9)
+        assert Event.BOUNDS in ev and Event.DOMAIN in ev
+
+    def test_classify_fix(self):
+        ev = classify(0, 9, 10, 4, 4, 1)
+        assert Event.FIX in ev and Event.BOUNDS in ev
+
+
+class _Recorder(Propagator):
+    """Counts how often it is propagated."""
+
+    def __init__(self, var, events=Event.ANY):
+        super().__init__("recorder")
+        self.var = var
+        self.events = events
+        self.runs = 0
+
+    def post(self, engine):
+        self.var.watch(self, self.events)
+
+    def propagate(self, engine):
+        self.runs += 1
+
+
+class TestEngine:
+    def test_update_domain_trails(self):
+        e = Engine()
+        v = e.new_var(0, 9, "v")
+        e.push_level()
+        v.remove_above(5)
+        assert v.max() == 5
+        e.pop_level()
+        assert v.max() == 9
+
+    def test_update_to_same_domain_is_noop(self):
+        e = Engine()
+        v = e.new_var(0, 9)
+        assert v.remove_above(9) is False
+        assert e.stats.domain_updates == 0
+
+    def test_wipeout_raises_and_counts(self):
+        e = Engine()
+        v = e.new_var(0, 3)
+        with pytest.raises(Inconsistent):
+            v.set_domain(Domain([]))
+        assert e.stats.failures == 1
+
+    def test_grow_rejected(self):
+        e = Engine()
+        v = e.new_var(2, 4)
+        with pytest.raises(ValueError):
+            v.set_domain(Domain.range(0, 9))
+
+    def test_event_filtering(self):
+        e = Engine()
+        v = e.new_var(0, 9)
+        bounds_watcher = _Recorder(v, Event.BOUNDS)
+        any_watcher = _Recorder(v, Event.ANY)
+        e.post(bounds_watcher)
+        e.post(any_watcher)
+        v.remove(5)  # interior removal: DOMAIN only
+        e.fixpoint()
+        assert bounds_watcher.runs == 0
+        assert any_watcher.runs == 1
+        v.remove_above(7)  # bounds change
+        e.fixpoint()
+        assert bounds_watcher.runs == 1
+        assert any_watcher.runs == 2
+
+    def test_cause_not_rescheduled(self):
+        e = Engine()
+        v = e.new_var(0, 9)
+
+        class SelfModifier(Propagator):
+            def __init__(self):
+                super().__init__()
+                self.runs = 0
+
+            def post(self, engine):
+                v.watch(self, Event.ANY)
+                engine.schedule(self)
+
+            def propagate(self, engine):
+                self.runs += 1
+                v.remove_above(8, cause=self)  # must not re-wake itself
+
+        p = SelfModifier()
+        e.post(p)
+        assert p.runs == 1
+
+    def test_priority_order(self):
+        e = Engine()
+        v = e.new_var(0, 9)
+        order = []
+
+        class P(Propagator):
+            def __init__(self, tag, prio):
+                super().__init__(tag)
+                self.priority = prio
+
+            def post(self, engine):
+                pass
+
+            def propagate(self, engine):
+                order.append(self.name)
+
+        slow = P("slow", Priority.EXPENSIVE)
+        fast = P("fast", Priority.UNARY)
+        e.schedule(slow)
+        e.schedule(fast)
+        e.fixpoint()
+        assert order == ["fast", "slow"]
+
+    def test_deactivated_propagator_skipped(self):
+        e = Engine()
+        v = e.new_var(0, 9)
+        r = _Recorder(v)
+        e.post(r)
+        e.push_level()
+        r.deactivate(e)
+        v.remove_above(5)
+        e.fixpoint()
+        assert r.runs == 0
+        e.pop_level()  # reactivates via trail
+        v.remove_above(3)
+        e.fixpoint()
+        assert r.runs == 1
+
+    def test_all_fixed(self):
+        e = Engine()
+        a = e.new_var(1, 1)
+        b = e.new_var(0, 1)
+        assert not e.all_fixed()
+        assert e.all_fixed([a])
+        b.fix(0)
+        assert e.all_fixed()
+
+    def test_new_var_from_empty_rejected(self):
+        e = Engine()
+        with pytest.raises(ValueError):
+            e.new_var_from(Domain([]))

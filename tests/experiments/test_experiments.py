@@ -1,0 +1,160 @@
+"""Experiment drivers: mini Table I, figures, ablation plumbing.
+
+These run scaled-down configurations (tiny budgets) so the *machinery* is
+fully exercised in CI time; the full-scale numbers are produced by the
+benchmark suite (and REPRO_FULL=1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    alternatives_sweep,
+    baseline_comparison,
+    format_sweep,
+    heterogeneity_sweep,
+    solver_strategy_sweep,
+)
+from repro.experiments.config import Table1Config, default_fabric, full_scale
+from repro.experiments.figures import (
+    figure1_gallery,
+    figure1_module,
+    figure3_comparison,
+    figure4_constraint_anatomy,
+)
+from repro.experiments.table1 import format_table1, run_table1
+
+
+class TestConfig:
+    def test_default_fabric_is_heterogeneous(self):
+        region = default_fabric()
+        counts = region.available_counts()
+        assert len(counts) >= 3  # CLB, BRAM, CLK at least
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_scale()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_scale()
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_scale()
+
+    def test_table1_config_scales_with_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert Table1Config().n_runs == 50
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert Table1Config().n_runs < 50
+
+
+class TestTable1Mini:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        cfg = Table1Config(n_runs=1, n_modules=10, time_limit=4.0)
+        return run_table1(cfg)
+
+    def test_two_rows(self, rows):
+        assert [r.label for r in rows] == [
+            "No design alternatives",
+            "Design alternatives",
+        ]
+
+    def test_alternatives_do_not_hurt_utilization(self, rows):
+        without, with_alts = rows
+        assert with_alts.mean_utilization >= without.mean_utilization - 0.02
+
+    def test_resource_deltas_are_zero(self, rows):
+        # paper Table I: CLB and BRAM change is 0 (same resources consumed)
+        without, with_alts = rows
+        assert without.mean_clb == with_alts.mean_clb
+        assert without.mean_bram == with_alts.mean_bram
+
+    def test_formatting(self, rows):
+        out = format_table1(rows)
+        assert "No design alternatives" in out
+        assert "Change" in out
+        assert "paper" in out
+
+
+class TestFigures:
+    def test_figure1_module_has_multiple_layouts(self):
+        m = figure1_module()
+        assert m.n_alternatives >= 3
+        assert m.is_resource_equivalent()
+
+    def test_figure1_gallery_renders(self):
+        assert "design alternatives" in figure1_gallery()
+
+    def test_figure4_monotone_shrinkage(self):
+        anatomy = figure4_constraint_anatomy()
+        assert anatomy.monotone()
+        # heterogeneity must actually bite (strict drop at step b)
+        assert anatomy.resource_matched < anatomy.in_bounds
+        assert anatomy.in_region < anatomy.resource_matched
+
+    def test_figure3_comparison_small(self):
+        without, with_alts, fig = figure3_comparison(
+            n_modules=4, time_limit=1.5
+        )
+        assert without.all_placed and with_alts.all_placed
+        without.verify()
+        with_alts.verify()
+        assert with_alts.extent <= without.extent
+        assert "extent" in fig
+
+
+class TestAblations:
+    def test_alternatives_sweep_mini(self):
+        points = alternatives_sweep(counts=(1, 2), n_modules=6, time_limit=1.5)
+        assert [p.label for p in points] == ["alternatives=1", "alternatives=2"]
+        assert all(p.placed == 6 for p in points)
+        # more alternatives never hurt (same seeds, superset shapes)
+        assert points[1].extent <= points[0].extent
+
+    def test_heterogeneity_sweep_mini(self):
+        points = heterogeneity_sweep(n_modules=5, time_limit=1.5)
+        labels = {p.label for p in points}
+        assert labels == {"homogeneous", "columnar", "irregular"}
+        homog = next(p for p in points if p.label == "homogeneous")
+        irreg = next(p for p in points if p.label == "irregular")
+        assert homog.utilization >= irreg.utilization - 0.02
+
+    def test_baseline_comparison_mini(self):
+        points = baseline_comparison(n_modules=8, time_limit=2.0)
+        by_label = {p.label: p for p in points}
+        assert "cp-lns" in by_label and "kamer" in by_label
+        cp = by_label["cp-lns"]
+        for label, p in by_label.items():
+            if label != "cp-lns" and p.unplaced == 0 and p.extent:
+                assert cp.extent <= p.extent + 1
+
+    def test_solver_strategy_sweep_mini(self):
+        points = solver_strategy_sweep(n_modules=5, time_limit=1.0)
+        assert len(points) == 3
+        assert all(p.placed == 5 for p in points)
+
+    def test_format_sweep(self):
+        points = alternatives_sweep(counts=(1,), n_modules=3, time_limit=0.5)
+        out = format_sweep(points, title="demo")
+        assert "demo" in out and "alternatives=1" in out
+
+
+class TestStaticFractionSweep:
+    def test_mini_sweep(self):
+        from repro.experiments.ablations import static_fraction_sweep
+
+        points = static_fraction_sweep(
+            fractions=(0.0, 0.5), n_modules=5, time_limit=1.5
+        )
+        assert [p.label for p in points] == ["static=0%", "static=50%"]
+        assert all(p.placed == 5 for p in points)
+        assert points[1].extent >= points[0].extent
+
+    def test_invalid_fraction_rejected(self):
+        import pytest as _pytest
+
+        from repro.experiments.ablations import static_fraction_sweep
+
+        with _pytest.raises(ValueError):
+            static_fraction_sweep(fractions=(1.5,), n_modules=2,
+                                  time_limit=0.5)

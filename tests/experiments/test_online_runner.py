@@ -1,0 +1,89 @@
+"""Online service-level experiment and the CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.online import (
+    OnlineStats,
+    format_online,
+    generate_trace,
+    online_comparison,
+    simulate_incremental,
+    simulate_kamer,
+)
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.fabric.devices import irregular_device
+from repro.fabric.region import PartialRegion
+
+
+class TestTrace:
+    def test_trace_is_ordered_and_seeded(self):
+        a = generate_trace(10, seed=4)
+        b = generate_trace(10, seed=4)
+        c = generate_trace(10, seed=5)
+        assert [r.arrival for r in a] == sorted(r.arrival for r in a)
+        assert [(r.module.name, r.arrival) for r in a] == [
+            (r.module.name, r.arrival) for r in b
+        ]
+        assert [r.arrival for r in a] != [r.arrival for r in c] or [
+            r.lifetime for r in a
+        ] != [r.lifetime for r in c]
+
+    def test_lifetimes_positive(self):
+        assert all(r.lifetime > 0 for r in generate_trace(20, seed=1))
+
+
+class TestOnlineSimulation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        region = PartialRegion.whole_device(irregular_device(40, 12, seed=9))
+        trace = generate_trace(16, seed=3)
+        return region, trace
+
+    def test_kamer_accounts_every_request(self, setup):
+        region, trace = setup
+        stats = simulate_kamer(region, trace, True, "k")
+        assert stats.total == len(trace)
+        assert len(stats.rejected_names) == stats.rejected
+
+    def test_incremental_accounts_every_request(self, setup):
+        region, trace = setup
+        stats = simulate_incremental(region, trace, True, "cp",
+                                     sub_time_limit=0.3)
+        assert stats.total == len(trace)
+
+    def test_alternatives_never_hurt_acceptance(self, setup):
+        region, trace = setup
+        without = simulate_kamer(region, trace, False, "w/o")
+        with_alts = simulate_kamer(region, trace, True, "with")
+        assert with_alts.accepted >= without.accepted
+
+    def test_acceptance_ratio_bounds(self):
+        s = OnlineStats("x", accepted=3, rejected=1)
+        assert s.acceptance_ratio == 0.75
+        assert OnlineStats("y").acceptance_ratio == 0.0
+
+    def test_format(self):
+        out = format_online([OnlineStats("mgr", accepted=2, rejected=2)])
+        assert "mgr" in out and "50.0%" in out
+
+
+class TestRunnerCLI:
+    def test_experiment_registry_covers_paper(self):
+        assert {"table1", "fig1", "fig3", "fig4", "fig5"} <= set(EXPERIMENTS)
+        assert {"a1", "a2", "a3", "a4", "a5"} <= set(EXPERIMENTS)
+
+    def test_fig1_via_cli(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "design alternatives" in out
+
+    def test_fig4_via_cli(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "monotone shrinkage: True" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

@@ -1,0 +1,74 @@
+"""Fabric characterization metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.analysis import (
+    clb_run_lengths,
+    column_profile,
+    format_summary,
+    heterogeneity_index,
+    interruption_count,
+    resource_summary,
+)
+from repro.fabric.devices import columnar_device, homogeneous_device, irregular_device
+from repro.fabric.grid import FabricGrid
+from repro.fabric.resource import ResourceType
+
+
+class TestColumnProfile:
+    def test_homogeneous_all_clb_uniform(self):
+        p = column_profile(homogeneous_device(8, 4))
+        assert all(k is ResourceType.CLB for k in p.kinds)
+        assert all(p.uniform)
+
+    def test_columnar_classification(self):
+        g = columnar_device(24, 8)
+        p = column_profile(g)
+        assert p.kinds[0] is ResourceType.IO
+        assert ResourceType.BRAM in p.kinds
+        assert all(p.uniform)  # regular columns are pure
+
+    def test_interrupted_column_not_uniform(self):
+        g = FabricGrid.from_rows(["B.", "K.", "B."])
+        p = column_profile(g)
+        assert p.kinds[0] is ResourceType.BRAM  # dominant
+        assert not p.uniform[0]
+        assert p.uniform[1]
+
+    def test_columns_of(self):
+        g = columnar_device(24, 8)
+        p = column_profile(g)
+        for x in p.columns_of(ResourceType.BRAM):
+            assert g.kind_at(x, 0) is ResourceType.BRAM
+
+
+class TestRunsAndIndices:
+    def test_homogeneous_single_run(self):
+        assert clb_run_lengths(homogeneous_device(10, 3)) == [10]
+
+    def test_columnar_runs_between_special_columns(self):
+        g = columnar_device(24, 8, bram_stride=8, dsp_stride=0)
+        runs = clb_run_lengths(g)
+        assert sum(runs) == g.count(ResourceType.CLB) // 8
+        assert all(r >= 1 for r in runs)
+
+    def test_heterogeneity_index_bounds(self):
+        assert heterogeneity_index(homogeneous_device(5, 5)) == 0.0
+        g = irregular_device(40, 12, seed=3)
+        assert 0.0 < heterogeneity_index(g) < 1.0
+
+    def test_interruptions_counted(self):
+        g = irregular_device(40, 12, seed=3, clk_rows=1)
+        assert interruption_count(g) > 0
+        g2 = irregular_device(40, 12, seed=3, clk_rows=0)
+        assert interruption_count(g2) == 0
+
+    def test_summary_and_format(self):
+        g = irregular_device(40, 12, seed=3)
+        s = resource_summary(g)
+        assert s["width"] == 40
+        assert s["max_run_width"] >= s["min_run_width"] >= 0
+        text = format_summary(g, "test-device")
+        assert "test-device" in text and "CLB runs" in text

@@ -1,0 +1,167 @@
+"""FabricGrid and the device generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.devices import (
+    columnar_device,
+    device_catalog,
+    homogeneous_device,
+    irregular_device,
+    make_device,
+    with_static_columns,
+)
+from repro.fabric.grid import FabricGrid
+from repro.fabric.resource import ResourceType
+from repro.fabric.tile import TileSet
+
+
+class TestFabricGrid:
+    def test_filled(self):
+        g = FabricGrid.filled(4, 3)
+        assert g.width == 4 and g.height == 3 and g.area == 12
+        assert g.count(ResourceType.CLB) == 12
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            FabricGrid.filled(0, 3)
+        with pytest.raises(ValueError):
+            FabricGrid(np.zeros((2, 2, 2), dtype=np.int8))
+
+    def test_unknown_codes_rejected(self):
+        with pytest.raises(ValueError):
+            FabricGrid(np.full((2, 2), 99, dtype=np.int8))
+
+    def test_render_round_trip(self):
+        g = irregular_device(12, 6, seed=1)
+        assert FabricGrid.from_rows(g.render().splitlines()) == g
+
+    def test_from_rows_top_first(self):
+        g = FabricGrid.from_rows(["B.", ".."])
+        # top row first: the BRAM is at (0, 1) in bottom-origin coords
+        assert g.kind_at(0, 1) is ResourceType.BRAM
+        assert g.kind_at(0, 0) is ResourceType.CLB
+
+    def test_from_rows_validation(self):
+        with pytest.raises(ValueError):
+            FabricGrid.from_rows([])
+        with pytest.raises(ValueError):
+            FabricGrid.from_rows(["..", "..."])
+        with pytest.raises(ValueError):
+            FabricGrid.from_rows(["ZZ"])
+
+    def test_kind_at_bounds(self):
+        g = FabricGrid.filled(3, 3)
+        with pytest.raises(IndexError):
+            g.kind_at(3, 0)
+
+    def test_resource_counts_sum_to_area(self):
+        g = irregular_device(24, 12, seed=2)
+        assert sum(g.resource_counts().values()) == g.area
+
+    def test_resource_mask_consistent_with_counts(self):
+        g = columnar_device(24, 12)
+        for kind, n in g.resource_counts().items():
+            assert int(g.resource_mask(kind).sum()) == n
+
+    def test_tileset_round_trip(self):
+        g = irregular_device(10, 5, seed=3)
+        rebuilt = FabricGrid.from_tilesets(g.tilesets())
+        assert rebuilt == g
+
+    def test_from_tilesets_rejects_overlap(self):
+        a = TileSet.block(0, 0, 2, 2, ResourceType.CLB)
+        b = TileSet.block(1, 1, 2, 2, ResourceType.BRAM)
+        with pytest.raises(ValueError):
+            FabricGrid.from_tilesets([a, b])
+
+    def test_from_tilesets_rejects_negative(self):
+        t = TileSet.block(-1, 0, 2, 2, ResourceType.CLB)
+        with pytest.raises(ValueError):
+            FabricGrid.from_tilesets([t])
+
+    def test_copy_is_independent(self):
+        g = FabricGrid.filled(3, 3)
+        c = g.copy()
+        c.cells[0, 0] = int(ResourceType.BRAM)
+        assert g.kind_at(0, 0) is ResourceType.CLB
+
+
+class TestDevices:
+    def test_homogeneous_is_all_clb(self):
+        g = homogeneous_device(16, 8)
+        assert g.count(ResourceType.CLB) == g.area
+
+    def test_columnar_has_full_columns(self):
+        g = columnar_device(32, 8)
+        for x in range(g.width):
+            column = g.cells[:, x]
+            assert len(set(column.tolist())) == 1  # columns are uniform
+
+    def test_columnar_io_edges(self):
+        g = columnar_device(32, 8)
+        assert all(g.kind_at(0, y) is ResourceType.IO for y in range(8))
+        assert all(g.kind_at(31, y) is ResourceType.IO for y in range(8))
+
+    def test_irregular_deterministic_per_seed(self):
+        a = irregular_device(40, 16, seed=9)
+        b = irregular_device(40, 16, seed=9)
+        c = irregular_device(40, 16, seed=10)
+        assert a == b
+        assert a != c
+
+    def test_irregular_has_clock_interruptions(self):
+        g = irregular_device(40, 16, seed=9)
+        assert g.count(ResourceType.CLK) > 0
+        # clock tiles sit in (former) dedicated columns near mid-height
+        ys, xs = np.nonzero(g.resource_mask(ResourceType.CLK))
+        assert set(ys.tolist()) == {16 // 2}
+
+    def test_irregular_spacing_respects_stride_and_jitter(self):
+        g = irregular_device(80, 16, seed=4, bram_stride=8, jitter=2)
+        cols = sorted(
+            {int(x) for x in np.nonzero(
+                g.resource_mask(ResourceType.BRAM).any(axis=0) |
+                g.resource_mask(ResourceType.CLK).any(axis=0)
+            )[0]}
+        )
+        gaps = [b - a for a, b in zip(cols, cols[1:])]
+        assert all(g >= 8 - 2 * 2 for g in gaps)
+
+    def test_irregular_validation(self):
+        with pytest.raises(ValueError):
+            irregular_device(10, 10, bram_stride=-1)
+        with pytest.raises(ValueError):
+            irregular_device(0, 10)
+
+    def test_with_static_columns(self):
+        g = with_static_columns(homogeneous_device(10, 4), 2, 4)
+        assert g.count(ResourceType.UNAVAILABLE) == 3 * 4
+        with pytest.raises(ValueError):
+            with_static_columns(g, 8, 12)
+
+    def test_catalog_instantiates(self):
+        for name in device_catalog():
+            g = make_device(name)
+            assert g.area > 0
+
+    def test_catalog_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_device("no-such-device")
+
+    def test_make_device_deterministic(self):
+        assert make_device("irregular-24x16") == make_device("irregular-24x16")
+
+    @given(
+        st.integers(4, 40),
+        st.integers(2, 20),
+        st.integers(0, 50),
+    )
+    def test_irregular_resource_partition(self, w, h, seed):
+        """Every cell has exactly one resource type and counts add up."""
+        g = irregular_device(w, h, seed=seed)
+        assert sum(g.resource_counts().values()) == w * h

@@ -1,0 +1,115 @@
+"""Resource types and the formal tile/tileset layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.resource import (
+    RESOURCE_CHARS,
+    ResourceType,
+    parse_resource,
+)
+from repro.fabric.tile import Tile, TileSet
+
+
+class TestResourceType:
+    def test_all_types_have_chars(self):
+        assert set(RESOURCE_CHARS) == set(ResourceType)
+
+    def test_chars_unique(self):
+        chars = list(RESOURCE_CHARS.values())
+        assert len(chars) == len(set(chars))
+
+    def test_placeable(self):
+        assert ResourceType.CLB.is_placeable
+        assert ResourceType.BRAM.is_placeable
+        assert not ResourceType.UNAVAILABLE.is_placeable
+
+    def test_dedicated(self):
+        assert ResourceType.BRAM.is_dedicated
+        assert ResourceType.DSP.is_dedicated
+        assert not ResourceType.CLB.is_dedicated
+        assert not ResourceType.IO.is_dedicated
+
+    @pytest.mark.parametrize("kind", list(ResourceType))
+    def test_parse_round_trips(self, kind):
+        assert parse_resource(kind.name) is kind
+        assert parse_resource(int(kind)) is kind
+        assert parse_resource(RESOURCE_CHARS[kind]) is kind
+        assert parse_resource(kind) is kind
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_resource("nonsense")
+
+    def test_int8_compatible(self):
+        assert all(0 <= int(k) < 128 for k in ResourceType)
+
+
+class TestTile:
+    def test_translation(self):
+        t = Tile(2, 3, ResourceType.CLB)
+        assert t.translated(1, -1) == Tile(3, 2, ResourceType.CLB)
+
+    def test_ordering_and_equality(self):
+        a = Tile(0, 0, ResourceType.CLB)
+        b = Tile(0, 1, ResourceType.CLB)
+        assert a < b
+        assert a == Tile(0, 0, ResourceType.CLB)
+
+    def test_str(self):
+        assert "CLB" in str(Tile(1, 2, ResourceType.CLB))
+
+
+class TestTileSet:
+    def test_paper_multiplier_example(self):
+        # "A multiplier module is modelled as a tileset T consisting of four
+        # tiles ... {t_0,0,k, t_0,1,k, t_1,0,k, t_1,1,k}"
+        ts = TileSet.block(0, 0, 2, 2, ResourceType.DSP)
+        assert len(ts) == 4
+        assert ts.coords() == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_paper_clb_example(self):
+        # "A CLB forms the tileset T_k = {t_0,0,k} consisting of a single tile"
+        ts = TileSet.block(0, 0, 1, 1, ResourceType.CLB)
+        assert len(ts) == 1
+
+    def test_empty_rejected(self):
+        # "T_k = {...}, where n > 0, i.e. the set is not empty"
+        with pytest.raises(ValueError):
+            TileSet([])
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            TileSet([Tile(0, 0, ResourceType.CLB), Tile(1, 0, ResourceType.BRAM)])
+
+    def test_from_coords(self):
+        ts = TileSet.from_coords([(0, 0), (5, 5)], ResourceType.BRAM)
+        assert ts.kind is ResourceType.BRAM
+        assert len(ts) == 2
+
+    def test_translation_preserves_shape(self):
+        ts = TileSet.block(0, 0, 2, 3, ResourceType.CLB)
+        moved = ts.translated(4, 5)
+        assert moved.bounding_box() == (4, 5, 2, 3)
+        assert len(moved) == len(ts)
+
+    def test_bounding_box(self):
+        ts = TileSet.from_coords([(1, 2), (4, 7)], ResourceType.CLB)
+        assert ts.bounding_box() == (1, 2, 4, 6)
+
+    def test_overlaps(self):
+        a = TileSet.block(0, 0, 2, 2, ResourceType.CLB)
+        b = TileSet.block(1, 1, 2, 2, ResourceType.CLB)
+        c = TileSet.block(2, 2, 2, 2, ResourceType.CLB)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_block_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            TileSet.block(0, 0, 0, 2, ResourceType.CLB)
+
+    def test_hash_and_eq(self):
+        a = TileSet.block(0, 0, 2, 2, ResourceType.CLB)
+        b = TileSet.block(0, 0, 2, 2, ResourceType.CLB)
+        assert a == b and hash(a) == hash(b)

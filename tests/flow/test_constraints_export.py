@@ -1,0 +1,97 @@
+"""Vendor-style constraint export / reconstruction round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placer import CPPlacer, PlacerConfig
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.flow.constraints_export import (
+    export_constraints,
+    parse_constraints,
+    reconstruct_placements,
+    save_constraints,
+)
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+
+
+def simple_result():
+    region = PartialRegion.whole_device(homogeneous_device(8, 4))
+    lshape = Footprint(
+        [(0, 0, ResourceType.CLB), (1, 0, ResourceType.CLB),
+         (0, 1, ResourceType.CLB)]
+    )
+    m = Module("fir", [Footprint.rectangle(2, 2), lshape])
+    return PlacementResult(region, [Placement(m, 1, 3, 1)]), m
+
+
+class TestExport:
+    def test_contains_range_shape_prohibit(self):
+        result, _ = simple_result()
+        text = export_constraints(result)
+        assert 'AREA_GROUP "fir" RANGE=TILE_X3Y1:TILE_X4Y2 ;' in text
+        assert 'AREA_GROUP "fir" SHAPE=1 ;' in text
+        assert 'PROHIBIT "fir" TILE_X4Y2 ;' in text  # the L's missing corner
+
+    def test_parse_round_trip(self):
+        result, _ = simple_result()
+        records = parse_constraints(export_constraints(result))
+        sid, rng, prohibited = records["fir"]
+        assert sid == 1
+        assert rng == (3, 1, 4, 2)
+        assert prohibited == [(4, 2)]
+
+    def test_reconstruct_placements(self):
+        result, module = simple_result()
+        text = export_constraints(result)
+        back = reconstruct_placements(text, {"fir": module})
+        assert len(back) == 1
+        p = back[0]
+        assert (p.shape_index, p.x, p.y) == (1, 3, 1)
+
+    def test_reconstruct_detects_wrong_module(self):
+        result, module = simple_result()
+        text = export_constraints(result)
+        other = Module("fir", [Footprint.rectangle(3, 3)])
+        with pytest.raises(ValueError):
+            reconstruct_placements(text, {"fir": other})
+        with pytest.raises(KeyError):
+            reconstruct_placements(text, {})
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_constraints("NOT A CONSTRAINT ;")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\n" + export_constraints(simple_result()[0])
+        assert "fir" in parse_constraints(text)
+
+    def test_file_round_trip(self, tmp_path):
+        result, module = simple_result()
+        path = tmp_path / "floorplan.ucf"
+        save_constraints(result, path)
+        back = reconstruct_placements(path.read_text(), {"fir": module})
+        assert back[0].x == 3
+
+    def test_full_pipeline_round_trip(self):
+        """Place real generated modules, export, reconstruct, verify."""
+        region = PartialRegion.whole_device(irregular_device(48, 12, seed=5))
+        cfg = GeneratorConfig(clb_min=8, clb_max=16, bram_max=1,
+                              height_min=2, height_max=4)
+        modules = ModuleGenerator(seed=3, config=cfg).generate_set(4)
+        res = CPPlacer(
+            PlacerConfig(time_limit=3.0, first_solution_only=True)
+        ).place(region, modules)
+        assert res.all_placed
+        text = export_constraints(res)
+        back = reconstruct_placements(text, {m.name: m for m in modules})
+        rebuilt = PlacementResult(region, back)
+        rebuilt.verify()
+        assert {(p.module.name, p.shape_index, p.x, p.y) for p in back} == {
+            (p.module.name, p.shape_index, p.x, p.y) for p in res.placements
+        }

@@ -1,0 +1,168 @@
+"""Design flow, bus macros, bitstream assembly, visualization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.io import save_region
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.flow.bitstream import (
+    assemble_bitstream,
+    module_frame_cost,
+    partial_diff,
+)
+from repro.flow.busmacro import add_bus_row, attach_bus_macro, bus_aligned_modules
+from repro.flow.design_flow import DesignFlow
+from repro.flow.visualize import alternatives_gallery, comparison_figure
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.library import ModuleLibrary
+from repro.modules.module import Module
+from repro.modules.spec import save_modules
+
+
+class TestBusMacro:
+    def test_add_bus_row(self):
+        g = homogeneous_device(12, 4)
+        bussed = add_bus_row(g, y=0, stride=4, phase=1)
+        macros = np.nonzero(bussed.resource_mask(ResourceType.BUSMACRO))
+        assert set(macros[0].tolist()) == {0}
+        assert set(macros[1].tolist()) == {1, 5, 9}
+
+    def test_add_bus_row_skips_dedicated_columns(self):
+        g = irregular_device(16, 4, seed=1)
+        bussed = add_bus_row(g, y=0, stride=1)
+        # no BRAM/DSP column was converted
+        for kind in (ResourceType.BRAM, ResourceType.DSP):
+            assert bussed.count(kind) == g.count(kind)
+
+    def test_add_bus_row_validation(self):
+        g = homogeneous_device(4, 4)
+        with pytest.raises(ValueError):
+            add_bus_row(g, y=9)
+        with pytest.raises(ValueError):
+            add_bus_row(g, y=0, stride=0)
+
+    def test_attach_bus_macro(self):
+        fp = Footprint.rectangle(3, 2)
+        attached = attach_bus_macro(fp)
+        counts = attached.resource_counts()
+        assert counts[ResourceType.BUSMACRO] == 1
+        assert counts[ResourceType.CLB] == 5
+        assert attached.cells_of(ResourceType.BUSMACRO) == {(0, 0)}
+
+    def test_attach_requires_clb_at_row(self):
+        fp = Footprint([(0, 0, ResourceType.BRAM)])
+        with pytest.raises(ValueError):
+            attach_bus_macro(fp)
+
+    def test_bus_aligned_modules(self):
+        mods = ModuleGenerator(seed=1).generate_set(4)
+        bussed = bus_aligned_modules(mods)
+        for m in bussed:
+            for fp in m.shapes:
+                assert fp.resource_counts().get(ResourceType.BUSMACRO) == 1
+
+    def test_bus_aligned_placement_lands_on_macro(self):
+        """End-to-end: a bussed module must anchor its macro on a bus tile."""
+        from repro.core.placer import place
+
+        g = add_bus_row(homogeneous_device(12, 3), y=0, stride=3, phase=0)
+        region = PartialRegion.whole_device(g)
+        module = Module(
+            "m", [attach_bus_macro(Footprint.rectangle(2, 2))]
+        )
+        res = place(region, [module], time_limit=None)
+        assert res.status == "optimal"
+        p = res.placements[0]
+        macro_cells = [
+            (x, y) for x, y, k in p.absolute_cells()
+            if k is ResourceType.BUSMACRO
+        ]
+        assert all(
+            g.kind_at(x, y) is ResourceType.BUSMACRO for x, y in macro_cells
+        )
+        res.verify()
+
+
+class TestBitstream:
+    def _result(self, at=0):
+        region = PartialRegion.whole_device(homogeneous_device(6, 3))
+        m = Module("a", [Footprint.rectangle(2, 2)])
+        return PlacementResult(region, [Placement(m, 0, at, 0)])
+
+    def test_frames_and_crc(self):
+        bs = assemble_bitstream(self._result())
+        assert bs.n_frames == 6
+        assert bs.size_words() == 18
+        assert bs.crc == assemble_bitstream(self._result()).crc
+
+    def test_diff_counts_touched_columns(self):
+        old = assemble_bitstream(self._result(at=0))
+        new = assemble_bitstream(self._result(at=2))
+        # module moved from columns {0,1} to {2,3}: all four frames differ
+        assert partial_diff(old, new) == [0, 1, 2, 3]
+
+    def test_diff_identical_is_empty(self):
+        a = assemble_bitstream(self._result())
+        b = assemble_bitstream(self._result())
+        assert partial_diff(a, b) == []
+
+    def test_diff_device_mismatch(self):
+        a = assemble_bitstream(self._result())
+        region = PartialRegion.whole_device(homogeneous_device(3, 3))
+        b = assemble_bitstream(PlacementResult(region, []))
+        with pytest.raises(ValueError):
+            partial_diff(a, b)
+
+    def test_module_frame_cost(self):
+        cost = module_frame_cost(self._result())
+        assert cost == {"a": 2}
+
+
+class TestDesignFlow:
+    def _library(self):
+        cfg = GeneratorConfig(clb_min=8, clb_max=16, bram_max=1,
+                              height_min=2, height_max=4)
+        return ModuleLibrary(ModuleGenerator(seed=3, config=cfg).generate_set(4))
+
+    def test_end_to_end_in_memory(self):
+        region = PartialRegion.whole_device(irregular_device(48, 12, seed=5))
+        flow = DesignFlow(region, self._library(), time_limit=3.0)
+        out = flow.run()
+        assert out.ok
+        assert "utilization" in out.report
+        assert out.bitstream.n_frames == 48
+        out.placement.verify()
+
+    def test_end_to_end_from_files(self, tmp_path):
+        region = PartialRegion.whole_device(irregular_device(48, 12, seed=5))
+        rpath = tmp_path / "region.json"
+        mpath = tmp_path / "modules.json"
+        save_region(region, rpath)
+        save_modules(self._library(), mpath)
+        flow = DesignFlow(rpath, mpath, time_limit=3.0, use_lns=False)
+        out = flow.run()
+        assert out.ok
+        assert len(out.rendering.splitlines()) == 12
+
+
+class TestVisualize:
+    def test_gallery_shows_all_alternatives(self):
+        m = ModuleGenerator(seed=2).generate()
+        out = alternatives_gallery(m)
+        assert f"{m.n_alternatives} design alternatives" in out
+        for i in range(m.n_alternatives):
+            assert f"alt {i}" in out
+
+    def test_comparison_figure_labels(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 3))
+        m = Module("a", [Footprint.rectangle(2, 2)])
+        r = PlacementResult(region, [Placement(m, 0, 0, 0)])
+        fig = comparison_figure(r, r)
+        assert "without alternatives" in fig
+        assert "with alternatives" in fig

@@ -1,0 +1,110 @@
+"""Phase-based reconfiguration scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.flow.scheduler import (
+    Phase,
+    ReconfigurationScheduler,
+    compare_policies,
+)
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+
+
+def rect_module(name, w, h):
+    return Module(name, [Footprint.rectangle(w, h)])
+
+
+@pytest.fixture(scope="module")
+def workload():
+    region = PartialRegion.whole_device(irregular_device(48, 12, seed=5))
+    cfg = GeneratorConfig(clb_min=8, clb_max=16, bram_max=1,
+                          height_min=2, height_max=4)
+    mods = ModuleGenerator(seed=9, config=cfg).generate_set(6)
+    phases = [
+        Phase("boot", mods[:3]),
+        Phase("steady", mods[1:5]),        # keeps mods 1-2, adds 3-4
+        Phase("burst", mods[1:6]),         # adds 5
+        Phase("idle", mods[1:2]),          # drops almost everything
+    ]
+    return region, mods, phases
+
+
+class TestPhase:
+    def test_duplicate_modules_rejected(self):
+        m = rect_module("a", 2, 2)
+        with pytest.raises(ValueError):
+            Phase("p", [m, m])
+
+    def test_module_names(self):
+        p = Phase("p", [rect_module("a", 1, 1), rect_module("b", 1, 1)])
+        assert p.module_names() == ["a", "b"]
+
+
+class TestScheduling:
+    def test_all_phases_placed_and_valid(self, workload):
+        region, _, phases = workload
+        result = ReconfigurationScheduler(region).schedule(phases)
+        assert result.ok, result.failures
+        assert len(result.phases) == 4
+        for phase, placed in zip(phases, result.phases):
+            assert {p.module.name for p in placed.placements} == set(
+                phase.module_names()
+            )
+
+    def test_sticky_keeps_survivors_in_place(self, workload):
+        region, _, phases = workload
+        result = ReconfigurationScheduler(region, sticky=True).schedule(phases)
+        boot, steady = result.phases[0], result.phases[1]
+        boot_pos = {
+            p.module.name: (p.shape_index, p.x, p.y) for p in boot.placements
+        }
+        for p in steady.placements:
+            if p.module.name in boot_pos:
+                assert (p.shape_index, p.x, p.y) == boot_pos[p.module.name]
+
+    def test_transitions_account_membership(self, workload):
+        region, _, phases = workload
+        result = ReconfigurationScheduler(region).schedule(phases)
+        t = result.transitions[1]  # boot -> steady
+        assert t.from_phase == "boot" and t.to_phase == "steady"
+        boot_names = set(phases[0].module_names())
+        steady_names = set(phases[1].module_names())
+        assert set(t.kept) == boot_names & steady_names
+        assert set(t.arrived) == steady_names - boot_names
+        assert set(t.departed) == boot_names - steady_names
+
+    def test_sticky_never_costs_more_frames(self, workload):
+        region, _, phases = workload
+        sticky, naive = compare_policies(region, phases,
+                                         fresh_time_limit=2.0)
+        assert sticky.ok
+        assert sticky.total_frames <= naive.total_frames
+
+    def test_identical_consecutive_phases_free(self):
+        region = PartialRegion.whole_device(homogeneous_device(12, 4))
+        mods = [rect_module("a", 3, 2), rect_module("b", 2, 2)]
+        phases = [Phase("p1", mods), Phase("p2", mods)]
+        result = ReconfigurationScheduler(region).schedule(phases)
+        assert result.transitions[1].frames == 0
+        assert result.transitions[1].kept == ["a", "b"]
+
+    def test_failure_reported_not_raised(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        phases = [
+            Phase("p1", [rect_module("a", 4, 2)]),
+            Phase("p2", [rect_module("a", 4, 2), rect_module("b", 2, 2)]),
+        ]
+        result = ReconfigurationScheduler(region).schedule(phases)
+        assert not result.ok
+        assert result.failures == {"p2": ["b"]}
+
+    def test_summary(self, workload):
+        region, _, phases = workload
+        result = ReconfigurationScheduler(region).schedule(phases[:2])
+        assert "total_frames=" in result.summary()

@@ -1,0 +1,145 @@
+"""geost primitives: boxes, shifted boxes, shapes, forbidden regions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.resource import ResourceType
+from repro.geost.boxes import Box, ShiftedBox
+from repro.geost.forbidden import (
+    ForbiddenRegion,
+    anchor_forbidden_box,
+    compulsory_boxes,
+    forbidden_anchor_boxes,
+)
+from repro.geost.shapes import GeostShape, ShapeTable
+from repro.modules.footprint import Footprint
+
+box2d = st.tuples(
+    st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+    st.tuples(st.integers(1, 4), st.integers(1, 4)),
+).map(lambda t: Box(*t))
+
+
+class TestBox:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (0, 1))
+        with pytest.raises(ValueError):
+            Box((0,), (1, 1))
+        with pytest.raises(ValueError):
+            Box((), ())
+
+    def test_end_and_volume(self):
+        b = Box((1, 2), (3, 4))
+        assert b.end == (4, 6)
+        assert b.volume() == 12
+
+    def test_contains_point(self):
+        b = Box((0, 0), (2, 2))
+        assert b.contains_point((0, 0))
+        assert b.contains_point((1, 1))
+        assert not b.contains_point((2, 0))
+
+    @given(box2d, box2d)
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(box2d, box2d)
+    def test_intersection_consistent(self, a, b):
+        inter = a.intersection(b)
+        if inter is None:
+            assert not a.intersects(b)
+        else:
+            assert a.intersects(b)
+            for p in inter.points():
+                assert a.contains_point(p) and b.contains_point(p)
+
+    @given(box2d)
+    def test_points_count_equals_volume(self, b):
+        assert len(list(b.points())) == b.volume()
+
+    def test_translated(self):
+        b = Box((1, 1), (2, 2)).translated((3, -1))
+        assert b.origin == (4, 0)
+
+
+class TestShiftedBox:
+    def test_at_anchor(self):
+        sb = ShiftedBox((1, 2), (2, 1), ResourceType.CLB)
+        assert sb.at((10, 10)) == Box((11, 12), (2, 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShiftedBox((0, 0), (0, 1))
+
+
+class TestGeostShape:
+    def test_from_footprint_covers_cells(self):
+        fp = Footprint.from_rows(["B..", "B.."])
+        shape = GeostShape.from_footprint(fp)
+        covered = set()
+        for sb in shape.boxes:
+            for p in sb.at((0, 0)).points():
+                covered.add(p)
+        assert covered == {(x, y) for x, y, _ in fp.cells}
+        assert shape.volume() == fp.area
+
+    def test_from_footprint_merges_runs(self):
+        fp = Footprint.rectangle(1, 5)
+        shape = GeostShape.from_footprint(fp)
+        assert len(shape.boxes) == 1  # one vertical run
+        assert shape.boxes[0].size == (1, 5)
+
+    def test_resource_property_attached(self):
+        fp = Footprint([(0, 0, ResourceType.BRAM)])
+        shape = GeostShape.from_footprint(fp)
+        assert shape.boxes[0].resource is ResourceType.BRAM
+
+    def test_bounding_box(self):
+        fp = Footprint([(0, 0, ResourceType.CLB), (2, 1, ResourceType.CLB)])
+        bb = GeostShape.from_footprint(fp).bounding_box()
+        assert bb.origin == (0, 0) and bb.size == (3, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GeostShape([])
+
+    def test_table(self):
+        t = ShapeTable()
+        sid = t.add_footprint(Footprint.rectangle(2, 2))
+        assert len(t) == 1
+        assert t[sid].volume() == 4
+        assert list(t.ids()) == [0]
+
+
+class TestForbidden:
+    @given(box2d, st.tuples(st.integers(-2, 2), st.integers(-2, 2)),
+           st.tuples(st.integers(1, 3), st.integers(1, 3)))
+    def test_anchor_forbidden_box_exact(self, obstacle, offset, size):
+        """p in forbidden box <=> sbox placed at p intersects obstacle."""
+        sb = ShiftedBox(offset, size)
+        fb = anchor_forbidden_box(sb, obstacle)
+        for px in range(fb.origin[0] - 1, fb.end[0] + 1):
+            for py in range(fb.origin[1] - 1, fb.end[1] + 1):
+                inside = fb.contains_point((px, py))
+                overlaps = sb.at((px, py)).intersects(obstacle)
+                assert inside == overlaps
+
+    def test_region_resource_filtering(self):
+        region = ForbiddenRegion(Box((0, 0), (2, 2)), ResourceType.BRAM)
+        bram_box = ShiftedBox((0, 0), (1, 1), ResourceType.BRAM)
+        clb_box = ShiftedBox((0, 0), (1, 1), ResourceType.CLB)
+        assert region.blocks(bram_box)
+        assert not region.blocks(clb_box)
+        wild = ForbiddenRegion(Box((0, 0), (2, 2)), None)
+        assert wild.blocks(bram_box) and wild.blocks(clb_box)
+
+    def test_forbidden_anchor_boxes_counts(self):
+        shape = [ShiftedBox((0, 0), (1, 1), ResourceType.CLB)]
+        obstacles = [Box((0, 0), (1, 1)), Box((5, 5), (1, 1))]
+        regions = [ForbiddenRegion(Box((2, 2), (1, 1)), ResourceType.BRAM)]
+        boxes = forbidden_anchor_boxes(shape, obstacles, regions)
+        assert len(boxes) == 2  # region doesn't block a CLB box

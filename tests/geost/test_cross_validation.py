@@ -1,0 +1,170 @@
+"""Cross-validation: the two geost implementations enforce one relation.
+
+The reference interval kernel (:class:`repro.geost.kernel.Geost`, fabric
+heterogeneity encoded as resource-typed forbidden regions) and the
+vectorized placement kernel (:class:`repro.geost.placement.PlacementKernel`,
+fabric encoded as anchor bitmaps) are independent implementations of the
+paper's constraint; on small instances their solution sets must coincide.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+from repro.fabric.devices import irregular_device
+from repro.fabric.grid import FabricGrid
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.geost.boxes import Box
+from repro.geost.forbidden import ForbiddenRegion
+from repro.geost.kernel import Geost
+from repro.geost.objects import GeostObject
+from repro.geost.placement import PlacementKernel
+from repro.geost.shapes import ShapeTable
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+
+
+def fabric_to_forbidden_regions(region: PartialRegion, kinds):
+    """Encode heterogeneity as resource-typed forbidden 1x1 regions.
+
+    For every resource kind used by the modules, each cell that is NOT of
+    that kind (or is static) forbids boxes of that kind; cells outside the
+    fabric are excluded by a surrounding wall for all kinds.
+    """
+    out = []
+    allowed = region.allowed_mask()
+    grid = region.grid.cells
+    H, W = region.height, region.width
+    for kind in kinds:
+        for y in range(H):
+            for x in range(W):
+                if not allowed[y, x] or grid[y, x] != int(kind):
+                    out.append(
+                        ForbiddenRegion(Box((x, y), (1, 1)), kind)
+                    )
+    # walls (block everything)
+    out.append(ForbiddenRegion(Box((-100, -100), (100, 200 + W))))        # left
+    out.append(ForbiddenRegion(Box((W, -100), (100, 200 + W))))           # right
+    out.append(ForbiddenRegion(Box((-100, -100), (200 + W, 100))))        # below
+    out.append(ForbiddenRegion(Box((-100, H), (200 + W, 100))))           # above
+    return out
+
+
+def geost_solutions(region: PartialRegion, modules):
+    kinds = {
+        k for mod in modules for fp in mod.shapes for _, _, k in fp.cells
+    }
+    regions = fabric_to_forbidden_regions(region, kinds)
+    m = Model()
+    table = ShapeTable()
+    objects = []
+    dv = []
+    for i, mod in enumerate(modules):
+        sids = [table.add_footprint(fp) for fp in mod.shapes]
+        x = m.int_var(0, region.width - 1, f"x{i}")
+        y = m.int_var(0, region.height - 1, f"y{i}")
+        s = m.int_var(min(sids), max(sids), f"s{i}")
+        objects.append(GeostObject(i, [x, y], s, table))
+        dv.extend([x, y, s])
+    try:
+        m.post(Geost(objects, regions))
+    except Inconsistent:
+        return set()
+    sols = Solver(m, dv).enumerate()
+    out = set()
+    for sol in sols:
+        key = []
+        offset = 0
+        for i, mod in enumerate(modules):
+            key.append((sol[f"s{i}"] - offset, sol[f"x{i}"], sol[f"y{i}"]))
+            offset += mod.n_alternatives
+        out.add(tuple(key))
+    return out
+
+
+def kernel_solutions(region: PartialRegion, modules):
+    m = Model()
+    xs = [m.int_var(0, region.width - 1, f"x{i}") for i in range(len(modules))]
+    ys = [m.int_var(0, region.height - 1, f"y{i}") for i in range(len(modules))]
+    ss = [
+        m.int_var(0, mod.n_alternatives - 1, f"s{i}")
+        for i, mod in enumerate(modules)
+    ]
+    try:
+        m.post(PlacementKernel(region, modules, xs, ys, ss))
+    except Inconsistent:
+        return set()
+    dv = []
+    for x, y, s in zip(xs, ys, ss):
+        dv.extend([x, y, s])
+    return {
+        tuple(
+            (sol[f"s{i}"], sol[f"x{i}"], sol[f"y{i}"])
+            for i in range(len(modules))
+        )
+        for sol in Solver(m, dv).enumerate()
+    }
+
+
+footprints = st.sampled_from(
+    [
+        Footprint.rectangle(1, 1),
+        Footprint.rectangle(2, 1),
+        Footprint.rectangle(2, 2),
+        Footprint([(0, 0, ResourceType.BRAM)]),
+        Footprint([(0, 0, ResourceType.CLB), (1, 0, ResourceType.BRAM)]),
+        Footprint([(0, 0, ResourceType.CLB), (0, 1, ResourceType.CLB),
+                   (1, 1, ResourceType.CLB)]),
+    ]
+)
+
+
+class TestCrossValidation:
+    @given(st.lists(footprints, min_size=1, max_size=2), st.integers(0, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_solution_sets_coincide(self, fps, seed):
+        region = PartialRegion.whole_device(
+            irregular_device(4, 3, seed=seed, bram_stride=3, jitter=1,
+                             clk_rows=0, io_edges=False)
+        )
+        modules = [Module(f"m{i}", [fp]) for i, fp in enumerate(fps)]
+        assert geost_solutions(region, modules) == kernel_solutions(
+            region, modules
+        )
+
+    def test_polymorphic_object_coincides(self):
+        region = PartialRegion.whole_device(
+            FabricGrid.from_rows(["...", "B.."])
+        )
+        module = Module(
+            "poly",
+            [
+                Footprint([(0, 0, ResourceType.CLB), (1, 0, ResourceType.CLB)]),
+                Footprint([(0, 0, ResourceType.CLB), (0, 1, ResourceType.CLB)]),
+            ],
+        )
+        assert geost_solutions(region, [module]) == kernel_solutions(
+            region, [module]
+        )
+
+    def test_two_modules_with_bram(self):
+        region = PartialRegion.whole_device(
+            FabricGrid.from_rows(["B..B", "B..B"])
+        )
+        modules = [
+            Module("a", [Footprint([(0, 0, ResourceType.BRAM),
+                                    (1, 0, ResourceType.CLB)])]),
+            Module("b", [Footprint([(0, 0, ResourceType.CLB)])]),
+        ]
+        geost = geost_solutions(region, modules)
+        kernel = kernel_solutions(region, modules)
+        assert geost == kernel
+        assert geost  # instance is feasible

@@ -1,0 +1,241 @@
+"""The generic geost propagator: soundness, completeness, polymorphism.
+
+Cross-checks: solution sets on small instances against (a) brute-force
+enumeration of the non-overlap definition and (b) the DiffN constraint for
+single-shape rectangular objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cp.constraints import Rect
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+from repro.fabric.resource import ResourceType
+from repro.geost.boxes import Box, ShiftedBox
+from repro.geost.forbidden import ForbiddenRegion
+from repro.geost.kernel import Geost
+from repro.geost.objects import GeostObject
+from repro.geost.shapes import GeostShape, ShapeTable
+
+
+def build_rect_instance(m, sizes, W, H):
+    """One rectangular single-shape object per size."""
+    table = ShapeTable()
+    objects = []
+    xs = []
+    for i, (w, h) in enumerate(sizes):
+        sid = table.add(GeostShape([ShiftedBox((0, 0), (w, h))]))
+        x = m.int_var(0, W - w, f"x{i}")
+        y = m.int_var(0, H - h, f"y{i}")
+        s = m.int_var(sid, sid, f"s{i}")
+        objects.append(GeostObject(i, [x, y], s, table))
+        xs.extend([x, y])
+    return objects, xs
+
+
+def rects_disjoint(placements, sizes):
+    boxes = [
+        (x, y, x + w, y + h) for (x, y), (w, h) in zip(placements, sizes)
+    ]
+    for i in range(len(boxes)):
+        for j in range(i + 1, len(boxes)):
+            a, b = boxes[i], boxes[j]
+            if a[0] < b[2] and b[0] < a[2] and a[1] < b[3] and b[1] < a[3]:
+                return False
+    return True
+
+
+class TestGeostRectangles:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 2), st.integers(1, 2)),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=25)
+    def test_matches_brute_force(self, sizes):
+        W = H = 4
+        m = Model()
+        objects, xs = build_rect_instance(m, sizes, W, H)
+        try:
+            m.post(Geost(objects))
+        except Inconsistent:
+            got = set()
+        else:
+            got = {
+                tuple((s[f"x{i}"], s[f"y{i}"]) for i in range(len(sizes)))
+                for s in Solver(m, xs).enumerate()
+            }
+        domains = [
+            [(x, y) for x in range(W - w + 1) for y in range(H - h + 1)]
+            for w, h in sizes
+        ]
+        want = {
+            combo
+            for combo in itertools.product(*domains)
+            if rects_disjoint(combo, sizes)
+        }
+        assert got == want
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 2), st.integers(1, 2)),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=15)
+    def test_matches_diffn(self, sizes):
+        W = H = 4
+
+        def solve_geost():
+            m = Model()
+            objects, xs = build_rect_instance(m, sizes, W, H)
+            try:
+                m.post(Geost(objects))
+            except Inconsistent:
+                return set()
+            return {
+                tuple((s[f"x{i}"], s[f"y{i}"]) for i in range(len(sizes)))
+                for s in Solver(m, xs).enumerate()
+            }
+
+        def solve_diffn():
+            m = Model()
+            rects, xs = [], []
+            for i, (w, h) in enumerate(sizes):
+                x = m.int_var(0, W - w, f"x{i}")
+                y = m.int_var(0, H - h, f"y{i}")
+                rects.append(Rect(x, y, w, h))
+                xs.extend([x, y])
+            try:
+                m.add_diffn(rects)
+            except Inconsistent:
+                return set()
+            return {
+                tuple((s[f"x{i}"], s[f"y{i}"]) for i in range(len(sizes)))
+                for s in Solver(m, xs).enumerate()
+            }
+
+        assert solve_geost() == solve_diffn()
+
+
+class TestGeostPolymorphism:
+    def test_shape_variable_enumerates_alternatives(self):
+        """A 1x2/2x1 polymorphic object in a 2x2 corner next to a wall."""
+        m = Model()
+        table = ShapeTable()
+        s_tall = table.add(GeostShape([ShiftedBox((0, 0), (1, 2))]))
+        s_wide = table.add(GeostShape([ShiftedBox((0, 0), (2, 1))]))
+        x = m.int_var(0, 1, "x")
+        y = m.int_var(0, 1, "y")
+        s = m.int_var(s_tall, s_wide, "s")
+        obj = GeostObject(0, [x, y], s, table)
+        walls = [
+            ForbiddenRegion(Box((2, 0), (10, 10))),
+            ForbiddenRegion(Box((0, 2), (10, 10))),
+        ]
+        m.post(Geost([obj], walls))
+        sols = Solver(m, [x, y, s]).enumerate()
+        # tall fits at (0..1, 0); wide at (0, 0..1)
+        assert len(sols) == 4
+
+    def test_infeasible_shape_removed(self):
+        m = Model()
+        table = ShapeTable()
+        s_small = table.add(GeostShape([ShiftedBox((0, 0), (1, 1))]))
+        s_huge = table.add(GeostShape([ShiftedBox((0, 0), (9, 9))]))
+        x = m.int_var(0, 2, "x")
+        y = m.int_var(0, 2, "y")
+        s = m.int_var(s_small, s_huge, "s")
+        # region [0,3)x[0,3): the huge shape pokes out everywhere
+        region = ForbiddenRegion(Box((3, 0), (100, 100)))
+        region2 = ForbiddenRegion(Box((0, 3), (100, 100)))
+        m.post(Geost([GeostObject(0, [x, y], s, table)], [region, region2]))
+        assert s.value() == s_small
+
+    def test_alternatives_rescue_feasibility(self):
+        """Two 1x2 objects in a 2x2 area need one to pick the rotated shape."""
+        m = Model()
+        table = ShapeTable()
+        tall = table.add(GeostShape([ShiftedBox((0, 0), (1, 2))]))
+        wide = table.add(GeostShape([ShiftedBox((0, 0), (2, 1))]))
+        xs = []
+        objects = []
+        for i in range(2):
+            x = m.int_var(0, 1, f"x{i}")
+            y = m.int_var(0, 1, f"y{i}")
+            s = m.int_var(tall, wide, f"s{i}")
+            objects.append(GeostObject(i, [x, y], s, table))
+            xs.extend([x, y, s])
+        walls = [
+            ForbiddenRegion(Box((2, 0), (10, 10))),
+            ForbiddenRegion(Box((0, 2), (10, 10))),
+        ]
+        m.post(Geost(objects, walls))
+        sols = Solver(m, xs).enumerate()
+        assert sols  # e.g. both tall side by side, or both wide stacked
+        for sol in sols:
+            # never one tall and one wide (they'd collide in 2x2)
+            assert sol["s0"] == sol["s1"]
+
+
+class TestGeostResourceRegions:
+    def test_resource_region_only_blocks_matching_boxes(self):
+        m = Model()
+        table = ShapeTable()
+        clb = table.add(
+            GeostShape([ShiftedBox((0, 0), (1, 1), ResourceType.CLB)])
+        )
+        bram = table.add(
+            GeostShape([ShiftedBox((0, 0), (1, 1), ResourceType.BRAM)])
+        )
+        # column x=0 forbidden for BRAM boxes
+        region = ForbiddenRegion(Box((0, 0), (1, 4)), ResourceType.BRAM)
+
+        x1 = m.int_var(0, 0, "x1")
+        y1 = m.int_var(0, 3, "y1")
+        s1 = m.int_var(bram, bram, "s1")
+        with pytest.raises(Inconsistent):
+            m.post(Geost([GeostObject(0, [x1, y1], s1, table)], [region]))
+
+        m2 = Model()
+        x2 = m2.int_var(0, 0, "x2")
+        y2 = m2.int_var(0, 3, "y2")
+        s2 = m2.int_var(clb, clb, "s2")
+        m2.post(Geost([GeostObject(0, [x2, y2], s2, table)], [region]))
+        assert y2.size() == 4  # CLB box untouched
+
+    def test_check_fixed(self):
+        m = Model()
+        table = ShapeTable()
+        sid = table.add(GeostShape([ShiftedBox((0, 0), (2, 2))]))
+        objs = []
+        for i, (px, py) in enumerate([(0, 0), (2, 0)]):
+            x = m.int_var(px, px, f"x{i}")
+            y = m.int_var(py, py, f"y{i}")
+            s = m.int_var(sid, sid, f"s{i}")
+            objs.append(GeostObject(i, [x, y], s, table))
+        g = Geost(objs)
+        assert g.check_fixed()
+
+    def test_validation(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            Geost([])
+        table = ShapeTable()
+        sid = table.add(GeostShape([ShiftedBox((0, 0), (1, 1))]))
+        x = m.int_var(0, 1, "x")
+        s = m.int_var(sid, sid, "s")
+        with pytest.raises(ValueError):
+            GeostObject(0, [], s, table)
+        with pytest.raises(ValueError):
+            GeostObject(0, [x], s, table)  # 1 origin var vs 2-d shape

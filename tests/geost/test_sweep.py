@@ -1,0 +1,117 @@
+"""Sweep-point algorithm vs exhaustive scanning."""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geost.boxes import Box
+from repro.geost.sweep import point_feasible, sweep_max, sweep_min
+
+boxes2d = st.lists(
+    st.tuples(
+        st.tuples(st.integers(-2, 8), st.integers(-2, 8)),
+        st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    ).map(lambda t: Box(*t)),
+    max_size=6,
+)
+bounds2d = st.tuples(
+    st.tuples(st.integers(0, 4), st.integers(4, 9)),
+    st.tuples(st.integers(0, 4), st.integers(4, 9)),
+)
+
+
+def brute_min(bounds, per_shape, dim):
+    feasible = [
+        p
+        for p in itertools.product(
+            *[range(lo, hi + 1) for lo, hi in bounds]
+        )
+        if point_feasible(p, per_shape)
+    ]
+    if not feasible:
+        return None
+    return min(p[dim] for p in feasible)
+
+
+def brute_max(bounds, per_shape, dim):
+    feasible = [
+        p
+        for p in itertools.product(
+            *[range(lo, hi + 1) for lo, hi in bounds]
+        )
+        if point_feasible(p, per_shape)
+    ]
+    if not feasible:
+        return None
+    return max(p[dim] for p in feasible)
+
+
+class TestSweepVsBruteForce:
+    @given(bounds2d, st.lists(boxes2d, min_size=1, max_size=3), st.integers(0, 1))
+    @settings(max_examples=80)
+    def test_sweep_min_matches(self, bounds, per_shape, dim):
+        got = sweep_min(bounds, per_shape, dim)
+        want = brute_min(bounds, per_shape, dim)
+        if want is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[dim] == want
+            assert point_feasible(got, per_shape)
+
+    @given(bounds2d, st.lists(boxes2d, min_size=1, max_size=3), st.integers(0, 1))
+    @settings(max_examples=80)
+    def test_sweep_max_matches(self, bounds, per_shape, dim):
+        got = sweep_max(bounds, per_shape, dim)
+        want = brute_max(bounds, per_shape, dim)
+        if want is None:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[dim] == want
+            assert point_feasible(got, per_shape)
+
+
+class TestSweepEdgeCases:
+    def test_no_forbidden_boxes(self):
+        bounds = [(2, 5), (1, 4)]
+        assert sweep_min(bounds, [[]], 0) == (2, 1)
+        assert sweep_max(bounds, [[]], 1) == (5, 4)
+
+    def test_fully_covered(self):
+        bounds = [(0, 2), (0, 2)]
+        wall = [Box((-1, -1), (5, 5))]
+        assert sweep_min(bounds, [wall], 0) is None
+        assert sweep_max(bounds, [wall], 0) is None
+
+    def test_one_shape_free_suffices(self):
+        bounds = [(0, 2), (0, 2)]
+        wall = [Box((-1, -1), (5, 5))]
+        assert sweep_min(bounds, [wall, []], 0) == (0, 0)
+
+    def test_empty_bounds(self):
+        assert sweep_min([(3, 2), (0, 1)], [[]], 0) is None
+
+    def test_requires_shapes(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            sweep_min([(0, 1)], [], 0)
+
+    def test_jump_skips_hole(self):
+        # forbidden stripe in the middle of the x range
+        bounds = [(0, 10), (0, 0)]
+        stripe = [Box((3, 0), (4, 1))]
+        assert sweep_min(bounds, [stripe], 0) == (0, 0)
+        # force start inside the stripe
+        bounds = [(4, 10), (0, 0)]
+        assert sweep_min(bounds, [stripe], 0) == (7, 0)
+
+    def test_three_dimensional(self):
+        bounds = [(0, 2), (0, 2), (0, 2)]
+        blocker = [Box((0, 0, 0), (3, 3, 1))]  # first z-slab forbidden
+        got = sweep_min(bounds, [blocker], 2)
+        assert got is not None and got[2] == 1

@@ -1,0 +1,249 @@
+"""Utilization, fragmentation and run aggregation."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.metrics.fragmentation import (
+    external_fragmentation,
+    free_mask,
+    internal_fragmentation,
+    largest_free_rectangle,
+    maximal_empty_rectangles,
+)
+from repro.metrics.stats import RunAggregate, aggregate_runs
+from repro.metrics.utilization import (
+    extent_utilization,
+    region_utilization,
+    resource_utilization,
+)
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+
+
+def result_with(region, placements):
+    return PlacementResult(region, placements)
+
+
+def rect_module(name, w, h):
+    return Module(name, [Footprint.rectangle(w, h)])
+
+
+class TestUtilization:
+    def test_full_window(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 0, 0)])
+        assert extent_utilization(r) == pytest.approx(1.0)
+        assert region_utilization(r) == pytest.approx(0.5)
+
+    def test_fragmented_window(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 2))
+        # module at far right: window [0, 6) has 12 cells, 4 used
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 4, 0)])
+        assert extent_utilization(r) == pytest.approx(4 / 12)
+
+    def test_empty_result(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        r = result_with(region, [])
+        assert extent_utilization(r) == 0.0
+        assert region_utilization(r) == 0.0
+        assert resource_utilization(r) == {}
+
+    def test_static_cells_not_in_denominator(self):
+        g = homogeneous_device(4, 2)
+        region = PartialRegion.with_static_box(g, 0, 0, 2, 2)
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 2, 0)])
+        assert region_utilization(r) == pytest.approx(1.0)
+
+    def test_resource_utilization_per_kind(self):
+        from repro.fabric.grid import FabricGrid
+
+        g = FabricGrid.from_rows(["B...", "B..."])
+        region = PartialRegion.whole_device(g)
+        fp = Footprint([(0, 0, ResourceType.BRAM), (1, 0, ResourceType.CLB)])
+        r = result_with(region, [Placement(Module("m", [fp]), 0, 0, 0)])
+        util = resource_utilization(r)
+        assert util[ResourceType.BRAM] == pytest.approx(0.5)
+        assert util[ResourceType.CLB] == pytest.approx(1 / 2)  # window x<2: 2 CLB cells
+
+    def test_smaller_extent_means_higher_utilization(self):
+        region = PartialRegion.whole_device(homogeneous_device(12, 2))
+        tight = result_with(
+            region,
+            [
+                Placement(rect_module("a", 2, 2), 0, 0, 0),
+                Placement(rect_module("b", 2, 2), 0, 2, 0),
+            ],
+        )
+        loose = result_with(
+            region,
+            [
+                Placement(rect_module("a", 2, 2), 0, 0, 0),
+                Placement(rect_module("b", 2, 2), 0, 6, 0),
+            ],
+        )
+        assert extent_utilization(tight) > extent_utilization(loose)
+
+
+def brute_force_mers(free):
+    """All maximal empty rectangles by exhaustive enumeration."""
+    H, W = free.shape
+    rects = set()
+    for x in range(W):
+        for y in range(H):
+            for w in range(1, W - x + 1):
+                for h in range(1, H - y + 1):
+                    if free[y:y + h, x:x + w].all():
+                        rects.add((x, y, w, h))
+    maximal = set()
+    for r in rects:
+        x, y, w, h = r
+        grown = [
+            (x - 1, y, w + 1, h), (x, y - 1, w, h + 1),
+            (x, y, w + 1, h), (x, y, w, h + 1),
+        ]
+        if not any(g in rects for g in grown):
+            maximal.add(r)
+    return maximal
+
+
+class TestFragmentation:
+    @given(
+        st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=12)
+    )
+    @settings(max_examples=40)
+    def test_mers_match_brute_force(self, blocked):
+        free = np.ones((6, 6), dtype=bool)
+        for x, y in blocked:
+            free[y, x] = False
+        assert set(maximal_empty_rectangles(free)) == brute_force_mers(free)
+
+    def test_empty_mask_has_no_rectangles(self):
+        assert maximal_empty_rectangles(np.zeros((3, 3), dtype=bool)) == []
+
+    def test_full_mask_single_rectangle(self):
+        assert maximal_empty_rectangles(np.ones((3, 4), dtype=bool)) == [
+            (0, 0, 4, 3)
+        ]
+
+    def test_external_fragmentation_zero_for_one_block(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 2))
+        r = result_with(region, [Placement(rect_module("a", 4, 2), 0, 0, 0)])
+        assert external_fragmentation(r) == pytest.approx(0.0)
+
+    def test_external_fragmentation_positive_when_split(self):
+        region = PartialRegion.whole_device(homogeneous_device(9, 1))
+        # wall in the middle splits free space 4 | 4
+        r = result_with(region, [Placement(rect_module("w", 1, 1), 0, 4, 0)])
+        assert external_fragmentation(r) == pytest.approx(0.5)
+
+    def test_full_region_fragmentation_zero(self):
+        region = PartialRegion.whole_device(homogeneous_device(2, 2))
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 0, 0)])
+        assert external_fragmentation(r) == 0.0
+
+    def test_internal_fragmentation(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 4))
+        lshape = Footprint(
+            [(0, 0, ResourceType.CLB), (1, 0, ResourceType.CLB),
+             (0, 1, ResourceType.CLB)]
+        )
+        r = result_with(region, [Placement(Module("l", [lshape]), 0, 0, 0)])
+        assert internal_fragmentation(r) == pytest.approx(0.25)
+
+    def test_internal_fragmentation_rect_is_zero(self):
+        region = PartialRegion.whole_device(homogeneous_device(4, 4))
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 0, 0)])
+        assert internal_fragmentation(r) == 0.0
+
+    def test_largest_free_rectangle(self):
+        region = PartialRegion.whole_device(homogeneous_device(6, 2))
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 0, 0)])
+        assert largest_free_rectangle(r) == (2, 0, 4, 2)
+
+    def test_free_mask_excludes_static_and_occupied(self):
+        g = homogeneous_device(4, 2)
+        region = PartialRegion.with_static_box(g, 0, 0, 1, 2)
+        r = result_with(region, [Placement(rect_module("a", 1, 2), 0, 1, 0)])
+        fm = free_mask(r)
+        assert fm.sum() == 4
+
+
+class TestStats:
+    def test_aggregate_basics(self):
+        agg = RunAggregate("x", [1.0, 2.0, 3.0])
+        assert agg.mean == 2.0
+        assert agg.min == 1.0 and agg.max == 3.0
+        assert agg.stdev == pytest.approx(1.0)
+        assert agg.n == 3
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            RunAggregate("x").mean
+
+    def test_single_sample_stdev_zero(self):
+        assert RunAggregate("x", [5.0]).stdev == 0.0
+
+    def test_aggregate_runs(self):
+        runs = [{"u": 0.5, "t": 1.0}, {"u": 0.7, "t": 3.0}]
+        agg = aggregate_runs(runs)
+        assert agg["u"].mean == pytest.approx(0.6)
+        assert agg["t"].n == 2
+
+    def test_summary_formats(self):
+        agg = RunAggregate("util", [0.5, 0.6])
+        assert "%" in agg.summary(as_percent=True)
+        assert "mean" in agg.summary()
+        assert "no samples" in RunAggregate("x").summary()
+
+
+class TestWeightedUtilization:
+    def test_matches_unweighted_on_clb_only(self):
+        from repro.metrics.utilization import weighted_extent_utilization
+
+        region = PartialRegion.whole_device(homogeneous_device(8, 2))
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 0, 0)])
+        assert weighted_extent_utilization(r) == pytest.approx(
+            extent_utilization(r)
+        )
+
+    def test_idle_bram_weighs_more(self):
+        from repro.fabric.grid import FabricGrid
+        from repro.metrics.utilization import weighted_extent_utilization
+
+        g = FabricGrid.from_rows(["B.", "B."])
+        region = PartialRegion.whole_device(g)
+        # a CLB-only module: the idle BRAM column drags the weighted
+        # number below the unweighted one
+        m = Module("c", [Footprint.rectangle(1, 2)])
+        r = result_with(region, [Placement(m, 0, 1, 0)])
+        assert weighted_extent_utilization(r) < extent_utilization(r)
+
+    def test_using_bram_recovers_weight(self):
+        from repro.fabric.grid import FabricGrid
+        from repro.fabric.resource import ResourceType
+        from repro.metrics.utilization import weighted_extent_utilization
+
+        g = FabricGrid.from_rows(["B.", "B."])
+        region = PartialRegion.whole_device(g)
+        full = Footprint(
+            [(0, 0, ResourceType.BRAM), (0, 1, ResourceType.BRAM),
+             (1, 0, ResourceType.CLB), (1, 1, ResourceType.CLB)]
+        )
+        r = result_with(region, [Placement(Module("m", [full]), 0, 0, 0)])
+        assert weighted_extent_utilization(r) == pytest.approx(1.0)
+
+    def test_empty(self):
+        from repro.metrics.utilization import weighted_extent_utilization
+
+        region = PartialRegion.whole_device(homogeneous_device(4, 2))
+        assert weighted_extent_utilization(result_with(region, [])) == 0.0

@@ -1,0 +1,279 @@
+"""Transforms (group properties), Module, generator, library, specs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.library import ModuleLibrary
+from repro.modules.module import Module
+from repro.modules.spec import (
+    load_modules,
+    module_from_dict,
+    module_to_dict,
+    save_modules,
+)
+from repro.modules.transform import (
+    build_body,
+    distinct_footprints,
+    external_relayout,
+    internal_relayout,
+    mirror_horizontal,
+    mirror_vertical,
+    rotate90,
+    rotate180,
+    rotate270,
+)
+
+cells_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 5),
+        st.integers(0, 5),
+        st.sampled_from([ResourceType.CLB, ResourceType.BRAM]),
+    ),
+    min_size=1,
+    max_size=10,
+    unique_by=lambda c: (c[0], c[1]),
+)
+
+
+class TestRigidTransforms:
+    @given(cells_strategy)
+    def test_rotate180_involution(self, cells):
+        fp = Footprint(cells)
+        assert rotate180(rotate180(fp)) == fp
+
+    @given(cells_strategy)
+    def test_rotate90_four_times_identity(self, cells):
+        fp = Footprint(cells)
+        assert rotate90(rotate90(rotate90(rotate90(fp)))) == fp
+
+    @given(cells_strategy)
+    def test_rotate90_270_inverse(self, cells):
+        fp = Footprint(cells)
+        assert rotate270(rotate90(fp)) == fp
+
+    @given(cells_strategy)
+    def test_mirror_involutions(self, cells):
+        fp = Footprint(cells)
+        assert mirror_horizontal(mirror_horizontal(fp)) == fp
+        assert mirror_vertical(mirror_vertical(fp)) == fp
+
+    @given(cells_strategy)
+    def test_transforms_preserve_resources(self, cells):
+        fp = Footprint(cells)
+        for t in (rotate90, rotate180, rotate270, mirror_horizontal, mirror_vertical):
+            assert t(fp).resource_counts() == fp.resource_counts()
+
+    @given(cells_strategy)
+    def test_rotate90_swaps_bbox(self, cells):
+        fp = Footprint(cells)
+        r = rotate90(fp)
+        assert (r.width, r.height) == (fp.height, fp.width)
+
+    def test_rotate180_concrete(self):
+        fp = Footprint([(0, 0, ResourceType.BRAM), (1, 0, ResourceType.CLB)])
+        r = rotate180(fp)
+        assert (0, 0, ResourceType.CLB) in r.cells
+        assert (1, 0, ResourceType.BRAM) in r.cells
+
+
+class TestBodyBuilder:
+    def test_area_exact(self):
+        fp = build_body(17, 5)
+        assert fp.resource_counts() == {ResourceType.CLB: 17}
+        assert fp.height == 5 and fp.width == 4  # ceil(17/5)
+
+    def test_bram_strip_inserted(self):
+        fp = build_body(10, 5, bram_cells=3, bram_column=1)
+        counts = fp.resource_counts()
+        assert counts[ResourceType.BRAM] == 3
+        assert counts[ResourceType.CLB] == 10
+        assert fp.cells_of(ResourceType.BRAM) == {(1, 0), (1, 1), (1, 2)}
+
+    def test_bram_from_top(self):
+        fp = build_body(10, 5, bram_cells=2, bram_column=0, bram_from_top=True)
+        assert fp.cells_of(ResourceType.BRAM) == {(0, 3), (0, 4)}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_body(0, 5)
+        with pytest.raises(ValueError):
+            build_body(10, 0)
+        with pytest.raises(ValueError):
+            build_body(10, 5, bram_cells=1, bram_column=99)
+
+    @given(st.integers(1, 60), st.integers(1, 10), st.integers(0, 4))
+    def test_counts_always_exact(self, n_clb, height, n_bram):
+        n_cols = -(-n_clb // height)
+        fp = build_body(n_clb, height, n_bram, bram_column=min(1, n_cols))
+        counts = fp.resource_counts()
+        assert counts.get(ResourceType.CLB, 0) == n_clb
+        assert counts.get(ResourceType.BRAM, 0) == n_bram
+
+
+class TestRelayouts:
+    def test_internal_preserves_bbox_and_counts(self):
+        import random
+
+        base = build_body(12, 4, bram_cells=2, bram_column=1)
+        alt = internal_relayout(base, random.Random(1))
+        assert alt.resource_counts() == base.resource_counts()
+        assert (alt.width, alt.height) == (base.width, base.height)
+
+    def test_internal_noop_without_dedicated(self):
+        base = build_body(12, 4)
+        assert internal_relayout(base) == base
+
+    def test_external_changes_bbox(self):
+        base = build_body(24, 6, bram_cells=2, bram_column=1)
+        alt = external_relayout(base, 8)
+        assert alt.resource_counts() == base.resource_counts()
+        assert alt.height != base.height
+
+    def test_external_rejects_unsupported_resources(self):
+        fp = Footprint([(0, 0, ResourceType.DSP), (1, 0, ResourceType.CLB)])
+        with pytest.raises(ValueError):
+            external_relayout(fp, 3)
+
+    def test_distinct_footprints_dedupes(self):
+        fp = Footprint.rectangle(2, 2)
+        out = distinct_footprints([fp, rotate180(fp), fp])
+        assert out == [fp]  # symmetric square collapses
+
+
+class TestModule:
+    def test_requires_shape(self):
+        with pytest.raises(ValueError):
+            Module("m", [])
+
+    def test_dedupes_shapes(self):
+        fp = Footprint.rectangle(2, 2)
+        m = Module("m", [fp, rotate180(fp)])
+        assert m.n_alternatives == 1
+
+    def test_restricted(self):
+        fp1 = Footprint.rectangle(2, 3)
+        fp2 = Footprint.rectangle(3, 2)
+        m = Module("m", [fp1, fp2])
+        assert m.restricted(1).n_alternatives == 1
+        assert m.restricted(1).primary() == fp1
+        with pytest.raises(ValueError):
+            m.restricted(0)
+
+    def test_resource_equivalence(self):
+        a = Footprint.rectangle(2, 3)
+        b = Footprint.rectangle(3, 2)
+        c = Footprint.rectangle(2, 2)
+        assert Module("m", [a, b]).is_resource_equivalent()
+        assert not Module("m", [a, c]).is_resource_equivalent()
+
+    def test_uses(self):
+        m = Module("m", [build_body(4, 2, bram_cells=1, bram_column=0)])
+        assert m.uses(ResourceType.BRAM)
+        assert not m.uses(ResourceType.DSP)
+
+    def test_min_max_area(self):
+        a = Footprint.rectangle(2, 2)
+        b = Footprint.rectangle(3, 3)
+        m = Module("m", [a, b])
+        assert m.min_area() == 4 and m.max_area() == 9
+
+
+class TestGenerator:
+    def test_paper_parameter_ranges(self):
+        gen = ModuleGenerator(seed=0)
+        for m in gen.generate_set(40):
+            counts = m.primary().resource_counts()
+            assert 20 <= counts[ResourceType.CLB] <= 100
+            assert 0 <= counts.get(ResourceType.BRAM, 0) <= 4
+
+    def test_four_alternatives_by_default(self):
+        gen = ModuleGenerator(seed=1)
+        mods = gen.generate_set(30)
+        # paper: 30 modules yield (up to) 120 shapes
+        assert sum(m.n_alternatives for m in mods) > 100
+        assert all(1 <= m.n_alternatives <= 4 for m in mods)
+
+    def test_deterministic(self):
+        a = ModuleGenerator(seed=5).generate_set(10)
+        b = ModuleGenerator(seed=5).generate_set(10)
+        assert [m.shapes for m in a] == [m.shapes for m in b]
+
+    def test_alternatives_resource_equivalent(self):
+        # our generator keeps resources identical across alternatives,
+        # matching the paper's Table I (CLB/BRAM change = 0)
+        for m in ModuleGenerator(seed=3).generate_set(20):
+            assert m.is_resource_equivalent()
+
+    def test_max_width_respected(self):
+        cfg = GeneratorConfig(max_width=5)
+        for m in ModuleGenerator(seed=2, config=cfg).generate_set(20):
+            base = m.primary()
+            clb_cols = {x for x, _, k in base.cells if k is ResourceType.CLB}
+            assert len(clb_cols) <= 5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(clb_min=0).validate()
+        with pytest.raises(ValueError):
+            GeneratorConfig(n_alternatives=0).validate()
+        with pytest.raises(ValueError):
+            GeneratorConfig(height_min=9, height_max=2).validate()
+
+    def test_unique_names(self):
+        mods = ModuleGenerator(seed=9).generate_set(25)
+        assert len({m.name for m in mods}) == 25
+
+
+class TestLibraryAndSpec:
+    def _library(self):
+        return ModuleLibrary(ModuleGenerator(seed=4).generate_set(6))
+
+    def test_add_get_remove(self):
+        lib = self._library()
+        name = lib.names()[0]
+        assert lib.get(name).name == name
+        lib.remove(name)
+        assert name not in lib
+        with pytest.raises(KeyError):
+            lib.get(name)
+
+    def test_duplicate_rejected(self):
+        lib = self._library()
+        with pytest.raises(ValueError):
+            lib.add(lib.get(lib.names()[0]))
+
+    def test_restricted_library(self):
+        lib = self._library()
+        r = lib.restricted(1)
+        assert r.total_shapes() == len(lib)
+
+    def test_stats(self):
+        lib = self._library()
+        s = lib.stats()
+        assert s["modules"] == 6
+        assert s["total_area"] == lib.total_area()
+
+    def test_spec_round_trip_dict(self):
+        m = ModuleGenerator(seed=7).generate()
+        back = module_from_dict(module_to_dict(m))
+        assert back.shapes == m.shapes
+        assert back.name == m.name
+
+    def test_spec_round_trip_file(self, tmp_path):
+        lib = self._library()
+        path = tmp_path / "modules.json"
+        save_modules(lib, path)
+        back = load_modules(path)
+        assert back.names() == lib.names()
+        for name in lib.names():
+            assert back.get(name).shapes == lib.get(name).shapes
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            module_from_dict({"name": "x"})

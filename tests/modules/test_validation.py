@@ -1,0 +1,102 @@
+"""Module design-rule validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.generator import ModuleGenerator
+from repro.modules.module import Module
+from repro.modules.validation import (
+    check_aspect,
+    check_connectivity,
+    check_vertical_strips,
+    connected_components,
+    validate_footprint,
+    validate_module,
+)
+
+
+class TestConnectedComponents:
+    def test_single_cell(self):
+        assert len(connected_components({(0, 0)})) == 1
+
+    def test_l_shape_connected(self):
+        cells = {(0, 0), (0, 1), (1, 0)}
+        assert len(connected_components(cells)) == 1
+
+    def test_diagonal_not_connected(self):
+        cells = {(0, 0), (1, 1)}
+        assert len(connected_components(cells)) == 2
+
+    def test_two_islands(self):
+        cells = {(0, 0), (0, 1), (5, 5), (5, 6), (5, 7)}
+        comps = connected_components(cells)
+        assert sorted(len(c) for c in comps) == [2, 3]
+
+
+class TestRules:
+    def test_connected_shape_passes(self):
+        fp = Footprint.rectangle(3, 2)
+        assert check_connectivity(fp) == []
+
+    def test_disconnected_shape_flagged(self):
+        fp = Footprint([(0, 0, ResourceType.CLB), (2, 0, ResourceType.CLB)])
+        vs = check_connectivity(fp)
+        assert len(vs) == 1 and vs[0].rule == "connectivity"
+
+    def test_vertical_strip_passes(self):
+        fp = Footprint(
+            [(0, 0, ResourceType.BRAM), (0, 1, ResourceType.BRAM),
+             (1, 0, ResourceType.CLB), (1, 1, ResourceType.CLB)]
+        )
+        assert check_vertical_strips(fp) == []
+
+    def test_broken_strip_flagged(self):
+        fp = Footprint(
+            [(0, 0, ResourceType.BRAM), (0, 2, ResourceType.BRAM),
+             (0, 1, ResourceType.CLB)]
+        )
+        vs = check_vertical_strips(fp)
+        assert len(vs) == 1 and vs[0].rule == "vertical-strip"
+
+    def test_horizontal_strip_allowed_if_separate_columns(self):
+        # one BRAM per column is a valid (degenerate) vertical run each
+        fp = Footprint(
+            [(0, 0, ResourceType.BRAM), (1, 0, ResourceType.BRAM)]
+        )
+        assert check_vertical_strips(fp) == []
+
+    def test_aspect_flagged(self):
+        fp = Footprint.rectangle(10, 1)
+        assert check_aspect(fp, max_ratio=8.0)
+        assert check_aspect(fp, max_ratio=10.0) == []
+
+    def test_validate_footprint_aggregates(self):
+        fp = Footprint([(0, 0, ResourceType.CLB), (9, 0, ResourceType.CLB)])
+        rules = {v.rule for v in validate_footprint(fp)}
+        assert "connectivity" in rules
+        assert "aspect" in rules
+
+
+class TestValidateModule:
+    def test_clean_module(self):
+        m = Module("ok", [Footprint.rectangle(3, 3)])
+        report = validate_module(m)
+        assert report.ok
+        assert "ok" in str(report)
+
+    def test_report_pinpoints_shape(self):
+        good = Footprint.rectangle(2, 2)
+        bad = Footprint([(0, 0, ResourceType.CLB), (3, 3, ResourceType.CLB)])
+        report = validate_module(Module("mix", [good, bad]))
+        assert not report.ok
+        assert list(report.by_shape) == [1]
+        assert "shape 1" in str(report)
+
+    def test_generator_output_is_rule_clean(self):
+        """The paper excludes nonadjacent-tile alternatives; so do we."""
+        for m in ModuleGenerator(seed=11).generate_set(25):
+            report = validate_module(m, max_aspect_ratio=30.0)
+            assert report.ok, str(report)

@@ -1,0 +1,106 @@
+"""1D slot-style placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.generator import ModuleGenerator
+from repro.modules.module import Module
+from repro.placer import BottomLeftPlacer, SlotConfig, SlotPlacer, slot_utilization
+from repro.metrics.utilization import extent_utilization
+
+
+def rect_module(name, w, h):
+    return Module(name, [Footprint.rectangle(w, h)])
+
+
+class TestSlotMechanics:
+    def test_slots_needed_rounds_up(self):
+        p = SlotPlacer(SlotConfig(slot_width=4))
+        assert p.slots_needed(1) == 1
+        assert p.slots_needed(4) == 1
+        assert p.slots_needed(5) == 2
+        assert p.slots_needed(9) == 3
+
+    def test_anchors_at_slot_boundaries_only(self):
+        region = PartialRegion.whole_device(homogeneous_device(16, 4))
+        mods = [rect_module(f"m{i}", 3, 2) for i in range(3)]
+        res = SlotPlacer(SlotConfig(slot_width=4)).place(region, mods)
+        assert res.all_placed
+        assert all(p.x % 4 == 0 for p in res.placements)
+        assert all(p.y == 0 for p in res.placements)
+        res.verify()
+
+    def test_full_slots_reserved(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 4))
+        # two 3-wide modules: each takes one whole 4-wide slot
+        mods = [rect_module("a", 3, 4), rect_module("b", 3, 4)]
+        res = SlotPlacer(SlotConfig(slot_width=4)).place(region, mods)
+        assert res.all_placed
+        xs = sorted(p.x for p in res.placements)
+        assert xs == [0, 4]
+        # a third module cannot squeeze into the 1-wide leftovers
+        mods3 = mods + [rect_module("c", 2, 4)]
+        res3 = SlotPlacer(SlotConfig(slot_width=4)).place(region, mods3)
+        assert len(res3.unplaced) == 1
+
+    def test_narrow_alternative_saves_slots(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 6))
+        wide = Footprint.rectangle(5, 2)   # needs 2 slots
+        tall = Footprint.rectangle(4, 3)   # needs 1 slot
+        a = Module("a", [wide, tall])
+        b = Module("b", [Footprint.rectangle(4, 4)])
+        res = SlotPlacer(SlotConfig(slot_width=4)).place(region, [a, b])
+        assert res.all_placed
+        pa = next(p for p in res.placements if p.module.name == "a")
+        assert pa.footprint == tall  # the slot-saving alternative won
+
+    def test_too_tall_module_rejected(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 3))
+        res = SlotPlacer().place(region, [rect_module("t", 2, 5)])
+        assert res.unplaced
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SlotPlacer(SlotConfig(slot_width=0))
+
+    def test_resource_compatibility_respected(self):
+        region = PartialRegion.whole_device(irregular_device(48, 10, seed=3))
+        mods = ModuleGenerator(seed=5).generate_set(6)
+        res = SlotPlacer(SlotConfig(slot_width=8)).place(region, mods)
+        res.verify()  # M_b must hold even in slot mode
+
+
+class TestSlotUtilization:
+    def test_full_slot_is_one(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 4))
+        res = SlotPlacer(SlotConfig(slot_width=4)).place(
+            region, [rect_module("a", 4, 4)]
+        )
+        assert slot_utilization(res, 4) == pytest.approx(1.0)
+
+    def test_half_height_module_wastes_half(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 4))
+        res = SlotPlacer(SlotConfig(slot_width=4)).place(
+            region, [rect_module("a", 4, 2)]
+        )
+        assert slot_utilization(res, 4) == pytest.approx(0.5)
+
+    def test_empty(self):
+        region = PartialRegion.whole_device(homogeneous_device(8, 4))
+        from repro.core.result import PlacementResult
+
+        assert slot_utilization(PlacementResult(region, []), 4) == 0.0
+
+    def test_2d_beats_1d_on_heterogeneous_workload(self):
+        """The taxonomy's expected ordering (Section II, axis 5)."""
+        region = PartialRegion.whole_device(irregular_device(96, 20, seed=13))
+        mods = ModuleGenerator(seed=21).generate_set(12)
+        one_d = SlotPlacer(SlotConfig(slot_width=8)).place(region, mods)
+        two_d = BottomLeftPlacer().place(region, mods)
+        assert len(two_d.placements) >= len(one_d.placements)
+        if one_d.placements and two_d.all_placed:
+            assert extent_utilization(two_d) > slot_utilization(one_d, 8)

@@ -1,0 +1,127 @@
+"""Cross-module integration scenarios.
+
+Each test threads several subsystems together the way a downstream user
+would: generate fabric + modules, place with different engines, compare
+and verify, exercise the flow artefacts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lns import LNSConfig, LNSPlacer
+from repro.core.placer import CPPlacer, PlacerConfig, place
+from repro.core.report import render_placement
+from repro.core.result import PlacementResult
+from repro.fabric.devices import irregular_device
+from repro.fabric.io import region_from_dict, region_to_dict
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.metrics.utilization import extent_utilization
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.spec import module_from_dict, module_to_dict
+from repro.placer import BottomLeftPlacer
+
+
+@pytest.fixture(scope="module")
+def table1_style_instance():
+    region = PartialRegion.whole_device(irregular_device(96, 20, seed=13))
+    modules = ModuleGenerator(seed=21).generate_set(12)
+    return region, modules
+
+
+class TestPaperStory:
+    """The paper's central claims on a mid-size instance."""
+
+    def test_alternatives_improve_utilization(self, table1_style_instance):
+        region, modules = table1_style_instance
+        without = LNSPlacer(LNSConfig(time_limit=5.0, seed=3)).place(
+            region, [m.restricted(1) for m in modules]
+        )
+        with_alts = LNSPlacer(LNSConfig(time_limit=5.0, seed=3)).place(
+            region, modules
+        )
+        assert without.all_placed and with_alts.all_placed
+        without.verify()
+        with_alts.verify()
+        assert extent_utilization(with_alts) >= extent_utilization(without)
+
+    def test_cp_beats_greedy(self, table1_style_instance):
+        region, modules = table1_style_instance
+        greedy = BottomLeftPlacer().place(region, modules)
+        cp = LNSPlacer(LNSConfig(time_limit=5.0, seed=3)).place(region, modules)
+        if greedy.all_placed and cp.all_placed:
+            assert cp.extent <= greedy.extent
+
+    def test_placements_respect_heterogeneity(self, table1_style_instance):
+        region, modules = table1_style_instance
+        res = CPPlacer(
+            PlacerConfig(time_limit=5.0, first_solution_only=True)
+        ).place(region, modules)
+        assert res.all_placed
+        grid = region.grid.cells
+        for p in res.placements:
+            for x, y, kind in p.absolute_cells():
+                assert grid[y, x] == int(kind)
+
+    def test_bram_demand_lands_on_bram_columns(self, table1_style_instance):
+        region, modules = table1_style_instance
+        res = CPPlacer(
+            PlacerConfig(time_limit=5.0, first_solution_only=True)
+        ).place(region, modules)
+        bram_cells = sum(
+            1
+            for p in res.placements
+            for _, _, k in p.footprint.cells
+            if k is ResourceType.BRAM
+        )
+        expected = sum(
+            p.footprint.resource_counts().get(ResourceType.BRAM, 0)
+            for p in res.placements
+        )
+        assert bram_cells == expected
+
+
+class TestRoundTripPipelines:
+    def test_spec_to_placement_round_trip(self, tmp_path, table1_style_instance):
+        """Serialize region+modules, reload, place, verify — full pipeline."""
+        region, modules = table1_style_instance
+        region2 = region_from_dict(region_to_dict(region))
+        modules2 = [module_from_dict(module_to_dict(m)) for m in modules[:6]]
+        res = place(region2, modules2, time_limit=3.0,
+                    first_solution_only=True)
+        assert res.all_placed
+        res.verify()
+
+    def test_render_matches_occupancy(self, table1_style_instance):
+        region, modules = table1_style_instance
+        res = CPPlacer(
+            PlacerConfig(time_limit=3.0, first_solution_only=True)
+        ).place(region, modules[:6])
+        art = render_placement(res)
+        lines = art.splitlines()
+        occupancy = res.occupancy_mask()
+        module_chars = set("0123456789abcdef")
+        for y in range(region.height):
+            for x in range(region.width):
+                ch = lines[region.height - 1 - y][x]
+                assert (ch in module_chars) == bool(occupancy[y, x])
+
+
+class TestDeterminism:
+    def test_cp_placer_is_deterministic(self, table1_style_instance):
+        region, modules = table1_style_instance
+        cfg = PlacerConfig(time_limit=None, node_limit=4000)
+        a = CPPlacer(cfg).place(region, modules[:5])
+        b = CPPlacer(cfg).place(region, modules[:5])
+        assert [(p.module.name, p.shape_index, p.x, p.y) for p in a.placements] \
+            == [(p.module.name, p.shape_index, p.x, p.y) for p in b.placements]
+
+    def test_generator_fabric_pairing_stable(self):
+        a = irregular_device(48, 12, seed=99)
+        b = irregular_device(48, 12, seed=99)
+        assert a == b
+        ma = ModuleGenerator(seed=7).generate_set(5)
+        mb = ModuleGenerator(seed=7).generate_set(5)
+        assert [m.shapes for m in ma] == [m.shapes for m in mb]
