@@ -1,0 +1,23 @@
+# Developer entry points.  Everything runs from the repo root with the
+# src/ layout on PYTHONPATH; no install step required.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test test-fast bench profile-smoke
+
+## full tier-1 suite (what CI runs)
+test:
+	$(PY) -m pytest -q
+
+## quick loop: skip the slow-marked sweeps
+test-fast:
+	$(PY) -m pytest -q -m "not slow"
+
+## pytest-benchmark suite (not part of tier-1)
+bench:
+	$(PY) -m pytest benchmarks -q
+
+## one instrumented solve; exports a profile JSON and validates it
+## against the published schema — fails non-zero on any mismatch
+profile-smoke:
+	$(PY) scripts/profile_smoke.py

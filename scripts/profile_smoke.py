@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Profile smoke check: one instrumented solve, validated end to end.
+
+Runs a small placement with tracing + per-propagator profiling on, exports
+the :class:`~repro.obs.SolveProfile` to JSON, re-loads it, and validates
+both the profile document and every recorded trace event against the
+schemas in :mod:`repro.obs.schema`.  Exits non-zero on any problem, so it
+can gate CI (``make profile-smoke``).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+
+def main() -> int:
+    from repro.core.placer import CPPlacer, PlacerConfig
+    from repro.fabric.devices import irregular_device
+    from repro.fabric.region import PartialRegion
+    from repro.modules.generator import GeneratorConfig, ModuleGenerator
+    from repro.obs import (
+        RecordingTracer,
+        SolveProfile,
+        profile_report,
+        validate_event,
+        validate_profile,
+    )
+
+    problems: list[str] = []
+
+    region = PartialRegion.whole_device(irregular_device(16, 8, seed=5))
+    cfg = GeneratorConfig(clb_min=4, clb_max=8, bram_max=1,
+                          height_min=2, height_max=3)
+    modules = ModuleGenerator(seed=7, config=cfg).generate_set(4)
+
+    tracer = RecordingTracer()
+    result = CPPlacer(
+        PlacerConfig(time_limit=None, profile=True, tracer=tracer)
+    ).place(region, modules)
+    if result.status != "optimal":
+        problems.append(f"expected an optimal solve, got {result.status!r}")
+
+    profile = result.stats.get("profile")
+    if profile is None:
+        problems.append("no profile captured despite profile=True")
+        profile = SolveProfile()
+
+    if profile.nodes == 0 or profile.propagations == 0:
+        problems.append(f"profile looks empty: {profile.counts()}")
+
+    # export -> reload -> identical counts
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "smoke.profile.json"
+        profile.save(path)
+        restored = SolveProfile.load(path)
+        problems += [f"profile: {p}" for p in validate_profile(restored.to_dict())]
+        if restored.counts() != profile.counts():
+            problems.append(
+                f"JSON round trip drifted: {profile.counts()} -> "
+                f"{restored.counts()}"
+            )
+
+    if len(tracer) == 0:
+        problems.append("tracer recorded no events")
+    for ev in tracer.events:
+        for p in validate_event(ev.to_dict()):
+            problems.append(f"event {ev.kind}: {p}")
+
+    print(profile_report(profile))
+    print(f"trace: {len(tracer)} events over {len(tracer.kinds())} kinds")
+    if problems:
+        print("\nFAIL:", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print("profile smoke check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +30,8 @@ from repro.core.placer import CPPlacer, PlacerConfig
 from repro.core.result import Placement, PlacementResult
 from repro.fabric.region import PartialRegion
 from repro.modules.module import Module
+from repro.obs.profile import SolveProfile
+from repro.obs.trace import LNS_IMPROVED, LNS_NEIGHBORHOOD, Tracer
 
 
 @dataclass
@@ -50,6 +52,12 @@ class LNSConfig:
     seed: int = 0
     #: configuration of the initial full solve
     initial: Optional[PlacerConfig] = None
+    #: aggregate per-propagator profiles across all CP subsolves into
+    #: ``result.stats["profile"]``
+    profile: bool = False
+    #: structured event sink for LNS-level events (neighborhood chosen,
+    #: incumbent improved) — also threaded into every CP subsolve
+    tracer: Optional[Tracer] = None
 
 
 class LNSPlacer:
@@ -57,6 +65,7 @@ class LNSPlacer:
 
     def __init__(self, config: Optional[LNSConfig] = None) -> None:
         self.config = config or LNSConfig()
+        self._profile_total: Optional[SolveProfile] = None
 
     # ------------------------------------------------------------------
     def place(
@@ -66,6 +75,12 @@ class LNSPlacer:
         rng = random.Random(cfg.seed)
         start = time.monotonic()
         deadline = start + cfg.time_limit
+        tracer = cfg.tracer if cfg.tracer is not None and cfg.tracer.enabled else None
+        self._profile_total: Optional[SolveProfile] = (
+            SolveProfile(meta={"placer": "lns", "seed": cfg.seed})
+            if cfg.profile
+            else None
+        )
 
         # construction: CP dive first (usually sub-second); if it thrashes,
         # fall back to the bottom-left heuristic — LNS only needs *some*
@@ -74,7 +89,12 @@ class LNSPlacer:
             time_limit=min(cfg.time_limit / 2, 5.0),
             first_solution_only=True,
         )
+        if cfg.profile or tracer is not None:
+            initial_cfg = replace(
+                initial_cfg, profile=cfg.profile, tracer=tracer
+            )
         base = CPPlacer(initial_cfg).place(region, modules)
+        self._absorb_profile(base)
         if not base.placements or not base.all_placed:
             from repro.placer.greedy import BottomLeftPlacer
 
@@ -88,8 +108,11 @@ class LNSPlacer:
                 first_solution_only=True,
                 construction="restart",
                 seed=cfg.seed,
+                profile=cfg.profile,
+                tracer=tracer,
             )
             restarted = CPPlacer(restart_cfg).place(region, modules)
+            self._absorb_profile(restarted)
             if restarted.all_placed and restarted.placements:
                 base = restarted
             else:
@@ -108,17 +131,41 @@ class LNSPlacer:
                 break
             iterations += 1
             free_idx = self._neighborhood(best, best_extent, rng)
+            if tracer is not None:
+                tracer.emit(
+                    LNS_NEIGHBORHOOD,
+                    iteration=iterations,
+                    free=len(free_idx),
+                    frontier=sum(
+                        1
+                        for i in free_idx
+                        if best[i].right >= best_extent - cfg.frontier_margin
+                    ),
+                )
             improved = self._reoptimize(
-                region, best, free_idx, best_extent, deadline
+                region, best, free_idx, best_extent, deadline, tracer
             )
             if improved is not None:
                 best = improved
                 best_extent = max(p.right for p in best)
                 trajectory.append((time.monotonic() - start, best_extent))
                 stall = 0
+                if tracer is not None:
+                    tracer.emit(
+                        LNS_IMPROVED, iteration=iterations, extent=best_extent
+                    )
             else:
                 stall += 1
 
+        stats = {
+            "method": "lns",
+            "iterations": iterations,
+            "trajectory": trajectory,
+            "initial_extent": trajectory[0][1],
+            "shapes_considered": sum(m.n_alternatives for m in modules),
+        }
+        if self._profile_total is not None:
+            stats["profile"] = self._profile_total
         return PlacementResult(
             region,
             best,
@@ -126,14 +173,16 @@ class LNSPlacer:
             extent=best_extent,
             status="feasible",
             elapsed=time.monotonic() - start,
-            stats={
-                "method": "lns",
-                "iterations": iterations,
-                "trajectory": trajectory,
-                "initial_extent": trajectory[0][1],
-                "shapes_considered": sum(m.n_alternatives for m in modules),
-            },
+            stats=stats,
         )
+
+    def _absorb_profile(self, result: PlacementResult) -> None:
+        """Fold one CP subsolve's profile into the LNS aggregate."""
+        if self._profile_total is None:
+            return
+        sub = result.stats.get("profile")
+        if sub is not None:
+            self._profile_total = self._profile_total + sub
 
     # ------------------------------------------------------------------
     def _neighborhood(
@@ -159,6 +208,7 @@ class LNSPlacer:
         free_idx: List[int],
         best_extent: int,
         deadline: float,
+        tracer: Optional[Tracer] = None,
     ) -> Optional[List[Placement]]:
         """Re-place ``free_idx`` modules; None unless strictly better."""
         cfg = self.config
@@ -175,11 +225,14 @@ class LNSPlacer:
         sub_region = PartialRegion(region.grid, mask, f"{region.name}-lns")
 
         budget = min(cfg.sub_time_limit, max(0.1, deadline - time.monotonic()))
-        sub_cfg = PlacerConfig(time_limit=budget)
+        sub_cfg = PlacerConfig(
+            time_limit=budget, profile=cfg.profile, tracer=tracer
+        )
         free_modules = [placements[i].module for i in free_idx]
         placer = CPPlacer(sub_cfg)
         # beat the incumbent: every free module must end left of it
         result = placer.place_bounded(sub_region, free_modules, best_extent - 1)
+        self._absorb_profile(result)
         if not result.placements or not result.all_placed:
             return None
         new_extent = max(

@@ -25,10 +25,15 @@ from repro.core.objective import ObjectiveKind, build_objective
 from repro.fabric.region import PartialRegion
 from repro.geost.placement import PlacementKernel
 from repro.modules.module import Module
+from repro.obs.trace import Tracer
 
 
 class PlacementModel:
-    """CP model for placing a module set on a partial region."""
+    """CP model for placing a module set on a partial region.
+
+    ``tracer``/``profile`` reach the engine before the kernel is posted,
+    so the (expensive) root propagation is observable too.
+    """
 
     def __init__(
         self,
@@ -37,12 +42,14 @@ class PlacementModel:
         objective: ObjectiveKind = ObjectiveKind.MIN_EXTENT_X,
         symmetry_breaking: bool = True,
         redundant_cumulative: bool = True,
+        tracer: Optional[Tracer] = None,
+        profile: bool = False,
     ) -> None:
         if not modules:
             raise ValueError("nothing to place")
         self.region = region
         self.modules = list(modules)
-        self.model = Model("placement")
+        self.model = Model("placement", tracer=tracer, profile=profile)
         m = self.model
 
         self.xs: List[IntVar] = []

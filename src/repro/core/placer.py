@@ -24,6 +24,9 @@ from repro.core.placement_model import PlacementModel
 from repro.core.result import Placement, PlacementResult
 from repro.fabric.region import PartialRegion
 from repro.modules.module import Module
+from repro.obs import context as obs_context
+from repro.obs.profile import SolveProfile
+from repro.obs.trace import Tracer
 
 
 @dataclass
@@ -50,6 +53,12 @@ class PlacerConfig:
     redundant_cumulative: bool = True
     #: stop at the first solution instead of optimizing (service mode)
     first_solution_only: bool = False
+    #: per-propagator accounting; the run's :class:`SolveProfile` lands in
+    #: ``result.stats["profile"]`` (also forced on by an active
+    #: :func:`repro.obs.profiling_session`)
+    profile: bool = False
+    #: structured event sink threaded into the engine (None = off)
+    tracer: Optional[Tracer] = None
 
 
 class CPPlacer:
@@ -85,6 +94,7 @@ class CPPlacer:
     ) -> PlacementResult:
         cfg = self.config
         start = time.monotonic()
+        profiling = cfg.profile or obs_context.current() is not None
         try:
             pm = PlacementModel(
                 region,
@@ -92,6 +102,8 @@ class CPPlacer:
                 objective=cfg.objective,
                 symmetry_breaking=cfg.symmetry_breaking,
                 redundant_cumulative=cfg.redundant_cumulative,
+                tracer=cfg.tracer,
+                profile=profiling,
             )
             if max_extent is not None:
                 pm.objective_var.remove_above(max_extent)
@@ -110,7 +122,7 @@ class CPPlacer:
 
         if cfg.first_solution_only and cfg.construction == "restart":
             return self._construct_with_restarts(
-                pm, region, modules, decision_vars, var_select, start
+                pm, region, modules, decision_vars, var_select, start, profiling
             )
 
         limit = SearchLimit(
@@ -144,13 +156,27 @@ class CPPlacer:
 
         if res.best is None:
             status = "infeasible" if res.proved_optimal else "unknown"
+            stats = {"search": res.stats}
+            if profiling:
+                stats["profile"] = self._capture_profile(
+                    pm, res.stats, region, modules
+                )
             return PlacementResult(
                 region, [], list(modules), status=status, elapsed=elapsed,
-                stats={"search": res.stats},
+                stats=stats,
             )
 
         placements = best_placements[-1]
         status = "optimal" if res.proved_optimal else "feasible"
+        stats = {
+            "search": res.stats,
+            "trajectory": res.trajectory,
+            "shapes_considered": sum(m.n_alternatives for m in modules),
+        }
+        if profiling:
+            stats["profile"] = self._capture_profile(
+                pm, res.stats, region, modules
+            )
         return PlacementResult(
             region,
             placements,
@@ -158,16 +184,30 @@ class CPPlacer:
             extent=res.objective,
             status=status,
             elapsed=elapsed,
-            stats={
-                "search": res.stats,
-                "trajectory": res.trajectory,
-                "shapes_considered": sum(m.n_alternatives for m in modules),
-            },
+            stats=stats,
         )
+
+    def _capture_profile(
+        self, pm, search_stats, region, modules, restarts: int = 0
+    ) -> SolveProfile:
+        """Snapshot the engine into a profile and feed any active session."""
+        profile = SolveProfile.capture(
+            pm.model.engine,
+            search_stats,
+            instance=region.name,
+            modules=len(modules),
+            placer="cp",
+        )
+        profile.restarts = restarts
+        session = obs_context.current()
+        if session is not None:
+            session.record(profile)
+        return profile
 
 
     def _construct_with_restarts(
-        self, pm, region, modules, decision_vars, var_select, start
+        self, pm, region, modules, decision_vars, var_select, start,
+        profiling: bool = False,
     ) -> PlacementResult:
         from repro.cp.restart import RestartingSearch
 
@@ -198,11 +238,25 @@ class CPPlacer:
                 if search.stats.stop_reason == "exhausted"
                 else "unknown"
             )
+            stats = {"search": search.stats, "restarts": search.restarts}
+            if profiling:
+                stats["profile"] = self._capture_profile(
+                    pm, search.stats, region, modules, restarts=search.restarts
+                )
             return PlacementResult(
                 region, [], list(modules), status=status, elapsed=elapsed,
-                stats={"search": search.stats, "restarts": search.restarts},
+                stats=stats,
             )
         placements = captured[-1]
+        stats = {
+            "search": search.stats,
+            "restarts": search.restarts,
+            "shapes_considered": sum(m.n_alternatives for m in modules),
+        }
+        if profiling:
+            stats["profile"] = self._capture_profile(
+                pm, search.stats, region, modules, restarts=search.restarts
+            )
         return PlacementResult(
             region,
             placements,
@@ -210,11 +264,7 @@ class CPPlacer:
             extent=max(p.right for p in placements),
             status="feasible",
             elapsed=elapsed,
-            stats={
-                "search": search.stats,
-                "restarts": search.restarts,
-                "shapes_considered": sum(m.n_alternatives for m in modules),
-            },
+            stats=stats,
         )
 
 

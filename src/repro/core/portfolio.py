@@ -26,9 +26,16 @@ from repro.fabric.io import region_from_dict, region_to_dict
 from repro.fabric.region import PartialRegion
 from repro.modules.module import Module
 from repro.modules.spec import module_from_dict, module_to_dict
+from repro.obs.profile import SolveProfile
+from repro.obs.trace import PORTFOLIO_RESULT, Tracer
 
 #: (module name, shape index, x, y)
 _PlacementTuple = Tuple[str, int, int, int]
+
+#: (seed, extent-or-None, placements, profile-dict-or-None) — the profile
+#: crosses the process boundary as a plain dict (JSON-serializable), never
+#: as a solver-internal object
+_WorkerResult = Tuple[int, Optional[int], List[_PlacementTuple], Optional[dict]]
 
 
 def _worker(
@@ -36,15 +43,21 @@ def _worker(
     module_payloads: List[dict],
     time_limit: float,
     seed: int,
-) -> Tuple[int, Optional[int], List[_PlacementTuple]]:
-    """Solve one portfolio member; returns (seed, extent, placements)."""
+    profile: bool = False,
+) -> _WorkerResult:
+    """Solve one portfolio member; returns (seed, extent, placements, profile)."""
     region = region_from_dict(region_payload)
     modules = [module_from_dict(p) for p in module_payloads]
     result = LNSPlacer(
-        LNSConfig(time_limit=time_limit, seed=seed)
+        LNSConfig(time_limit=time_limit, seed=seed, profile=profile)
     ).place(region, modules)
+    profile_payload = None
+    if profile:
+        captured = result.stats.get("profile")
+        if captured is not None:
+            profile_payload = captured.to_dict()
     if not result.placements or not result.all_placed:
-        return seed, None, []
+        return seed, None, [], profile_payload
     return (
         seed,
         result.extent,
@@ -52,6 +65,7 @@ def _worker(
             (p.module.name, p.shape_index, p.x, p.y)
             for p in result.placements
         ],
+        profile_payload,
     )
 
 
@@ -64,6 +78,12 @@ class PortfolioConfig:
     #: per-member wall-clock budget in seconds
     time_limit: float = 8.0
     base_seed: int = 0
+    #: collect per-member SolveProfiles (returned across the process
+    #: boundary as plain dicts) and merge them into ``stats["profile"]``
+    profile: bool = False
+    #: event sink for ``portfolio.result`` events (parent process only —
+    #: tracers do not cross into workers)
+    tracer: Optional[Tracer] = None
 
 
 class PortfolioPlacer:
@@ -82,12 +102,15 @@ class PortfolioPlacer:
         region_payload = region_to_dict(region)
         module_payloads = [module_to_dict(m) for m in modules]
         by_name: Dict[str, Module] = {m.name: m for m in modules}
+        tracer = (
+            cfg.tracer if cfg.tracer is not None and cfg.tracer.enabled else None
+        )
 
-        outcomes: List[Tuple[int, Optional[int], List[_PlacementTuple]]] = []
+        outcomes: List[_WorkerResult] = []
         if cfg.n_workers == 1:
             outcomes.append(
                 _worker(region_payload, module_payloads, cfg.time_limit,
-                        cfg.base_seed)
+                        cfg.base_seed, cfg.profile)
             )
         else:
             with ProcessPoolExecutor(max_workers=cfg.n_workers) as pool:
@@ -98,6 +121,7 @@ class PortfolioPlacer:
                         module_payloads,
                         cfg.time_limit,
                         cfg.base_seed + k,
+                        cfg.profile,
                     )
                     for k in range(cfg.n_workers)
                 ]
@@ -105,20 +129,48 @@ class PortfolioPlacer:
                     try:
                         outcomes.append(fut.result())
                     except Exception:  # a crashed member must not sink the rest
-                        outcomes.append((-1, None, []))
+                        outcomes.append((-1, None, [], None))
 
-        solved = [(s, e, p) for s, e, p in outcomes if e is not None]
+        if tracer is not None:
+            for seed, extent, _tuples, _prof in outcomes:
+                tracer.emit(
+                    PORTFOLIO_RESULT,
+                    seed=seed,
+                    extent=extent,
+                    solved=extent is not None,
+                )
+
+        stats: Dict = {"method": "portfolio", "members": len(outcomes)}
+        if cfg.profile:
+            member_profiles = {
+                seed: prof
+                for seed, _e, _t, prof in outcomes
+                if prof is not None
+            }
+            stats["member_profiles"] = member_profiles
+            merged = SolveProfile(meta={"placer": "portfolio"})
+            for prof in member_profiles.values():
+                merged = merged + SolveProfile.from_dict(prof)
+            stats["profile"] = merged
+
+        solved = [(s, e, p) for s, e, p, _ in outcomes if e is not None]
         elapsed = time.monotonic() - start
         if not solved:
+            stats["status_members"] = 0
             return PlacementResult(
                 region, [], list(modules), status="unknown", elapsed=elapsed,
-                stats={"method": "portfolio", "members": len(outcomes)},
+                stats=stats,
             )
         best_seed, best_extent, tuples = min(solved, key=lambda t: t[1])
         placements = [
             Placement(by_name[name], sid, x, y)
             for name, sid, x, y in tuples
         ]
+        stats.update(
+            solved_members=len(solved),
+            winning_seed=best_seed,
+            member_extents=sorted(e for _, e, _ in solved),
+        )
         return PlacementResult(
             region,
             placements,
@@ -126,11 +178,5 @@ class PortfolioPlacer:
             extent=best_extent,
             status="feasible",
             elapsed=elapsed,
-            stats={
-                "method": "portfolio",
-                "members": len(outcomes),
-                "solved_members": len(solved),
-                "winning_seed": best_seed,
-                "member_extents": sorted(e for _, e, _ in solved),
-            },
+            stats=stats,
         )

@@ -21,6 +21,7 @@ from repro.cp.engine import Engine
 from repro.cp.search import DepthFirstSearch, SearchLimit, Solution
 from repro.cp.stats import SearchStats
 from repro.cp.variable import IntVar
+from repro.obs.trace import INCUMBENT
 
 
 @dataclass
@@ -111,6 +112,12 @@ class BranchAndBound:
                 self._best_bound = value
                 best, best_value = sol, value
                 trajectory.append((time.monotonic() - start, value))
+                if self.engine.tracer is not None:
+                    self.engine.tracer.emit(
+                        INCUMBENT,
+                        objective=value,
+                        nodes=search.stats.nodes,
+                    )
                 if self.on_improve is not None:
                     self.on_improve(sol, value)
         return BnBResult(

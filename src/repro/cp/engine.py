@@ -4,19 +4,27 @@ The engine is the mutable heart of the solver.  It owns
 
 * the registered variables,
 * the :class:`~repro.cp.trail.Trail` used for chronological backtracking,
-* a priority-bucketed propagation queue, and
-* run statistics.
+* a priority-bucketed propagation queue,
+* run statistics, and
+* the (optional) observability hooks: a structured tracer and a
+  per-propagator profile collector (:mod:`repro.obs`).
 
 Domain updates flow through :meth:`Engine.update_domain`, which trails the
 previous domain, classifies the modification event, and schedules the
 subscribed propagators.  :meth:`Engine.fixpoint` drains the queue in
 priority order until quiescence or failure.
+
+Instrumentation is zero-overhead when disabled: the un-instrumented path
+through :meth:`fixpoint` and :meth:`update_domain` pays exactly one local
+``is None`` check per propagation / domain update, and :class:`NullTracer`
+is normalized to *no tracer* at attach time.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from time import perf_counter
+from typing import Deque, Dict, List, Optional
 
 from repro.cp.domain import Domain
 from repro.cp.events import Event, classify
@@ -24,6 +32,13 @@ from repro.cp.propagator import Priority, Propagator
 from repro.cp.stats import EngineStats
 from repro.cp.trail import Trail
 from repro.cp.variable import IntVar
+from repro.obs.profile import PropagatorProfile
+from repro.obs.trace import (
+    DOMAIN_UPDATE,
+    ENGINE_FAILURE,
+    PROPAGATE,
+    Tracer,
+)
 
 
 class Inconsistent(Exception):
@@ -36,12 +51,36 @@ _NUM_PRIORITIES = len(Priority)
 class Engine:
     """Propagation engine with trailed backtracking."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        profile: bool = False,
+    ) -> None:
         self.trail = Trail()
         self.variables: List[IntVar] = []
         self.propagators: List[Propagator] = []
         self._queues: List[Deque[Propagator]] = [deque() for _ in range(_NUM_PRIORITIES)]
         self.stats = EngineStats()
+        #: normalized tracer: ``None`` whenever tracing is off
+        self.tracer: Optional[Tracer] = None
+        #: per-propagator accounting; ``None`` unless profiling is enabled
+        self.prop_stats: Optional[Dict[str, PropagatorProfile]] = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+        if profile:
+            self.enable_profiling()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Install ``tracer``; a disabled tracer (NullTracer) means off."""
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+
+    def enable_profiling(self) -> None:
+        """Start per-propagator wall-time / prune / failure accounting."""
+        if self.prop_stats is None:
+            self.prop_stats = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -78,6 +117,12 @@ class Engine:
             return False
         if new.is_empty():
             self.stats.failures += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    ENGINE_FAILURE,
+                    var=var.name,
+                    cause=cause.name if cause is not None else None,
+                )
             raise Inconsistent(f"{var.name}: domain wiped out")
         if not new.is_subset_of(old):
             raise ValueError(
@@ -87,6 +132,14 @@ class Engine:
         var.domain = new
         self.trail.push(lambda: _restore(var, old))
         self.stats.domain_updates += 1
+        tr = self.tracer
+        if tr is not None and tr.fine:
+            tr.emit(
+                DOMAIN_UPDATE,
+                var=var.name,
+                size=len(new),
+                cause=cause.name if cause is not None else None,
+            )
         for prop, mask in var.watchers:
             if prop is cause or not prop.active:
                 continue
@@ -105,6 +158,8 @@ class Engine:
     def fixpoint(self) -> None:
         """Run propagators to quiescence; raises :class:`Inconsistent` on failure."""
         queues = self._queues
+        tr = self.tracer
+        plain = self.prop_stats is None and (tr is None or not tr.fine)
         try:
             while True:
                 prop = None
@@ -118,10 +173,41 @@ class Engine:
                 if not prop.active:
                     continue
                 self.stats.propagations += 1
-                prop.propagate(self)
+                if plain:
+                    prop.propagate(self)
+                else:
+                    self._propagate_instrumented(prop)
         except Inconsistent:
             self._flush_queue()
             raise
+
+    def _propagate_instrumented(self, prop: Propagator) -> None:
+        """One accounted propagator run (wall time, prunes, failures)."""
+        prof = self.prop_stats
+        before = self.stats.domain_updates
+        if prof is None:
+            prop.propagate(self)
+        else:
+            rec = prof.get(prop.name)
+            if rec is None:
+                rec = prof[prop.name] = PropagatorProfile(prop.name)
+            t0 = perf_counter()
+            try:
+                prop.propagate(self)
+            except Inconsistent:
+                rec.failures += 1
+                raise
+            finally:
+                rec.time_s += perf_counter() - t0
+                rec.calls += 1
+                rec.prunes += self.stats.domain_updates - before
+        tr = self.tracer
+        if tr is not None and tr.fine:
+            tr.emit(
+                PROPAGATE,
+                propagator=prop.name,
+                prunes=self.stats.domain_updates - before,
+            )
 
     def _flush_queue(self) -> None:
         for q in self._queues:

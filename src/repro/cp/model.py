@@ -41,14 +41,25 @@ from repro.cp.domain import Domain
 from repro.cp.engine import Engine
 from repro.cp.propagator import Propagator
 from repro.cp.variable import IntVar
+from repro.obs.trace import Tracer
 
 
 class Model:
-    """A constraint model: an engine plus sugar for building it."""
+    """A constraint model: an engine plus sugar for building it.
 
-    def __init__(self, name: str = "model") -> None:
+    ``tracer`` and ``profile`` configure the engine's observability hooks
+    (:mod:`repro.obs`) before any constraint is posted, so the initial
+    root propagation is captured too.
+    """
+
+    def __init__(
+        self,
+        name: str = "model",
+        tracer: Optional[Tracer] = None,
+        profile: bool = False,
+    ) -> None:
         self.name = name
-        self.engine = Engine()
+        self.engine = Engine(tracer=tracer, profile=profile)
         self.constraints: List[Propagator] = []
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.cp.engine import Engine
 from repro.cp.search import DepthFirstSearch, SearchLimit, Solution
 from repro.cp.stats import SearchStats
 from repro.cp.variable import IntVar
+from repro.obs.trace import RESTART
 
 
 def luby(i: int) -> int:
@@ -117,3 +118,9 @@ class RestartingSearch:
                 self.stats.stop_reason = "time"
                 return None
             self.restarts += 1  # failure budget exceeded: restart
+            if self.engine.tracer is not None:
+                self.engine.tracer.emit(
+                    RESTART,
+                    attempt=attempt,
+                    budget=self.base_failures * luby(attempt),
+                )

@@ -23,6 +23,7 @@ from repro.cp.branching import (
 from repro.cp.engine import Engine, Inconsistent
 from repro.cp.stats import SearchStats
 from repro.cp.variable import IntVar
+from repro.obs.trace import NODE_FAILED, NODE_OPENED, SOLUTION
 
 Solution = Dict[str, int]
 
@@ -104,11 +105,19 @@ class DepthFirstSearch:
     def _try_next(self, frame: _Frame) -> bool:
         """Try values of ``frame`` until one survives propagation."""
         engine = self.engine
+        tracer = engine.tracer
         for value in frame.values:
             if value not in frame.var.domain:
                 continue  # pruned since the iterator was built
             engine.push_level()
             self.stats.nodes += 1
+            if tracer is not None:
+                tracer.emit(
+                    NODE_OPENED,
+                    var=frame.var.name,
+                    value=value,
+                    depth=engine.depth(),
+                )
             try:
                 frame.var.fix(value)
                 if self.node_hook is not None:
@@ -118,6 +127,13 @@ class DepthFirstSearch:
             except Inconsistent:
                 engine.pop_level()
                 self.stats.backtracks += 1
+                if tracer is not None:
+                    tracer.emit(
+                        NODE_FAILED,
+                        var=frame.var.name,
+                        value=value,
+                        depth=engine.depth(),
+                    )
                 reason = self._limits_exceeded()
                 if reason is not None:
                     raise _SearchStopped(reason)
@@ -144,6 +160,12 @@ class DepthFirstSearch:
                 if var is None:
                     self.stats.solutions += 1
                     self.stats.max_depth = max(self.stats.max_depth, len(frames))
+                    if engine.tracer is not None:
+                        engine.tracer.emit(
+                            SOLUTION,
+                            depth=len(frames),
+                            count=self.stats.solutions,
+                        )
                     yield self._snapshot()
                     if not self._backtrack(frames):
                         self.stats.stop_reason = "exhausted"

@@ -8,11 +8,18 @@ Regenerate any of the paper's artefacts (or our ablations) from a shell::
     python -m repro.experiments.runner all
 
 Set ``REPRO_FULL=1`` for paper-scale run counts and budgets.
+
+``--profile-dir DIR`` wraps each experiment in a
+:func:`repro.obs.profiling_session`: every CP solve the experiment runs
+deposits its :class:`~repro.obs.SolveProfile`, and the merged profile is
+written to ``DIR/<experiment>.profile.json`` (schema-validated) next to
+the textual artefact.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict
 
@@ -134,14 +141,42 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which artefacts to regenerate",
     )
+    parser.add_argument(
+        "--profile-dir",
+        default=None,
+        metavar="DIR",
+        help="also write a merged solver profile JSON per experiment",
+    )
     args = parser.parse_args(argv)
     names = (
         sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     )
     for name in names:
         print(f"\n{'=' * 60}\n{name}\n{'=' * 60}")
-        print(EXPERIMENTS[name]())
+        if args.profile_dir is None:
+            print(EXPERIMENTS[name]())
+        else:
+            print(_run_profiled(name, args.profile_dir))
     return 0
+
+
+def _run_profiled(name: str, profile_dir: str) -> str:
+    """Run one experiment inside a profiling session; write its artifact."""
+    from repro.obs import profiling_session, validate_profile
+
+    os.makedirs(profile_dir, exist_ok=True)
+    with profiling_session(name) as session:
+        output = EXPERIMENTS[name]()
+    profile = session.merged()
+    doc = profile.to_dict()
+    problems = validate_profile(doc)
+    if problems:  # a broken artifact must fail loudly, not ship silently
+        raise RuntimeError(
+            f"profile for {name!r} violates the schema: {problems}"
+        )
+    path = os.path.join(profile_dir, f"{name}.profile.json")
+    profile.save(path)
+    return output + f"\n[profile: {path} — {profile.counts()}]"
 
 
 if __name__ == "__main__":  # pragma: no cover

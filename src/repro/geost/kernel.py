@@ -32,6 +32,7 @@ from repro.geost.forbidden import (
 )
 from repro.geost.objects import GeostObject
 from repro.geost.sweep import sweep_max, sweep_min
+from repro.obs.trace import GEOST_SHAPE_REMOVED
 
 
 class Geost(Propagator):
@@ -84,9 +85,9 @@ class Geost(Propagator):
         while changed:
             changed = False
             for obj in self.objects:
-                changed |= self._filter_object(obj)
+                changed |= self._filter_object(obj, engine)
 
-    def _filter_object(self, obj: GeostObject) -> bool:
+    def _filter_object(self, obj: GeostObject, engine: Engine) -> bool:
         """Prune one object's shape and anchor variables; True if changed."""
         obstacles = self._obstacles_for(obj)
         per_shape = self._per_shape_boxes(obj, obstacles)
@@ -100,7 +101,12 @@ class Geost(Propagator):
             if sweep_min(bounds, [boxes], 0) is not None:
                 feasible_shapes.append(sid)
             else:
-                changed |= obj.shape_var.remove(sid, cause=self)
+                if obj.shape_var.remove(sid, cause=self):
+                    changed = True
+                    if engine.tracer is not None:
+                        engine.tracer.emit(
+                            GEOST_SHAPE_REMOVED, object=obj.oid, shape=sid
+                        )
         if not feasible_shapes:
             raise Inconsistent(f"geost: object {obj.oid} has no placement")
         shape_boxes = [per_shape[sid] for sid in feasible_shapes]

@@ -42,6 +42,7 @@ from repro.fabric.masks import compatibility_masks, valid_anchor_mask
 from repro.fabric.region import PartialRegion
 from repro.modules.footprint import Footprint
 from repro.modules.module import Module
+from repro.obs.trace import KERNEL_IMPRINT
 
 
 @dataclass(frozen=True)
@@ -240,6 +241,10 @@ class PlacementKernel(Propagator):
             )
         self.occupancy[idx] = True
         item.placed = True
+        if engine.tracer is not None:
+            engine.tracer.emit(
+                KERNEL_IMPRINT, module=item.module.name, shape=sid, x=x0, y=y0
+            )
 
         occ = self.occupancy
         active = self._active_offsets

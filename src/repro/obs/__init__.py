@@ -1,0 +1,66 @@
+"""Solver observability: structured tracing + per-propagator profiling.
+
+This package is the lowest layer of the project — it imports nothing from
+the solver, so every other layer (``repro.cp``, ``repro.geost``,
+``repro.core``, ``repro.experiments``) can emit into it freely.  Three
+pieces:
+
+* :mod:`repro.obs.trace` — the :class:`Tracer` event protocol with
+  :class:`NullTracer` (free), :class:`RecordingTracer` (in-memory) and
+  :class:`StreamTracer` (JSONL) implementations,
+* :mod:`repro.obs.profile` — per-propagator wall-time/prune accounting
+  aggregated into the exportable :class:`SolveProfile`, and
+* :mod:`repro.obs.schema` — validators for the exported artifacts.
+
+Typical use::
+
+    from repro.cp import Model, Solver
+    from repro.obs import RecordingTracer, SolveProfile, profile_report
+
+    tracer = RecordingTracer()
+    m = Model(tracer=tracer, profile=True)
+    ...build and solve...
+    profile = SolveProfile.capture(m.engine, search.stats)
+    print(profile_report(profile))
+    profile.save("solve.profile.json")
+"""
+
+from repro.obs.context import ProfileSession, current, profiling_session
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    PropagatorProfile,
+    SolveProfile,
+    profile_report,
+)
+from repro.obs.schema import (
+    EVENT_KINDS,
+    PROFILE_SCHEMA,
+    validate_event,
+    validate_profile,
+)
+from repro.obs.trace import (
+    NullTracer,
+    RecordingTracer,
+    StreamTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "StreamTracer",
+    "TraceEvent",
+    "PropagatorProfile",
+    "SolveProfile",
+    "profile_report",
+    "PROFILE_SCHEMA_VERSION",
+    "PROFILE_SCHEMA",
+    "EVENT_KINDS",
+    "validate_profile",
+    "validate_event",
+    "ProfileSession",
+    "profiling_session",
+    "current",
+]

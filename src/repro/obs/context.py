@@ -1,0 +1,61 @@
+"""Process-wide profiling session.
+
+The experiment layer builds its placers deep inside zero-argument
+closures, so enabling profiling by threading a flag through every call
+site would touch every experiment for no gain.  Instead a *session* is a
+process-global collection point: while one is active, every
+:class:`~repro.core.placer.CPPlacer` (and therefore every LNS subsolve)
+profiles itself and deposits its :class:`~repro.obs.profile.SolveProfile`
+here.  ``repro.experiments.runner --profile-dir`` wraps each experiment in
+a session and writes the aggregated profile as a JSON artifact.
+
+Sessions do not propagate into portfolio worker processes; the portfolio
+has its own explicit profile return path (plain dicts over the process
+boundary).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.profile import SolveProfile
+
+_active: Optional["ProfileSession"] = None
+
+
+class ProfileSession:
+    """Collects the profiles of every solve that runs while active."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.profiles: List[SolveProfile] = []
+
+    def record(self, profile: SolveProfile) -> None:
+        self.profiles.append(profile)
+
+    def merged(self) -> SolveProfile:
+        """All collected profiles summed (empty profile if none ran)."""
+        total = SolveProfile(meta={"session": self.label} if self.label else {})
+        for p in self.profiles:
+            total = total + p
+        total.meta["solves"] = len(self.profiles)
+        return total
+
+
+def current() -> Optional[ProfileSession]:
+    """The active session, or None — solvers poll this once per run."""
+    return _active
+
+
+@contextmanager
+def profiling_session(label: str = "") -> Iterator[ProfileSession]:
+    """Activate a session for the dynamic extent of the ``with`` block."""
+    global _active
+    previous = _active
+    session = ProfileSession(label)
+    _active = session
+    try:
+        yield session
+    finally:
+        _active = previous

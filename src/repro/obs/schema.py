@@ -1,0 +1,133 @@
+"""Schemas for the exported observability artifacts.
+
+The container has no ``jsonschema`` package, so validation is a small
+hand-rolled checker over a declarative spec.  Two artifacts are covered:
+
+* **profile documents** — the JSON written by
+  :meth:`repro.obs.profile.SolveProfile.to_json` (validated by
+  ``make profile-smoke`` and by the round-trip tests), and
+* **trace events** — the JSONL lines written by
+  :class:`repro.obs.trace.StreamTracer`.
+
+``validate_*`` functions return a list of problem strings; an empty list
+means the document conforms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.profile import PROFILE_SCHEMA_VERSION
+
+#: required top-level fields of a profile document and their types
+PROFILE_SCHEMA: Dict[str, type] = {
+    "schema_version": int,
+    "nodes": int,
+    "backtracks": int,
+    "solutions": int,
+    "max_depth": int,
+    "restarts": int,
+    "propagations": int,
+    "domain_updates": int,
+    "failures": int,
+    "elapsed": float,
+    "stop_reason": str,
+    "propagators": list,
+    "meta": dict,
+}
+
+#: required fields of one propagator row inside ``propagators``
+PROPAGATOR_ROW_SCHEMA: Dict[str, type] = {
+    "name": str,
+    "calls": int,
+    "time_s": float,
+    "prunes": int,
+    "failures": int,
+}
+
+#: every event kind the solve path emits, with its payload fields
+EVENT_KINDS: Dict[str, List[str]] = {
+    "search.node": ["var", "value", "depth"],
+    "search.fail": ["var", "value", "depth"],
+    "search.solution": ["depth", "count"],
+    "search.restart": ["attempt", "budget"],
+    "bnb.incumbent": ["objective", "nodes"],
+    "engine.failure": ["var", "cause"],
+    "engine.propagate": ["propagator", "prunes"],
+    "engine.domain": ["var", "size", "cause"],
+    "geost.shape_removed": ["object", "shape"],
+    "kernel.imprint": ["module", "shape", "x", "y"],
+    "lns.neighborhood": ["iteration", "free", "frontier"],
+    "lns.improved": ["iteration", "extent"],
+    "portfolio.result": ["seed", "extent", "solved"],
+}
+
+
+def _check_fields(
+    doc: Dict[str, Any], spec: Dict[str, type], where: str
+) -> List[str]:
+    problems = []
+    for key, typ in spec.items():
+        if key not in doc:
+            problems.append(f"{where}: missing field {key!r}")
+            continue
+        value = doc[key]
+        if typ is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif typ is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, typ)
+        if not ok:
+            problems.append(
+                f"{where}: field {key!r} has type {type(value).__name__}, "
+                f"expected {typ.__name__}"
+            )
+    return problems
+
+
+def validate_profile(doc: Dict[str, Any]) -> List[str]:
+    """Problems with a profile document (empty list = valid)."""
+    problems = _check_fields(doc, PROFILE_SCHEMA, "profile")
+    version = doc.get("schema_version")
+    if isinstance(version, int) and version != PROFILE_SCHEMA_VERSION:
+        problems.append(
+            f"profile: schema_version {version} != {PROFILE_SCHEMA_VERSION}"
+        )
+    for key in (
+        "nodes", "backtracks", "solutions", "max_depth", "restarts",
+        "propagations", "domain_updates", "failures",
+    ):
+        value = doc.get(key)
+        if isinstance(value, int) and not isinstance(value, bool) and value < 0:
+            problems.append(f"profile: field {key!r} is negative ({value})")
+    rows = doc.get("propagators")
+    if isinstance(rows, list):
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                problems.append(f"profile.propagators[{i}]: not an object")
+                continue
+            problems.extend(
+                _check_fields(row, PROPAGATOR_ROW_SCHEMA,
+                              f"profile.propagators[{i}]")
+            )
+    return problems
+
+
+def validate_event(doc: Dict[str, Any]) -> List[str]:
+    """Problems with one trace-event object (empty list = valid)."""
+    problems = []
+    kind = doc.get("kind")
+    if not isinstance(kind, str):
+        return ["event: missing or non-string 'kind'"]
+    if "t" not in doc or isinstance(doc["t"], bool) or not isinstance(
+        doc["t"], (int, float)
+    ):
+        problems.append(f"event {kind}: missing or non-numeric 't'")
+    if kind not in EVENT_KINDS:
+        problems.append(f"event: unknown kind {kind!r}")
+        return problems
+    for fieldname in EVENT_KINDS[kind]:
+        if fieldname not in doc:
+            problems.append(f"event {kind}: missing field {fieldname!r}")
+    return problems

@@ -42,3 +42,19 @@ def tiny_homogeneous():
     from repro.fabric.region import PartialRegion
 
     return PartialRegion.whole_device(homogeneous_device(8, 6))
+
+
+@pytest.fixture
+def small_modules():
+    """A small module set that fits comfortably on ``small_region``."""
+    from repro.modules.generator import GeneratorConfig, ModuleGenerator
+
+    cfg = GeneratorConfig(clb_min=4, clb_max=10, bram_max=1,
+                          height_min=2, height_max=4)
+    return ModuleGenerator(seed=11, config=cfg).generate_set(4)
+
+
+@pytest.fixture
+def solvable_instance(small_region, small_modules):
+    """(region, modules) pair for end-to-end placer tests."""
+    return small_region, small_modules

@@ -26,7 +26,7 @@ class TestWorkerPayloads:
     def test_worker_round_trip(self):
         """The worker operates entirely on serialized payloads."""
         region, modules = small_instance()
-        seed, extent, tuples = _worker(
+        seed, extent, tuples, profile = _worker(
             region_to_dict(region),
             [module_to_dict(m) for m in modules],
             time_limit=2.0,
@@ -37,14 +37,36 @@ class TestWorkerPayloads:
         assert len(tuples) == len(modules)
         names = {t[0] for t in tuples}
         assert names == {m.name for m in modules}
+        assert profile is None  # not requested
 
     def test_worker_reports_failure(self):
         region = PartialRegion.whole_device(homogeneous_device(2, 2))
         module = Module("big", [Footprint.rectangle(3, 3)])
-        seed, extent, tuples = _worker(
+        seed, extent, tuples, profile = _worker(
             region_to_dict(region), [module_to_dict(module)], 0.5, 0
         )
         assert extent is None and tuples == []
+
+    def test_worker_profile_is_plain_dict(self):
+        """Profiles cross the process boundary as JSON-serializable dicts."""
+        import json
+
+        from repro.obs import SolveProfile, validate_profile
+
+        region, modules = small_instance()
+        _, extent, _, profile = _worker(
+            region_to_dict(region),
+            [module_to_dict(m) for m in modules],
+            time_limit=2.0,
+            seed=5,
+            profile=True,
+        )
+        assert extent is not None
+        assert isinstance(profile, dict)
+        json.dumps(profile)  # must survive pickling AND json
+        assert validate_profile(profile) == []
+        restored = SolveProfile.from_dict(profile)
+        assert restored.nodes > 0 and restored.propagations > 0
 
 
 class TestPortfolio:
@@ -88,3 +110,27 @@ class TestPortfolio:
             PortfolioConfig(n_workers=2, time_limit=3.0)
         ).place(region, modules)
         assert res.elapsed < 5.5  # budget + process startup slack
+
+    def test_profile_merged_across_members(self):
+        from repro.obs import RecordingTracer, SolveProfile
+        from repro.obs.trace import PORTFOLIO_RESULT
+
+        region, modules = small_instance()
+        tracer = RecordingTracer()
+        res = PortfolioPlacer(
+            PortfolioConfig(
+                n_workers=2, time_limit=2.0, profile=True, tracer=tracer
+            )
+        ).place(region, modules)
+        assert res.all_placed
+        assert tracer.count(PORTFOLIO_RESULT) == 2
+        merged = res.stats["profile"]
+        assert isinstance(merged, SolveProfile)
+        members = res.stats["member_profiles"]
+        assert len(members) == 2
+        # the merge is the exact sum of the members' counters
+        total = SolveProfile(meta={"placer": "portfolio"})
+        for doc in members.values():
+            total = total + SolveProfile.from_dict(doc)
+        assert merged.counts() == total.counts()
+        assert merged.nodes > 0

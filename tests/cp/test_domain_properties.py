@@ -1,0 +1,130 @@
+"""Property tests for the bitset Domain against a reference set model.
+
+Every operation is mirrored on a plain Python ``set``; random seeded
+instances (one subtest per seed) check that bounds, holes and the
+normalization invariant (``offset == min`` for non-empty domains) are
+preserved by the whole operation algebra.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cp.domain import EMPTY_DOMAIN, Domain
+
+
+def check_matches(d: Domain, ref: set, ctx: str = "") -> None:
+    """Domain and reference set agree on every observable."""
+    assert set(d) == ref, ctx
+    assert len(d) == len(ref), ctx
+    assert bool(d) == bool(ref), ctx
+    assert d.is_empty() == (not ref), ctx
+    if ref:
+        assert d.min() == min(ref), ctx
+        assert d.max() == max(ref), ctx
+        # normalization: the representation anchors at the minimum
+        assert d.offset == d.min(), ctx
+        assert d.mask & 1 == 1, ctx
+    assert d.is_singleton() == (len(ref) == 1), ctx
+    assert list(d) == sorted(ref), f"iteration must be sorted: {ctx}"
+
+
+def random_values(rng: random.Random):
+    n = rng.randint(0, 12)
+    span = rng.choice([(0, 15), (-8, 8), (100, 140), (-40, -20)])
+    return {rng.randint(*span) for _ in range(n)}
+
+
+@pytest.mark.parametrize("seed", range(150))
+def test_operation_algebra_matches_set_model(seed):
+    rng = random.Random(seed)
+    ref = random_values(rng)
+    d = Domain(ref)
+    check_matches(d, ref, f"seed={seed} construction")
+
+    for step in range(8):
+        op = rng.choice(
+            ["remove", "remove_below", "remove_above", "clamp",
+             "intersect", "union", "difference", "shift", "negate"]
+        )
+        ctx = f"seed={seed} step={step} op={op} ref={sorted(ref)}"
+        if op == "remove":
+            v = rng.randint(-45, 145)
+            d, ref = d.remove(v), ref - {v}
+        elif op == "remove_below":
+            v = rng.randint(-45, 145)
+            d, ref = d.remove_below(v), {x for x in ref if x >= v}
+        elif op == "remove_above":
+            v = rng.randint(-45, 145)
+            d, ref = d.remove_above(v), {x for x in ref if x <= v}
+        elif op == "clamp":
+            lo = rng.randint(-45, 145)
+            hi = lo + rng.randint(0, 30)
+            d, ref = d.clamp(lo, hi), {x for x in ref if lo <= x <= hi}
+        elif op == "shift":
+            delta = rng.randint(-20, 20)
+            d, ref = d.shift(delta), {x + delta for x in ref}
+        elif op == "negate":
+            d, ref = d.negate(), {-x for x in ref}
+        else:
+            other_ref = random_values(rng)
+            other = Domain(other_ref)
+            if op == "intersect":
+                d, ref = d.intersect(other), ref & other_ref
+            elif op == "union":
+                d, ref = d.union(other), ref | other_ref
+            else:
+                d, ref = d.difference(other), ref - other_ref
+        check_matches(d, ref, ctx)
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_membership_and_neighbors(seed):
+    rng = random.Random(seed)
+    ref = random_values(rng)
+    d = Domain(ref)
+    for _ in range(10):
+        v = rng.randint(-50, 150)
+        assert (v in d) == (v in ref), f"seed={seed} v={v}"
+        above = [x for x in ref if x >= v]
+        below = [x for x in ref if x <= v]
+        assert d.next_value(v) == (min(above) if above else None)
+        assert d.prev_value(v) == (max(below) if below else None)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_range_constructor_and_subset(seed):
+    rng = random.Random(seed)
+    lo = rng.randint(-30, 30)
+    hi = lo + rng.randint(-2, 20)
+    d = Domain.range(lo, hi)
+    ref = set(range(lo, hi + 1))
+    check_matches(d, ref, f"seed={seed} range({lo},{hi})")
+    sub = d.remove_below(lo + 1)
+    assert sub.is_subset_of(d)
+    if ref:
+        assert not d.union(Domain.singleton(hi + 5)).is_subset_of(d)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_bool_array_bridge_round_trips(seed):
+    rng = random.Random(seed)
+    length = rng.randint(1, 64)
+    ref = {rng.randrange(length) for _ in range(rng.randint(0, 10))}
+    d = Domain(ref)
+    vec = d.to_bool_array(length)
+    assert vec.sum() == len(ref)
+    assert {i for i, b in enumerate(vec) if b} == ref
+    assert Domain.from_bool_array(vec) == d
+
+
+def test_empty_domain_edge_cases():
+    assert EMPTY_DOMAIN.is_empty()
+    with pytest.raises(ValueError):
+        EMPTY_DOMAIN.min()
+    with pytest.raises(ValueError):
+        EMPTY_DOMAIN.value()
+    assert Domain.range(5, 3) == EMPTY_DOMAIN
+    assert EMPTY_DOMAIN.remove(3) is EMPTY_DOMAIN

@@ -5,114 +5,29 @@ heterogeneity encoded as resource-typed forbidden regions) and the
 vectorized placement kernel (:class:`repro.geost.placement.PlacementKernel`,
 fabric encoded as anchor bitmaps) are independent implementations of the
 paper's constraint; on small instances their solution sets must coincide.
+
+The enumeration helpers live in :mod:`tests.support` and are shared with
+the brute-force checks in ``test_placement_kernel.py``.
 """
 
 from __future__ import annotations
-
-import itertools
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cp.engine import Inconsistent
-from repro.cp.model import Model
-from repro.cp.solver import Solver
 from repro.fabric.devices import irregular_device
 from repro.fabric.grid import FabricGrid
 from repro.fabric.region import PartialRegion
 from repro.fabric.resource import ResourceType
-from repro.geost.boxes import Box
-from repro.geost.forbidden import ForbiddenRegion
-from repro.geost.kernel import Geost
-from repro.geost.objects import GeostObject
-from repro.geost.placement import PlacementKernel
-from repro.geost.shapes import ShapeTable
 from repro.modules.footprint import Footprint
 from repro.modules.module import Module
 
-
-def fabric_to_forbidden_regions(region: PartialRegion, kinds):
-    """Encode heterogeneity as resource-typed forbidden 1x1 regions.
-
-    For every resource kind used by the modules, each cell that is NOT of
-    that kind (or is static) forbids boxes of that kind; cells outside the
-    fabric are excluded by a surrounding wall for all kinds.
-    """
-    out = []
-    allowed = region.allowed_mask()
-    grid = region.grid.cells
-    H, W = region.height, region.width
-    for kind in kinds:
-        for y in range(H):
-            for x in range(W):
-                if not allowed[y, x] or grid[y, x] != int(kind):
-                    out.append(
-                        ForbiddenRegion(Box((x, y), (1, 1)), kind)
-                    )
-    # walls (block everything)
-    out.append(ForbiddenRegion(Box((-100, -100), (100, 200 + W))))        # left
-    out.append(ForbiddenRegion(Box((W, -100), (100, 200 + W))))           # right
-    out.append(ForbiddenRegion(Box((-100, -100), (200 + W, 100))))        # below
-    out.append(ForbiddenRegion(Box((-100, H), (200 + W, 100))))           # above
-    return out
-
-
-def geost_solutions(region: PartialRegion, modules):
-    kinds = {
-        k for mod in modules for fp in mod.shapes for _, _, k in fp.cells
-    }
-    regions = fabric_to_forbidden_regions(region, kinds)
-    m = Model()
-    table = ShapeTable()
-    objects = []
-    dv = []
-    for i, mod in enumerate(modules):
-        sids = [table.add_footprint(fp) for fp in mod.shapes]
-        x = m.int_var(0, region.width - 1, f"x{i}")
-        y = m.int_var(0, region.height - 1, f"y{i}")
-        s = m.int_var(min(sids), max(sids), f"s{i}")
-        objects.append(GeostObject(i, [x, y], s, table))
-        dv.extend([x, y, s])
-    try:
-        m.post(Geost(objects, regions))
-    except Inconsistent:
-        return set()
-    sols = Solver(m, dv).enumerate()
-    out = set()
-    for sol in sols:
-        key = []
-        offset = 0
-        for i, mod in enumerate(modules):
-            key.append((sol[f"s{i}"] - offset, sol[f"x{i}"], sol[f"y{i}"]))
-            offset += mod.n_alternatives
-        out.add(tuple(key))
-    return out
-
-
-def kernel_solutions(region: PartialRegion, modules):
-    m = Model()
-    xs = [m.int_var(0, region.width - 1, f"x{i}") for i in range(len(modules))]
-    ys = [m.int_var(0, region.height - 1, f"y{i}") for i in range(len(modules))]
-    ss = [
-        m.int_var(0, mod.n_alternatives - 1, f"s{i}")
-        for i, mod in enumerate(modules)
-    ]
-    try:
-        m.post(PlacementKernel(region, modules, xs, ys, ss))
-    except Inconsistent:
-        return set()
-    dv = []
-    for x, y, s in zip(xs, ys, ss):
-        dv.extend([x, y, s])
-    return {
-        tuple(
-            (sol[f"s{i}"], sol[f"x{i}"], sol[f"y{i}"])
-            for i in range(len(modules))
-        )
-        for sol in Solver(m, dv).enumerate()
-    }
-
+from tests.support import (
+    geost_solutions,
+    kernel_solutions,
+    random_small_instance,
+)
 
 footprints = st.sampled_from(
     [
@@ -168,3 +83,37 @@ class TestCrossValidation:
         kernel = kernel_solutions(region, modules)
         assert geost == kernel
         assert geost  # instance is feasible
+
+
+class TestDifferentialHarness:
+    """Seeded differential sweep: 50 random instances, identical sets.
+
+    Unlike the hypothesis tests above, the instances here are fixed by
+    seed (reproducible by number, no shrinking involved) and include
+    polymorphic modules.  The first batch runs in tier-1; the bulk of
+    the sweep is marked slow.
+    """
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_differential_fast(self, seed):
+        region, modules = random_small_instance(seed)
+        assert geost_solutions(region, modules) == kernel_solutions(
+            region, modules
+        ), f"implementations disagree on instance seed={seed}"
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(10, 50))
+    def test_differential_sweep(self, seed):
+        region, modules = random_small_instance(seed)
+        assert geost_solutions(region, modules) == kernel_solutions(
+            region, modules
+        ), f"implementations disagree on instance seed={seed}"
+
+    def test_harness_not_vacuous(self):
+        """At least some sampled instances must actually have solutions."""
+        nonempty = 0
+        for seed in range(10):
+            region, modules = random_small_instance(seed)
+            if kernel_solutions(region, modules):
+                nonempty += 1
+        assert nonempty >= 3

@@ -9,8 +9,6 @@ queries used by branching.
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -18,75 +16,14 @@ from hypothesis import strategies as st
 
 from repro.cp.engine import Inconsistent
 from repro.cp.model import Model
-from repro.cp.solver import Solver
 from repro.fabric.devices import homogeneous_device, irregular_device
-from repro.fabric.masks import brute_force_anchor_mask
 from repro.fabric.region import PartialRegion
 from repro.fabric.resource import ResourceType
 from repro.geost.placement import PlacementKernel
 from repro.modules.footprint import Footprint
 from repro.modules.module import Module
 
-
-def build_kernel(m, region, modules):
-    xs = [m.int_var(0, region.width - 1, f"x{i}") for i in range(len(modules))]
-    ys = [m.int_var(0, region.height - 1, f"y{i}") for i in range(len(modules))]
-    ss = [
-        m.int_var(0, mod.n_alternatives - 1, f"s{i}")
-        for i, mod in enumerate(modules)
-    ]
-    kernel = PlacementKernel(region, modules, xs, ys, ss)
-    m.post(kernel)
-    return kernel, xs, ys, ss
-
-
-def brute_force_solutions(region, modules):
-    """All (s, x, y) per module satisfying M_a, M_b, M_c."""
-    per_module = []
-    for mod in modules:
-        options = []
-        for si, fp in enumerate(mod.shapes):
-            mask = brute_force_anchor_mask(region, sorted(fp.cells))
-            ys_, xs_ = np.nonzero(mask)
-            options.extend(
-                (si, int(x), int(y)) for x, y in zip(xs_, ys_)
-            )
-        per_module.append(options)
-    out = set()
-    for combo in itertools.product(*per_module):
-        cells = set()
-        ok = True
-        for mod, (si, x, y) in zip(modules, combo):
-            for dx, dy, _ in mod.shapes[si].cells:
-                c = (x + dx, y + dy)
-                if c in cells:
-                    ok = False
-                    break
-                cells.add(c)
-            if not ok:
-                break
-        if ok:
-            out.add(combo)
-    return out
-
-
-def kernel_solutions(region, modules):
-    m = Model()
-    try:
-        kernel, xs, ys, ss = build_kernel(m, region, modules)
-    except Inconsistent:
-        return set()
-    dv = []
-    for x, y, s in zip(xs, ys, ss):
-        dv.extend([x, y, s])
-    sols = Solver(m, dv).enumerate()
-    return {
-        tuple(
-            (sol[f"s{i}"], sol[f"x{i}"], sol[f"y{i}"])
-            for i in range(len(modules))
-        )
-        for sol in sols
-    }
+from tests.support import build_kernel, brute_force_solutions, kernel_solutions
 
 
 small_fp = st.sampled_from(

@@ -1,0 +1,107 @@
+"""Property tests for the geost sweep algorithm.
+
+Random boxes over a small 2-D anchor space, checked against brute-force
+enumeration of :func:`repro.geost.sweep.point_feasible`.  The central
+invariants (per instance):
+
+* ``sweep_min``/``sweep_max`` return ``None`` iff no feasible anchor
+  exists;
+* the returned points are themselves feasible;
+* their ``dim`` coordinates *bracket* every feasible anchor:
+  ``sweep_min(...)[dim] <= p[dim] <= sweep_max(...)[dim]`` for all
+  feasible ``p`` — and the bounds are tight (attained by some anchor).
+
+Instances are generated with seeded ``random`` parametrization (one
+subtest per seed) so a failure names its seed and reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.geost.boxes import Box
+from repro.geost.sweep import point_feasible, sweep_max, sweep_min
+
+
+def random_sweep_instance(seed: int):
+    """(bounds, per_shape_boxes) over a small 2-D space."""
+    rng = random.Random(seed)
+    W, H = rng.randint(2, 6), rng.randint(2, 6)
+    bounds = [(0, W - 1), (0, H - 1)]
+    n_shapes = rng.randint(1, 3)
+    per_shape = []
+    for _ in range(n_shapes):
+        boxes = []
+        for _ in range(rng.randint(0, 5)):
+            x = rng.randint(-1, W - 1)
+            y = rng.randint(-1, H - 1)
+            boxes.append(
+                Box((x, y), (rng.randint(1, 3), rng.randint(1, 3)))
+            )
+        per_shape.append(boxes)
+    return bounds, per_shape
+
+
+def feasible_points(bounds, per_shape):
+    return [
+        p
+        for p in itertools.product(
+            *(range(lo, hi + 1) for lo, hi in bounds)
+        )
+        if point_feasible(p, per_shape)
+    ]
+
+
+@pytest.mark.parametrize("seed", range(120))
+@pytest.mark.parametrize("dim", [0, 1])
+def test_sweep_brackets_all_feasible_anchors(seed, dim):
+    bounds, per_shape = random_sweep_instance(seed)
+    feasible = feasible_points(bounds, per_shape)
+    lo = sweep_min(bounds, per_shape, dim)
+    hi = sweep_max(bounds, per_shape, dim)
+
+    if not feasible:
+        assert lo is None and hi is None
+        return
+
+    assert lo is not None and hi is not None
+    assert point_feasible(lo, per_shape)
+    assert point_feasible(hi, per_shape)
+
+    coords = [p[dim] for p in feasible]
+    assert lo[dim] == min(coords), f"seed={seed} dim={dim}: min not tight"
+    assert hi[dim] == max(coords), f"seed={seed} dim={dim}: max not tight"
+    for p in feasible:
+        assert lo[dim] <= p[dim] <= hi[dim]
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_sweep_min_is_lexicographic_smallest(seed):
+    """The returned point is lex-minimal with dim most significant."""
+    bounds, per_shape = random_sweep_instance(seed)
+    feasible = feasible_points(bounds, per_shape)
+    for dim in (0, 1):
+        got = sweep_min(bounds, per_shape, dim)
+        if not feasible:
+            assert got is None
+            continue
+        order = [dim] + [d for d in range(len(bounds)) if d != dim]
+        expect = min(feasible, key=lambda p: tuple(p[d] for d in order))
+        assert got == expect, f"seed={seed} dim={dim}"
+
+
+def test_empty_bounds_infeasible():
+    assert sweep_min([(3, 2), (0, 1)], [[]], 0) is None
+
+
+def test_requires_a_candidate_shape():
+    with pytest.raises(ValueError):
+        sweep_min([(0, 1), (0, 1)], [], 0)
+
+
+def test_no_boxes_returns_corner():
+    assert sweep_min([(0, 3), (0, 2)], [[]], 0) == (0, 0)
+    assert sweep_max([(0, 3), (0, 2)], [[]], 0) == (3, 2)

@@ -1,0 +1,121 @@
+"""Golden search-statistics regression tests.
+
+Three fixed (fabric, modules) instances are solved to proven optimality
+(``time_limit=None`` — no wall-clock dependence) and the exact counter
+vector of the resulting :class:`~repro.obs.SolveProfile` is pinned.  Any
+change to propagation strength, branching, symmetry breaking or the
+objective coupling shifts these numbers; the point of the test is to make
+such shifts *visible* in review instead of silent.
+
+If a change is intentional, re-run with ``--golden-print`` semantics::
+
+    PYTHONPATH=src python -m tests.obs.test_golden_stats
+
+which prints the fresh counter vectors to paste below.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placer import CPPlacer, PlacerConfig
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+from repro.obs import SolveProfile
+
+COUNT_KEYS = (
+    "nodes", "backtracks", "solutions", "max_depth",
+    "restarts", "propagations", "domain_updates", "failures",
+)
+
+#: instance name -> pinned counter vector, ordered as COUNT_KEYS
+GOLDEN = {
+    "homogeneous-corridor": (36, 36, 2, 6, 0, 116, 192, 22),
+    "irregular-bram": (25, 25, 1, 6, 0, 20, 45, 19),
+    "generated-16x8": (60, 60, 1, 11, 0, 47, 107, 49),
+}
+
+
+def golden_instances():
+    """The three pinned instances; deterministic by construction."""
+    out = {}
+    r1 = PartialRegion.whole_device(homogeneous_device(10, 4))
+    m1 = [
+        Module("a", [Footprint.rectangle(3, 2), Footprint.rectangle(2, 3)]),
+        Module("b", [Footprint.rectangle(2, 2)]),
+        Module("c", [Footprint.rectangle(4, 1), Footprint.rectangle(1, 4),
+                     Footprint.rectangle(2, 2)]),
+    ]
+    out["homogeneous-corridor"] = (r1, m1)
+
+    r2 = PartialRegion.whole_device(
+        irregular_device(12, 6, seed=9, bram_stride=4, jitter=0,
+                         clk_rows=0, io_edges=False)
+    )
+    m2 = [
+        Module("bram1", [Footprint([(0, 0, ResourceType.BRAM),
+                                    (1, 0, ResourceType.CLB)])]),
+        Module("clb1", [Footprint.rectangle(2, 2), Footprint.rectangle(4, 1)]),
+        Module("clb2", [Footprint.rectangle(3, 2)]),
+    ]
+    out["irregular-bram"] = (r2, m2)
+
+    r3 = PartialRegion.whole_device(irregular_device(16, 8, seed=5))
+    cfg = GeneratorConfig(clb_min=4, clb_max=8, bram_max=1,
+                          height_min=2, height_max=3)
+    m3 = ModuleGenerator(seed=7, config=cfg).generate_set(4)
+    out["generated-16x8"] = (r3, m3)
+    return out
+
+
+def _solve(name: str) -> SolveProfile:
+    region, modules = golden_instances()[name]
+    result = CPPlacer(
+        PlacerConfig(time_limit=None, profile=True)
+    ).place(region, modules)
+    assert result.status == "optimal", f"{name} no longer solves to optimality"
+    return result.stats["profile"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_counts(name):
+    profile = _solve(name)
+    got = tuple(profile.counts()[k] for k in COUNT_KEYS)
+    assert got == GOLDEN[name], (
+        f"{name}: search statistics drifted.\n"
+        f"  pinned: {dict(zip(COUNT_KEYS, GOLDEN[name]))}\n"
+        f"  got:    {dict(zip(COUNT_KEYS, got))}\n"
+        "If the drift is an intended propagation/branching change, refresh "
+        "GOLDEN by running: PYTHONPATH=src python -m tests.obs.test_golden_stats"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_json_round_trip(name):
+    """Export → load → identical counts, per the issue's acceptance bar."""
+    profile = _solve(name)
+    restored = SolveProfile.from_json(profile.to_json())
+    assert restored.counts() == profile.counts()
+    assert set(restored.propagators) == set(profile.propagators)
+    for pname, rec in profile.propagators.items():
+        other = restored.propagators[pname]
+        assert (rec.calls, rec.prunes, rec.failures) == (
+            other.calls, other.prunes, other.failures,
+        )
+
+
+def test_golden_instances_are_deterministic():
+    """Two in-process solves of one instance agree exactly."""
+    a = _solve("homogeneous-corridor").counts()
+    b = _solve("homogeneous-corridor").counts()
+    assert a == b
+
+
+if __name__ == "__main__":  # regenerate the pinned vectors
+    for name in sorted(GOLDEN):
+        got = tuple(_solve(name).counts()[k] for k in COUNT_KEYS)
+        print(f'    "{name}": {got},')

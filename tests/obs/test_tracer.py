@@ -1,0 +1,151 @@
+"""Tracers: recording, streaming, null, and engine integration."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cp.engine import Engine, Inconsistent
+from repro.cp.model import Model
+from repro.cp.search import DepthFirstSearch
+from repro.obs import (
+    NullTracer,
+    RecordingTracer,
+    StreamTracer,
+    TraceEvent,
+    validate_event,
+)
+from repro.obs import trace as T
+
+
+class TestRecordingTracer:
+    def test_records_events_with_payload(self):
+        tr = RecordingTracer()
+        tr.emit("custom.kind", a=1, b="x")
+        assert len(tr) == 1
+        ev = tr.events[0]
+        assert ev.kind == "custom.kind"
+        assert ev.data == {"a": 1, "b": "x"}
+        assert ev.t >= 0.0
+
+    def test_by_kind_and_count(self):
+        tr = RecordingTracer()
+        for i in range(3):
+            tr.emit("a", i=i)
+        tr.emit("b")
+        assert tr.count("a") == 3
+        assert tr.count("b") == 1
+        assert tr.count("missing") == 0
+        assert [e.data["i"] for e in tr.by_kind("a")] == [0, 1, 2]
+        assert tr.kinds() == {"a": 3, "b": 1}
+
+    def test_capacity_ring(self):
+        tr = RecordingTracer(capacity=2)
+        for i in range(5):
+            tr.emit("k", i=i)
+        assert tr.total == 5  # emitted count is not capped
+        assert [e.data["i"] for e in tr.events] == [3, 4]
+
+    def test_clear(self):
+        tr = RecordingTracer()
+        tr.emit("k")
+        tr.clear()
+        assert len(tr) == 0 and tr.total == 0
+
+    def test_event_to_dict_round_trips_json(self):
+        tr = RecordingTracer()
+        tr.emit("k", x=1)
+        doc = json.loads(json.dumps(tr.events[0].to_dict()))
+        assert doc["kind"] == "k" and doc["x"] == 1
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        tr = NullTracer()
+        assert not tr.enabled and not tr.fine
+        tr.emit("anything", a=1)  # must be a no-op, not an error
+        tr.record(TraceEvent("k", 0.0, {}))
+        tr.close()
+
+    def test_engine_normalizes_null_to_none(self):
+        eng = Engine(tracer=NullTracer())
+        assert eng.tracer is None
+
+
+class TestStreamTracer:
+    def test_writes_jsonl(self):
+        buf = io.StringIO()
+        tr = StreamTracer(buf)
+        tr.emit("a", x=1)
+        tr.emit("b", y="z")
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [d["kind"] for d in lines] == ["a", "b"]
+        assert lines[0]["x"] == 1 and lines[1]["y"] == "z"
+
+    def test_to_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tr = StreamTracer.to_path(path)
+        tr.emit("search.node", var="x", value=3, depth=1)
+        tr.close()
+        docs = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(docs) == 1
+        assert validate_event(docs[0]) == []
+
+
+def _queens_model(n: int = 6):
+    m = Model("queens")
+    qs = [m.int_var(0, n - 1, f"q{i}") for i in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            m.add_ne(qs[i], qs[j])
+            m.add_ne(qs[i], qs[j], j - i)
+            m.add_ne(qs[i], qs[j], -(j - i))
+    return m, qs
+
+
+class TestEngineEmission:
+    def test_search_emits_structured_events(self):
+        tr = RecordingTracer()
+        m, qs = _queens_model(6)
+        m.engine.attach_tracer(tr)
+        search = DepthFirstSearch(m.engine, qs)
+        n_solutions = sum(1 for _ in search.solutions())
+        assert n_solutions == 4
+        assert tr.count(T.SOLUTION) == 4
+        assert tr.count(T.NODE_OPENED) == search.stats.nodes
+        # NODE_FAILED marks decisions that failed propagation; the stats
+        # counter additionally counts unwinding pops, so it dominates
+        assert 0 < tr.count(T.NODE_FAILED) <= search.stats.backtracks
+        # fine-grained channels are on for the default RecordingTracer
+        assert tr.count(T.PROPAGATE) > 0
+        assert tr.count(T.DOMAIN_UPDATE) > 0
+        # every known event payload matches the published schema
+        for ev in tr.events:
+            assert validate_event(ev.to_dict()) == [], ev
+
+    def test_coarse_tracer_skips_fine_events(self):
+        tr = RecordingTracer(fine=False)
+        m, qs = _queens_model(6)
+        m.engine.attach_tracer(tr)
+        search = DepthFirstSearch(m.engine, qs)
+        sum(1 for _ in search.solutions())
+        assert tr.count(T.NODE_OPENED) > 0
+        assert tr.count(T.PROPAGATE) == 0
+        assert tr.count(T.DOMAIN_UPDATE) == 0
+
+    def test_failure_event_on_wipeout(self):
+        tr = RecordingTracer()
+        m = Model()
+        x = m.int_var(0, 1, "x")
+        y = m.int_var(0, 1, "y")
+        m.add_ne(x, y)
+        m.engine.attach_tracer(tr)
+        x.fix(0)
+        with pytest.raises(Inconsistent):
+            y.fix(0)
+            m.engine.fixpoint()
+        assert tr.count(T.ENGINE_FAILURE) >= 1

@@ -1,0 +1,213 @@
+"""Shared helpers for the test suite.
+
+The geost cross-validation machinery lived as near-identical copies in
+``tests/geost/test_cross_validation.py`` and
+``tests/geost/test_placement_kernel.py``; it is consolidated here because
+the differential harness (many random instances, three independent
+implementations of the paper's constraint) is now used by several files.
+
+Three ways to enumerate the solutions of one placement instance:
+
+* :func:`brute_force_solutions` — literal M_a ∧ M_b ∧ M_c from the
+  per-shape anchor masks, the ground truth;
+* :func:`kernel_solutions` — search over the vectorized
+  :class:`~repro.geost.placement.PlacementKernel`;
+* :func:`geost_solutions` — search over the reference interval
+  :class:`~repro.geost.kernel.Geost` with heterogeneity encoded as
+  resource-typed forbidden regions.
+
+All three return sets of per-module ``(shape, x, y)`` tuples, so equality
+is a complete cross-check of the solution *sets*, not just counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cp.engine import Inconsistent
+from repro.cp.model import Model
+from repro.cp.solver import Solver
+from repro.fabric.devices import irregular_device
+from repro.fabric.masks import brute_force_anchor_mask
+from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.geost.boxes import Box
+from repro.geost.forbidden import ForbiddenRegion
+from repro.geost.kernel import Geost
+from repro.geost.objects import GeostObject
+from repro.geost.placement import PlacementKernel
+from repro.geost.shapes import ShapeTable
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+
+#: one placement: per-module (shape index, anchor x, anchor y)
+SolutionSet = Set[Tuple[Tuple[int, int, int], ...]]
+
+
+def build_kernel(m: Model, region: PartialRegion, modules: Sequence[Module]):
+    """Post a PlacementKernel over fresh x/y/s variables; returns all four."""
+    xs = [m.int_var(0, region.width - 1, f"x{i}") for i in range(len(modules))]
+    ys = [m.int_var(0, region.height - 1, f"y{i}") for i in range(len(modules))]
+    ss = [
+        m.int_var(0, mod.n_alternatives - 1, f"s{i}")
+        for i, mod in enumerate(modules)
+    ]
+    kernel = PlacementKernel(region, modules, xs, ys, ss)
+    m.post(kernel)
+    return kernel, xs, ys, ss
+
+
+def kernel_solutions(
+    region: PartialRegion, modules: Sequence[Module]
+) -> SolutionSet:
+    """All solutions of the vectorized placement kernel."""
+    m = Model()
+    try:
+        _, xs, ys, ss = build_kernel(m, region, modules)
+    except Inconsistent:
+        return set()
+    dv = []
+    for x, y, s in zip(xs, ys, ss):
+        dv.extend([x, y, s])
+    return {
+        tuple(
+            (sol[f"s{i}"], sol[f"x{i}"], sol[f"y{i}"])
+            for i in range(len(modules))
+        )
+        for sol in Solver(m, dv).enumerate()
+    }
+
+
+def brute_force_solutions(
+    region: PartialRegion, modules: Sequence[Module]
+) -> SolutionSet:
+    """All (s, x, y) per module satisfying M_a, M_b, M_c — ground truth."""
+    per_module = []
+    for mod in modules:
+        options = []
+        for si, fp in enumerate(mod.shapes):
+            mask = brute_force_anchor_mask(region, sorted(fp.cells))
+            ys_, xs_ = np.nonzero(mask)
+            options.extend(
+                (si, int(x), int(y)) for x, y in zip(xs_, ys_)
+            )
+        per_module.append(options)
+    out: SolutionSet = set()
+    for combo in itertools.product(*per_module):
+        cells = set()
+        ok = True
+        for mod, (si, x, y) in zip(modules, combo):
+            for dx, dy, _ in mod.shapes[si].cells:
+                c = (x + dx, y + dy)
+                if c in cells:
+                    ok = False
+                    break
+                cells.add(c)
+            if not ok:
+                break
+        if ok:
+            out.add(combo)
+    return out
+
+
+def fabric_to_forbidden_regions(region: PartialRegion, kinds):
+    """Encode heterogeneity as resource-typed forbidden 1x1 regions.
+
+    For every resource kind used by the modules, each cell that is NOT of
+    that kind (or is static) forbids boxes of that kind; cells outside the
+    fabric are excluded by a surrounding wall for all kinds.
+    """
+    out = []
+    allowed = region.allowed_mask()
+    grid = region.grid.cells
+    H, W = region.height, region.width
+    for kind in kinds:
+        for y in range(H):
+            for x in range(W):
+                if not allowed[y, x] or grid[y, x] != int(kind):
+                    out.append(
+                        ForbiddenRegion(Box((x, y), (1, 1)), kind)
+                    )
+    # walls (block everything)
+    out.append(ForbiddenRegion(Box((-100, -100), (100, 200 + W))))        # left
+    out.append(ForbiddenRegion(Box((W, -100), (100, 200 + W))))           # right
+    out.append(ForbiddenRegion(Box((-100, -100), (200 + W, 100))))        # below
+    out.append(ForbiddenRegion(Box((-100, H), (200 + W, 100))))           # above
+    return out
+
+
+def geost_solutions(
+    region: PartialRegion, modules: Sequence[Module]
+) -> SolutionSet:
+    """All solutions of the reference interval geost kernel."""
+    kinds = {
+        k for mod in modules for fp in mod.shapes for _, _, k in fp.cells
+    }
+    regions = fabric_to_forbidden_regions(region, kinds)
+    m = Model()
+    table = ShapeTable()
+    objects = []
+    dv = []
+    for i, mod in enumerate(modules):
+        sids = [table.add_footprint(fp) for fp in mod.shapes]
+        x = m.int_var(0, region.width - 1, f"x{i}")
+        y = m.int_var(0, region.height - 1, f"y{i}")
+        s = m.int_var(min(sids), max(sids), f"s{i}")
+        objects.append(GeostObject(i, [x, y], s, table))
+        dv.extend([x, y, s])
+    try:
+        m.post(Geost(objects, regions))
+    except Inconsistent:
+        return set()
+    sols = Solver(m, dv).enumerate()
+    out: SolutionSet = set()
+    for sol in sols:
+        key = []
+        offset = 0
+        for i, mod in enumerate(modules):
+            key.append((sol[f"s{i}"] - offset, sol[f"x{i}"], sol[f"y{i}"]))
+            offset += mod.n_alternatives
+        out.add(tuple(key))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Random small instances for differential testing
+# ----------------------------------------------------------------------
+_FOOTPRINT_POOL: List[Footprint] = [
+    Footprint.rectangle(1, 1),
+    Footprint.rectangle(2, 1),
+    Footprint.rectangle(1, 2),
+    Footprint.rectangle(2, 2),
+    Footprint([(0, 0, ResourceType.BRAM)]),
+    Footprint([(0, 0, ResourceType.CLB), (1, 1, ResourceType.CLB)]),
+    Footprint([(0, 0, ResourceType.CLB), (1, 0, ResourceType.BRAM)]),
+    Footprint([(0, 0, ResourceType.CLB), (0, 1, ResourceType.CLB),
+               (1, 1, ResourceType.CLB)]),
+]
+
+
+def random_small_instance(seed: int):
+    """A random small heterogeneous instance: (region, modules).
+
+    Small enough for exhaustive enumeration by all three implementations
+    (a 4x3 fabric, 1–2 modules, each with 1–2 shape alternatives drawn
+    from a fixed footprint pool), varied enough to exercise resource
+    matching, static cells and polymorphism.
+    """
+    rng = random.Random(seed)
+    region = PartialRegion.whole_device(
+        irregular_device(
+            4, 3, seed=rng.randrange(1 << 16), bram_stride=3, jitter=1,
+            clk_rows=0, io_edges=False,
+        )
+    )
+    modules = []
+    for i in range(rng.randint(1, 2)):
+        shapes = rng.sample(_FOOTPRINT_POOL, rng.randint(1, 2))
+        modules.append(Module(f"m{i}", shapes))
+    return region, modules
