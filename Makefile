@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast bench profile-smoke
+.PHONY: test test-fast bench bench-fast profile-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -16,6 +16,10 @@ test-fast:
 ## pytest-benchmark suite (not part of tier-1)
 bench:
 	$(PY) -m pytest benchmarks -q
+
+## quick benchmark loop: only the non-slow benches
+bench-fast:
+	$(PY) -m pytest benchmarks -q -m "not slow"
 
 ## one instrumented solve; exports a profile JSON and validates it
 ## against the published schema — fails non-zero on any mismatch

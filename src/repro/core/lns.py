@@ -28,7 +28,8 @@ import numpy as np
 
 from repro.core.placer import CPPlacer, PlacerConfig
 from repro.core.result import Placement, PlacementResult
-from repro.fabric.region import PartialRegion
+from repro.fabric.cache import AnchorMaskCache
+from repro.fabric.region import NarrowedRegion, PartialRegion
 from repro.modules.module import Module
 from repro.obs.profile import SolveProfile
 from repro.obs.trace import LNS_IMPROVED, LNS_NEIGHBORHOOD, Tracer
@@ -58,6 +59,10 @@ class LNSConfig:
     #: structured event sink for LNS-level events (neighborhood chosen,
     #: incumbent improved) — also threaded into every CP subsolve
     tracer: Optional[Tracer] = None
+    #: anchor-mask cache shared by the initial solve and every subproblem;
+    #: None = one private cache per ``place`` call (still warm across
+    #: iterations).  Portfolio workers pass their per-process cache here.
+    cache: Optional[AnchorMaskCache] = None
 
 
 class LNSPlacer:
@@ -66,6 +71,7 @@ class LNSPlacer:
     def __init__(self, config: Optional[LNSConfig] = None) -> None:
         self.config = config or LNSConfig()
         self._profile_total: Optional[SolveProfile] = None
+        self._cache: Optional[AnchorMaskCache] = None
 
     # ------------------------------------------------------------------
     def place(
@@ -82,6 +88,11 @@ class LNSPlacer:
             else None
         )
 
+        # one anchor-mask cache for the whole anytime run: the initial
+        # solve computes (or inherits) the base-region masks once and every
+        # LNS subproblem derives its masks from them incrementally
+        self._cache = cfg.cache if cfg.cache is not None else AnchorMaskCache()
+
         # construction: CP dive first (usually sub-second); if it thrashes,
         # fall back to the bottom-left heuristic — LNS only needs *some*
         # incumbent, the improvement loop does the optimization
@@ -93,6 +104,8 @@ class LNSPlacer:
             initial_cfg = replace(
                 initial_cfg, profile=cfg.profile, tracer=tracer
             )
+        if initial_cfg.cache is None:
+            initial_cfg = replace(initial_cfg, cache=self._cache)
         base = CPPlacer(initial_cfg).place(region, modules)
         self._absorb_profile(base)
         if not base.placements or not base.all_placed:
@@ -110,6 +123,7 @@ class LNSPlacer:
                 seed=cfg.seed,
                 profile=cfg.profile,
                 tracer=tracer,
+                cache=self._cache,
             )
             restarted = CPPlacer(restart_cfg).place(region, modules)
             self._absorb_profile(restarted)
@@ -163,6 +177,7 @@ class LNSPlacer:
             "trajectory": trajectory,
             "initial_extent": trajectory[0][1],
             "shapes_considered": sum(m.n_alternatives for m in modules),
+            "mask_cache": self._cache.stats(),
         }
         if self._profile_total is not None:
             stats["profile"] = self._profile_total
@@ -195,11 +210,11 @@ class LNSPlacer:
             for i, p in enumerate(placements)
             if p.right >= extent - cfg.frontier_margin
         ]
-        rest = [i for i in range(len(placements)) if i not in frontier]
+        in_frontier = set(frontier)
+        rest = [i for i in range(len(placements)) if i not in in_frontier]
         rng.shuffle(rest)
         take = max(0, cfg.neighborhood - len(frontier))
-        chosen = frontier + rest[:take]
-        return chosen[: max(cfg.neighborhood, len(frontier))]
+        return frontier + rest[:take]
 
     def _reoptimize(
         self,
@@ -217,16 +232,20 @@ class LNSPlacer:
         if frozen_extent >= best_extent:
             return None  # this neighborhood cannot beat the incumbent
 
-        # mask frozen modules' cells out of the reconfigurable area
-        mask = region.reconfigurable.copy()
-        for p in frozen:
-            for x, y, _ in p.absolute_cells():
-                mask[y, x] = False
-        sub_region = PartialRegion(region.grid, mask, f"{region.name}-lns")
+        # carve frozen modules' cells out of the reconfigurable area; a
+        # NarrowedRegion keeps the lineage so the kernel can derive the
+        # subproblem's anchor masks from the cached base-region masks
+        # instead of recomputing every cross-correlation
+        blocked = np.array(
+            [(y, x) for p in frozen for x, y, _ in p.absolute_cells()],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        sub_region = NarrowedRegion(region, blocked, f"{region.name}-lns")
 
         budget = min(cfg.sub_time_limit, max(0.1, deadline - time.monotonic()))
         sub_cfg = PlacerConfig(
-            time_limit=budget, profile=cfg.profile, tracer=tracer
+            time_limit=budget, profile=cfg.profile, tracer=tracer,
+            cache=self._cache,
         )
         free_modules = [placements[i].module for i in free_idx]
         placer = CPPlacer(sub_cfg)

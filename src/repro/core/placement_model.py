@@ -22,17 +22,23 @@ from repro.cp.constraints import Task
 from repro.cp.model import Model
 from repro.cp.variable import IntVar
 from repro.core.objective import ObjectiveKind, build_objective
+from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.region import PartialRegion
 from repro.geost.placement import PlacementKernel
 from repro.modules.module import Module
-from repro.obs.trace import Tracer
+from repro.obs.trace import CACHE_MASKS, Tracer
 
 
 class PlacementModel:
     """CP model for placing a module set on a partial region.
 
     ``tracer``/``profile`` reach the engine before the kernel is posted,
-    so the (expensive) root propagation is observable too.
+    so the (expensive) root propagation is observable too.  ``cache``
+    (an :class:`~repro.fabric.cache.AnchorMaskCache`) memoizes the static
+    anchor masks across repeated constructions — the LNS/portfolio hot
+    path; the per-construction hit/miss deltas land in
+    :attr:`cache_stats` and, when a tracer is attached, in one
+    ``cache.masks`` event.
     """
 
     def __init__(
@@ -44,6 +50,7 @@ class PlacementModel:
         redundant_cumulative: bool = True,
         tracer: Optional[Tracer] = None,
         profile: bool = False,
+        cache: Optional[AnchorMaskCache] = None,
     ) -> None:
         if not modules:
             raise ValueError("nothing to place")
@@ -62,7 +69,17 @@ class PlacementModel:
             self.ys.append(m.int_var(0, region.height - 1, f"y[{i}]"))
             self.ss.append(m.int_var(0, mod.n_alternatives - 1, f"s[{i}]"))
 
-        self.kernel = PlacementKernel(region, self.modules, self.xs, self.ys, self.ss)
+        self.kernel = PlacementKernel(
+            region, self.modules, self.xs, self.ys, self.ss, cache=cache
+        )
+        #: anchor-mask cache increments of this construction (None = uncached)
+        self.cache_stats = self.kernel.cache_stats
+        if (
+            self.cache_stats is not None
+            and tracer is not None
+            and tracer.enabled
+        ):
+            tracer.emit(CACHE_MASKS, **self.cache_stats)
         m.post(self.kernel)
 
         self.objective_var = build_objective(

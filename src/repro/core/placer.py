@@ -22,6 +22,7 @@ from repro.cp.search import SearchLimit
 from repro.core.objective import ObjectiveKind
 from repro.core.placement_model import PlacementModel
 from repro.core.result import Placement, PlacementResult
+from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.region import PartialRegion
 from repro.modules.module import Module
 from repro.obs import context as obs_context
@@ -59,6 +60,9 @@ class PlacerConfig:
     profile: bool = False
     #: structured event sink threaded into the engine (None = off)
     tracer: Optional[Tracer] = None
+    #: anchor-mask cache shared across model constructions (None = compute
+    #: masks fresh); the LNS driver and portfolio workers thread one in
+    cache: Optional[AnchorMaskCache] = None
 
 
 class CPPlacer:
@@ -104,6 +108,7 @@ class CPPlacer:
                 redundant_cumulative=cfg.redundant_cumulative,
                 tracer=cfg.tracer,
                 profile=profiling,
+                cache=cfg.cache,
             )
             if max_extent is not None:
                 pm.objective_var.remove_above(max_extent)
@@ -199,6 +204,10 @@ class CPPlacer:
             placer="cp",
         )
         profile.restarts = restarts
+        if pm.cache_stats is not None:
+            profile.cache_hits = pm.cache_stats["hits"]
+            profile.cache_misses = pm.cache_stats["misses"]
+            profile.cache_narrowed = pm.cache_stats["narrowed"]
         session = obs_context.current()
         if session is not None:
             session.record(profile)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.lns import LNSConfig, LNSPlacer
 from repro.core.result import Placement, PlacementResult
+from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.io import region_from_dict, region_to_dict
 from repro.fabric.region import PartialRegion
 from repro.modules.module import Module
@@ -48,8 +49,13 @@ def _worker(
     """Solve one portfolio member; returns (seed, extent, placements, profile)."""
     region = region_from_dict(region_payload)
     modules = [module_from_dict(p) for p in module_payloads]
+    # one anchor-mask cache per worker process, warmed once: the initial
+    # solve and every LNS subproblem of this member then run on hits only
+    cache = AnchorMaskCache()
+    cache.warm(region, modules)
     result = LNSPlacer(
-        LNSConfig(time_limit=time_limit, seed=seed, profile=profile)
+        LNSConfig(time_limit=time_limit, seed=seed, profile=profile,
+                  cache=cache)
     ).place(region, modules)
     profile_payload = None
     if profile:
@@ -107,14 +113,25 @@ class PortfolioPlacer:
         )
 
         outcomes: List[_WorkerResult] = []
+        crashed: Dict[int, str] = {}
+
+        def record_crash(seed: int, exc: BaseException) -> None:
+            # keep the member's real seed and its exception text; a crash
+            # is an unsolved outcome, never a silently healthy member
+            crashed[seed] = f"{type(exc).__name__}: {exc}"
+            outcomes.append((seed, None, [], None))
+
         if cfg.n_workers == 1:
-            outcomes.append(
-                _worker(region_payload, module_payloads, cfg.time_limit,
-                        cfg.base_seed, cfg.profile)
-            )
+            try:
+                outcomes.append(
+                    _worker(region_payload, module_payloads, cfg.time_limit,
+                            cfg.base_seed, cfg.profile)
+                )
+            except Exception as exc:
+                record_crash(cfg.base_seed, exc)
         else:
             with ProcessPoolExecutor(max_workers=cfg.n_workers) as pool:
-                futures = [
+                futures = {
                     pool.submit(
                         _worker,
                         region_payload,
@@ -122,25 +139,29 @@ class PortfolioPlacer:
                         cfg.time_limit,
                         cfg.base_seed + k,
                         cfg.profile,
-                    )
+                    ): cfg.base_seed + k
                     for k in range(cfg.n_workers)
-                ]
+                }
                 for fut in as_completed(futures):
                     try:
                         outcomes.append(fut.result())
-                    except Exception:  # a crashed member must not sink the rest
-                        outcomes.append((-1, None, [], None))
+                    except Exception as exc:  # must not sink the rest
+                        record_crash(futures[fut], exc)
 
         if tracer is not None:
             for seed, extent, _tuples, _prof in outcomes:
-                tracer.emit(
-                    PORTFOLIO_RESULT,
-                    seed=seed,
-                    extent=extent,
-                    solved=extent is not None,
+                payload = dict(
+                    seed=seed, extent=extent, solved=extent is not None
                 )
+                if seed in crashed:
+                    payload["error"] = crashed[seed]
+                tracer.emit(PORTFOLIO_RESULT, **payload)
 
-        stats: Dict = {"method": "portfolio", "members": len(outcomes)}
+        stats: Dict = {
+            "method": "portfolio",
+            "members": len(outcomes),
+            "crashed_members": dict(crashed),
+        }
         if cfg.profile:
             member_profiles = {
                 seed: prof

@@ -211,9 +211,17 @@ class Domain:
         if self._mask == 0:
             return self
         hi = self.max()
-        # reverse the bit pattern within its width
+        # reverse the bit pattern within its width arithmetically: peel set
+        # bits lowest-first and mirror each around the width.  O(popcount)
+        # big-int operations — no text round-trip, and cheap on the sparse
+        # wide domains where the string detour was quadratic in width.
         width = self._mask.bit_length()
-        rev = int(format(self._mask, f"0{width}b")[::-1], 2)
+        mask = self._mask
+        rev = 0
+        while mask:
+            low = mask & -mask
+            rev |= 1 << (width - low.bit_length())
+            mask ^= low
         return Domain.from_mask(rev, -hi)
 
     def next_value(self, v: int) -> Optional[int]:

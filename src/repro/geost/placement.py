@@ -38,8 +38,9 @@ from repro.cp.domain import Domain
 from repro.cp.engine import Engine, Inconsistent
 from repro.cp.propagator import Priority, Propagator
 from repro.cp.variable import IntVar
+from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.masks import compatibility_masks, valid_anchor_mask
-from repro.fabric.region import PartialRegion
+from repro.fabric.region import NarrowedRegion, PartialRegion
 from repro.modules.footprint import Footprint
 from repro.modules.module import Module
 from repro.obs.trace import KERNEL_IMPRINT
@@ -100,6 +101,7 @@ class PlacementKernel(Propagator):
         xs: Sequence[IntVar],
         ys: Sequence[IntVar],
         ss: Sequence[IntVar],
+        cache: Optional[AnchorMaskCache] = None,
     ) -> None:
         super().__init__("placement-kernel")
         if not (len(modules) == len(xs) == len(ys) == len(ss)):
@@ -112,7 +114,27 @@ class PlacementKernel(Propagator):
             _Item(i, m, x, y, s)
             for i, (m, x, y, s) in enumerate(zip(modules, xs, ys, ss))
         ]
-        compat = compatibility_masks(region)
+        # three mask sources, cheapest first: a NarrowedRegion with a cache
+        # reuses the *base* region's memoized masks and fixes them up below
+        # (the incremental LNS path); a cache alone memoizes per (region,
+        # footprint); no cache recomputes the cross-correlation every time
+        snap = cache.snapshot() if cache is not None else None
+        incremental = cache is not None and isinstance(region, NarrowedRegion)
+        if incremental:
+            base_key = cache.region_key(region.base)
+            mask_of = lambda fp: cache.anchor_mask(  # noqa: E731
+                region.base, fp, region_key=base_key
+            )
+        elif cache is not None:
+            key = cache.region_key(region)
+            mask_of = lambda fp: cache.anchor_mask(  # noqa: E731
+                region, fp, region_key=key
+            )
+        else:
+            compat = compatibility_masks(region)
+            mask_of = lambda fp: valid_anchor_mask(  # noqa: E731
+                region, sorted(fp.cells), compat
+            )
         # anchor masks live in one contiguous "bank" (one row per shape of
         # every item) so the non-overlap narrowing after an imprint is one
         # batched fancy-index update instead of hundreds of small ones
@@ -126,7 +148,7 @@ class PlacementKernel(Propagator):
             row_ids = []
             start = offset_cursor
             for sid, fp in enumerate(item.module.shapes):
-                mask = valid_anchor_mask(region, sorted(fp.cells), compat)
+                mask = mask_of(fp)
                 row_ids.append(len(rows))
                 rows.append(mask.reshape(-1))
                 off_chunks.append(item.cells[sid])
@@ -136,12 +158,61 @@ class PlacementKernel(Propagator):
                 offset_cursor += len(item.cells[sid])
             self._row_of.append(row_ids)
             self._item_off_slice.append((start, offset_cursor))
-        self.bank = np.stack(rows)  # (R, H*W) bool
+        self.bank = np.stack(rows)  # (R, H*W) bool (a copy — cached masks
+        # stay read-only; all dynamic narrowing mutates only the bank)
         #: all shape-cell offsets (dy, dx) concatenated, with their bank row
         self._all_offsets = np.concatenate(off_chunks)       # (TOT, 2)
         self._all_owners = np.concatenate(owner_chunks)      # (TOT,)
         #: offsets of still-unplaced items; placed items need no narrowing
         self._active_offsets = np.ones(len(self._all_owners), dtype=bool)
+        if incremental:
+            # derive the sub-region masks from the base-region masks: an
+            # anchor is newly invalid iff some footprint cell lands on a
+            # blocked (frozen) cell.  The collide map is the OR-dual of the
+            # mask cross-correlation, evaluated on the *flattened* blocked
+            # map as big-int shift-ORs (one ~H*W-bit shift per footprint
+            # cell, shared across rows with the same footprint): row-major
+            # flattening lets a 2D shift by (dy, dx) become one 1D shift by
+            # dy*W + dx.  The wraparound bits this smears across row edges
+            # only land on anchors whose footprint already leaves the grid
+            # — anchors the base mask marks invalid — so ANDing the result
+            # into the bank stays exact.  Unlike a pairwise difference-of-
+            # coordinates update (what _imprint uses for single placements)
+            # the cost is independent of how many cells are blocked, which
+            # is what makes narrowing by a whole frozen set cheap.
+            if region.blocked_yx.size:
+                blocked = np.zeros((self.H, self.W), dtype=bool)
+                blocked[region.blocked_yx[:, 0], region.blocked_yx[:, 1]] = True
+                blocked_bits = int.from_bytes(
+                    np.packbits(blocked.reshape(-1), bitorder="little")
+                    .tobytes(),
+                    "little",
+                )
+                n = self.H * self.W
+                keep_of: Dict[frozenset, np.ndarray] = {}
+                row = 0
+                for item in self.items:
+                    for fp in item.module.shapes:
+                        keep = keep_of.get(fp.cells)
+                        if keep is None:
+                            bits = 0
+                            for dx, dy, _ in fp.cells:
+                                bits |= blocked_bits >> (dy * self.W + dx)
+                            keep = ~np.unpackbits(
+                                np.frombuffer(
+                                    bits.to_bytes((n + 7) // 8, "little"),
+                                    np.uint8,
+                                ),
+                                bitorder="little",
+                            )[:n].view(bool)
+                            keep_of[fp.cells] = keep
+                        self.bank[row] &= keep
+                        row += 1
+            cache.note_narrowed(self.bank.shape[0])
+        #: per-construction cache accounting (None when built uncached)
+        self.cache_stats: Optional[Dict[str, int]] = (
+            cache.delta(snap) if cache is not None else None
+        )
         #: static M_a & M_b anchors: per item, per shape, a bank-row view
         self.valid: List[List[np.ndarray]] = [
             [self.bank[r] for r in row_ids] for row_ids in self._row_of
@@ -194,6 +265,27 @@ class PlacementKernel(Propagator):
         mask = self.valid[item.index][sid].reshape(self.H, self.W)
         col, row = self._axis_masks(item)
         return mask & row[:, None] & col[None, :]
+
+    def _collisions(
+        self, cells_yx: np.ndarray, keep: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bank coordinates of anchors colliding with the given cells.
+
+        For absolute cells ``(y, x)`` and every (still relevant) shape-cell
+        offset, an anchor collides iff ``anchor = cell - offset`` lands in
+        the grid — the vectorized difference-of-coordinates kernel.  Returns
+        ``(rows, flat)`` suitable for fancy-indexing :attr:`bank`; ``keep``
+        optionally restricts the offsets considered (offset indices into
+        the concatenated offset table, e.g. the still-active ones).
+        """
+        off = self._all_offsets if keep is None else self._all_offsets[keep]
+        owners = self._all_owners if keep is None else self._all_owners[keep]
+        ay = cells_yx[:, 0][:, None] - off[None, :, 0]  # (n, TOT')
+        ax = cells_yx[:, 1][:, None] - off[None, :, 1]
+        ok = (ay >= 0) & (ax >= 0) & (ay < self.H) & (ax < self.W)
+        flat = (ay * self.W + ax)[ok]
+        rows = np.broadcast_to(owners, ok.shape)[ok]
+        return rows, flat
 
     # ------------------------------------------------------------------
     # Propagation
@@ -265,12 +357,8 @@ class PlacementKernel(Propagator):
             if not other.placed:
                 self._dirty.add(other.index)
         keep = np.nonzero(active)[0]
-        off = self._all_offsets[keep]  # (TOT', 2) of (dy, dx)
-        ay = (y0 + cells[:, 0])[:, None] - off[None, :, 0]  # (n, TOT')
-        ax = (x0 + cells[:, 1])[:, None] - off[None, :, 1]
-        ok = (ay >= 0) & (ax >= 0) & (ay < self.H) & (ax < self.W)
-        flat = (ay * self.W + ax)[ok]
-        rows = np.broadcast_to(self._all_owners[keep], ok.shape)[ok]
+        cells_yx = np.stack([y0 + cells[:, 0], x0 + cells[:, 1]], axis=1)
+        rows, flat = self._collisions(cells_yx, keep)
         bank = self.bank
         was_valid = bank[rows, flat]
         rows_hit = rows[was_valid]

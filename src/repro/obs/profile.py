@@ -80,6 +80,10 @@ class SolveProfile:
     propagations: int = 0
     domain_updates: int = 0
     failures: int = 0
+    # anchor-mask cache counters (0 when the solve ran uncached)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_narrowed: int = 0
     #: per-propagator breakdown, keyed by propagator name
     propagators: Dict[str, PropagatorProfile] = field(default_factory=dict)
     #: free-form context: instance name, seed, placer config, ...
@@ -140,6 +144,9 @@ class SolveProfile:
             propagations=self.propagations + other.propagations,
             domain_updates=self.domain_updates + other.domain_updates,
             failures=self.failures + other.failures,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            cache_narrowed=self.cache_narrowed + other.cache_narrowed,
             propagators=props,
             meta=meta,
         )
@@ -155,6 +162,9 @@ class SolveProfile:
             "propagations": self.propagations,
             "domain_updates": self.domain_updates,
             "failures": self.failures,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_narrowed": self.cache_narrowed,
         }
 
     # ------------------------------------------------------------------
@@ -192,6 +202,9 @@ class SolveProfile:
             propagations=d["propagations"],
             domain_updates=d["domain_updates"],
             failures=d["failures"],
+            cache_hits=d.get("cache_hits", 0),
+            cache_misses=d.get("cache_misses", 0),
+            cache_narrowed=d.get("cache_narrowed", 0),
             propagators={p.name: p for p in props},
             meta=dict(d.get("meta", {})),
         )
@@ -233,6 +246,11 @@ def profile_report(profile: SolveProfile) -> str:
         f"failures={p.failures} elapsed={p.elapsed:.3f}s"
         + (f" stop={p.stop_reason}" if p.stop_reason else ""),
     ]
+    if p.cache_hits or p.cache_misses or p.cache_narrowed:
+        head.append(
+            f"anchor-mask cache: hits={p.cache_hits} "
+            f"misses={p.cache_misses} narrowed={p.cache_narrowed}"
+        )
     if p.meta:
         head.append(
             "meta: " + " ".join(f"{k}={v}" for k, v in sorted(p.meta.items()))

@@ -60,6 +60,7 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "lns.neighborhood": ["iteration", "free", "frontier"],
     "lns.improved": ["iteration", "extent"],
     "portfolio.result": ["seed", "extent", "solved"],
+    "cache.masks": ["hits", "misses", "narrowed"],
 }
 
 
@@ -97,6 +98,7 @@ def validate_profile(doc: Dict[str, Any]) -> List[str]:
     for key in (
         "nodes", "backtracks", "solutions", "max_depth", "restarts",
         "propagations", "domain_updates", "failures",
+        "cache_hits", "cache_misses", "cache_narrowed",
     ):
         value = doc.get(key)
         if isinstance(value, int) and not isinstance(value, bool) and value < 0:

@@ -36,6 +36,8 @@ LNS_NEIGHBORHOOD = "lns.neighborhood"
 LNS_IMPROVED = "lns.improved"
 PORTFOLIO_RESULT = "portfolio.result"
 ENGINE_FAILURE = "engine.failure"
+#: anchor-mask cache accounting of one model construction
+CACHE_MASKS = "cache.masks"
 
 # Event kinds (fine — gated on Tracer.fine)
 PROPAGATE = "engine.propagate"

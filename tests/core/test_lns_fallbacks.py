@@ -1,0 +1,165 @@
+"""LNS construction fallback chain and neighborhood selection.
+
+The LNS driver needs *some* incumbent before it can improve anything, so
+``place`` runs a chain: CP dive → bottom-left greedy → randomized Luby
+restarts.  These tests force each link to fail deterministically (a
+zero-node budget kills the dive; an over-tight region wedges the greedy
+bottom-left rule) and assert the next link rescues the run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.lns import LNSConfig, LNSPlacer
+from repro.core.placer import CPPlacer, PlacerConfig
+from repro.core.result import Placement
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.generator import ModuleGenerator
+from repro.modules.module import Module
+from repro.placer.greedy import BottomLeftPlacer
+
+
+def failing_dive() -> PlacerConfig:
+    """An initial CP config whose dive can never find a solution."""
+    return PlacerConfig(node_limit=0, first_solution_only=True)
+
+
+def tight_instance():
+    """Over-tight region that wedges the greedy bottom-left rule.
+
+    One static cell at (x=0, y=1) forces the 2x2 module out of x=0; the
+    only packing that leaves a 3-run for the 3x1 module puts the square at
+    x=3, but bottom-left greedily commits it to x=1 and dead-ends.  CP
+    search (including randomized restarts) finds the x=3 packing.
+    """
+    grid = homogeneous_device(5, 2)
+    mask = np.ones((2, 5), dtype=bool)
+    mask[1, 0] = False
+    region = PartialRegion(grid, mask, "tight")
+    modules = [
+        Module("A", [Footprint.rectangle(2, 2)]),
+        Module("B", [Footprint.rectangle(3, 1)]),
+    ]
+    return region, modules
+
+
+class _Spy:
+    """Wraps a placer method, recording each call's config/result."""
+
+    def __init__(self, monkeypatch, cls, attr="place"):
+        self.calls = []
+        real = getattr(cls, attr)
+        spy = self
+
+        def wrapper(placer_self, *args, **kwargs):
+            result = real(placer_self, *args, **kwargs)
+            spy.calls.append((getattr(placer_self, "config", None), result))
+            return result
+
+        monkeypatch.setattr(cls, attr, wrapper)
+
+
+class TestConstructionFallbacks:
+    def test_dead_dive_falls_back_to_greedy(self, monkeypatch):
+        region = PartialRegion.whole_device(irregular_device(48, 12, seed=1))
+        modules = ModuleGenerator(seed=2).generate_set(4)
+        # precondition: the heuristic alone can solve this instance
+        assert BottomLeftPlacer().place(region, modules).all_placed
+
+        greedy = _Spy(monkeypatch, BottomLeftPlacer)
+        cp = _Spy(monkeypatch, CPPlacer)
+        cfg = LNSConfig(
+            time_limit=3.0, stall_limit=1, seed=1, initial=failing_dive()
+        )
+        res = LNSPlacer(cfg).place(region, modules)
+
+        assert res.all_placed
+        res.verify()
+        assert len(greedy.calls) == 1  # dive failed, greedy consulted
+        assert greedy.calls[0][1].all_placed
+        # greedy rescued the run: no Luby-restart construction happened
+        assert not any(c.construction == "restart" for c, _ in cp.calls)
+
+    def test_dead_dive_and_greedy_fall_back_to_restarts(self, monkeypatch):
+        region, modules = tight_instance()
+        # preconditions: greedy genuinely wedges, yet the instance is
+        # feasible (full CP proves extent 5)
+        assert not BottomLeftPlacer().place(region, modules).all_placed
+        reference = CPPlacer(PlacerConfig(time_limit=5.0)).place(
+            region, modules
+        )
+        assert reference.status == "optimal" and reference.extent == 5
+
+        greedy = _Spy(monkeypatch, BottomLeftPlacer)
+        cp = _Spy(monkeypatch, CPPlacer)
+        cfg = LNSConfig(
+            time_limit=5.0, stall_limit=1, seed=1, initial=failing_dive()
+        )
+        res = LNSPlacer(cfg).place(region, modules)
+
+        assert res.all_placed
+        res.verify()
+        assert res.extent == 5
+        assert len(greedy.calls) == 1
+        assert not greedy.calls[0][1].all_placed  # greedy did fail
+        restart_calls = [
+            (c, r) for c, r in cp.calls if c.construction == "restart"
+        ]
+        assert len(restart_calls) == 1  # Luby restarts were the rescuer
+        assert restart_calls[0][1].all_placed
+
+    def test_whole_chain_failing_reports_no_placement(self):
+        region = PartialRegion.whole_device(homogeneous_device(2, 2))
+        modules = [Module("big", [Footprint.rectangle(3, 3)])]
+        cfg = LNSConfig(time_limit=1.0, initial=failing_dive())
+        res = LNSPlacer(cfg).place(region, modules)
+        assert not res.placements
+        assert res.status in ("infeasible", "unknown")
+
+
+class TestNeighborhood:
+    """Pins `_neighborhood` composition (regression for the O(n^2)
+    list-membership scan and the dead ``chosen[:...]`` slice)."""
+
+    def _placements(self, n=10):
+        mods = [Module(f"m{i}", [Footprint.rectangle(1, 1)]) for i in range(n)]
+        # module i anchored at x=i: rights are 1..n, extent n
+        return [Placement(mods[i], 0, i, 0) for i in range(n)]
+
+    def test_seeded_composition_is_pinned(self):
+        placements = self._placements(10)
+        placer = LNSPlacer(LNSConfig(neighborhood=5, frontier_margin=2))
+        out = placer._neighborhood(placements, 10, random.Random(42))
+        # frontier = rights >= 10 - 2 -> indices 7, 8, 9 (in index order),
+        # then 2 filler indices drawn by the seeded shuffle
+        assert out == [7, 8, 9, 1, 3]
+
+    def test_frontier_always_included_and_no_duplicates(self):
+        placements = self._placements(20)
+        placer = LNSPlacer(LNSConfig(neighborhood=6, frontier_margin=3))
+        for seed in range(10):
+            out = placer._neighborhood(placements, 20, random.Random(seed))
+            assert out[:4] == [16, 17, 18, 19]  # rights 17..20 >= 17
+            assert len(out) == 6  # frontier + filler up to `neighborhood`
+            assert len(set(out)) == len(out)
+
+    def test_oversized_frontier_returned_whole(self):
+        placements = self._placements(8)
+        # margin 10 puts every module on the frontier; neighborhood 3 must
+        # not truncate it (the frontier is why the iteration can improve)
+        placer = LNSPlacer(LNSConfig(neighborhood=3, frontier_margin=10))
+        out = placer._neighborhood(placements, 8, random.Random(0))
+        assert out == list(range(8))
+
+    def test_same_seed_same_neighborhood(self):
+        placements = self._placements(30)
+        placer = LNSPlacer(LNSConfig(neighborhood=8, frontier_margin=2))
+        a = placer._neighborhood(placements, 30, random.Random(7))
+        b = placer._neighborhood(placements, 30, random.Random(7))
+        assert a == b

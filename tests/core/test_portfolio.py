@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import multiprocessing
+
 import pytest
 
+import repro.core.portfolio as portfolio_mod
 from repro.core.portfolio import PortfolioConfig, PortfolioPlacer, _worker
 from repro.fabric.devices import homogeneous_device, irregular_device
 from repro.fabric.io import region_to_dict
@@ -111,6 +114,13 @@ class TestPortfolio:
         ).place(region, modules)
         assert res.elapsed < 5.5  # budget + process startup slack
 
+    def test_single_worker_stats_have_no_crashes(self):
+        region, modules = small_instance()
+        res = PortfolioPlacer(
+            PortfolioConfig(n_workers=1, time_limit=1.0)
+        ).place(region, modules)
+        assert res.stats["crashed_members"] == {}
+
     def test_profile_merged_across_members(self):
         from repro.obs import RecordingTracer, SolveProfile
         from repro.obs.trace import PORTFOLIO_RESULT
@@ -134,3 +144,98 @@ class TestPortfolio:
             total = total + SolveProfile.from_dict(doc)
         assert merged.counts() == total.counts()
         assert merged.nodes > 0
+
+
+# ----------------------------------------------------------------------
+# Crash handling: a dying member must be reported under its real seed and
+# must never sink the surviving members.
+#
+# The raising replacements live at module scope so ProcessPoolExecutor can
+# pickle them by reference; with the "fork" start method the children
+# inherit the monkeypatched ``portfolio._worker`` binding.
+# ----------------------------------------------------------------------
+
+def _crashing_worker(region_payload, module_payloads, time_limit, seed,
+                     profile=False):
+    raise RuntimeError(f"boom-{seed}")
+
+
+def _odd_seed_crashing_worker(region_payload, module_payloads, time_limit,
+                              seed, profile=False):
+    if seed % 2 == 1:
+        raise RuntimeError(f"boom-{seed}")
+    return _worker(region_payload, module_payloads, time_limit, seed, profile)
+
+
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="monkeypatched workers only propagate to forked children",
+)
+
+
+class TestCrashHandling:
+    def test_inline_crash_recorded_under_real_seed(self, monkeypatch):
+        from repro.obs import RecordingTracer
+        from repro.obs.trace import PORTFOLIO_RESULT
+
+        region, modules = small_instance()
+        monkeypatch.setattr(portfolio_mod, "_worker", _crashing_worker)
+        tracer = RecordingTracer()
+        res = PortfolioPlacer(
+            PortfolioConfig(
+                n_workers=1, time_limit=0.5, base_seed=17, tracer=tracer
+            )
+        ).place(region, modules)
+
+        assert not res.placements and res.status == "unknown"
+        assert res.stats["members"] == 1
+        assert res.stats["crashed_members"] == {17: "RuntimeError: boom-17"}
+        (event,) = tracer.by_kind(PORTFOLIO_RESULT)
+        assert event.data["seed"] == 17  # the member's real seed, not -1
+        assert event.data["solved"] is False
+        assert event.data["error"] == "RuntimeError: boom-17"
+
+    @needs_fork
+    def test_parallel_crash_keeps_survivors(self, monkeypatch):
+        from repro.obs import RecordingTracer
+        from repro.obs.trace import PORTFOLIO_RESULT
+
+        region, modules = small_instance()
+        monkeypatch.setattr(
+            portfolio_mod, "_worker", _odd_seed_crashing_worker
+        )
+        tracer = RecordingTracer()
+        res = PortfolioPlacer(
+            PortfolioConfig(
+                n_workers=2, time_limit=2.0, base_seed=10, tracer=tracer
+            )
+        ).place(region, modules)
+
+        # seed 11 crashed; seed 10 solved and must win unaffected
+        assert res.all_placed
+        res.verify()
+        assert res.stats["crashed_members"] == {11: "RuntimeError: boom-11"}
+        assert res.stats["members"] == 2
+        assert res.stats["solved_members"] == 1
+        assert res.stats["winning_seed"] == 10
+        by_seed = {
+            e.data["seed"]: e.data for e in tracer.by_kind(PORTFOLIO_RESULT)
+        }
+        assert set(by_seed) == {10, 11}
+        assert by_seed[10]["solved"] is True and "error" not in by_seed[10]
+        assert by_seed[11]["solved"] is False
+        assert by_seed[11]["error"] == "RuntimeError: boom-11"
+
+    @needs_fork
+    def test_all_members_crashing_is_unsolved_not_fatal(self, monkeypatch):
+        region, modules = small_instance()
+        monkeypatch.setattr(portfolio_mod, "_worker", _crashing_worker)
+        res = PortfolioPlacer(
+            PortfolioConfig(n_workers=2, time_limit=0.5, base_seed=4)
+        ).place(region, modules)
+        assert not res.placements and res.status == "unknown"
+        assert set(res.stats["crashed_members"]) == {4, 5}
+        assert all(
+            msg.startswith("RuntimeError: boom-")
+            for msg in res.stats["crashed_members"].values()
+        )

@@ -120,6 +120,34 @@ def test_bool_array_bridge_round_trips(seed):
     assert Domain.from_bool_array(vec) == d
 
 
+@pytest.mark.parametrize("seed", range(30))
+def test_negate_on_wide_sparse_domains(seed):
+    """negate() on domains spanning ~1e5: the arithmetic bit reversal must
+    stay exact (and fast) where the old text round-trip was quadratic."""
+    rng = random.Random(seed)
+    span = rng.choice([10_000, 100_000, 1_000_000])
+    lo = rng.randint(-span, span)
+    ref = {lo + rng.randrange(span) for _ in range(rng.randint(1, 40))}
+    ref.add(lo)  # pin the offset
+    d = Domain(ref)
+    neg = d.negate()
+    check_matches(neg, {-x for x in ref}, f"seed={seed} span={span}")
+    # involution: double negation restores the original exactly
+    check_matches(neg.negate(), ref, f"seed={seed} double-negate")
+
+
+def test_negate_extremes():
+    assert EMPTY_DOMAIN.negate() is EMPTY_DOMAIN
+    check_matches(Domain.singleton(7).negate(), {-7})
+    check_matches(Domain.singleton(-3).negate(), {3})
+    # two far-apart values: the mask is one set bit at each end of a very
+    # wide word, the worst case for any width-dependent reversal
+    wide = Domain({0, 10**6})
+    check_matches(wide.negate(), {0, -(10**6)})
+    dense = Domain.range(-5, 1000)
+    check_matches(dense.negate(), set(range(-1000, 6)))
+
+
 def test_empty_domain_edge_cases():
     assert EMPTY_DOMAIN.is_empty()
     with pytest.raises(ValueError):
