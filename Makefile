@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast bench bench-fast profile-smoke
+.PHONY: test test-fast bench bench-fast profile-smoke runtime-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -25,3 +25,8 @@ bench-fast:
 ## against the published schema — fails non-zero on any mismatch
 profile-smoke:
 	$(PY) scripts/profile_smoke.py
+
+## a ~2-second seeded online serving run through the runtime placement
+## manager; validates outcomes, trace events and the profile
+runtime-smoke:
+	$(PY) scripts/runtime_smoke.py

@@ -78,6 +78,41 @@ class TestDefrag:
         assert free.final_extent <= frozen.final_extent
 
 
+class TestRuntimeManagerThroughput:
+    def test_bench_runtime_manager_throughput(self, benchmark, report):
+        """Serving throughput of the online placement manager.
+
+        The Table-I module distribution streamed through the full
+        fallback chain (budgeted CP probe backed by the greedy rung).
+        The pin: at least 50 requests/second end to end — admission has
+        to stay cheap enough for a runtime system's serving loop.
+        """
+        from repro.core.runtime import (
+            RuntimeConfig, RuntimePlacementManager, generate_workload,
+        )
+        from repro.experiments.config import default_fabric
+
+        region = default_fabric()
+        trace = generate_workload(100, seed=3)
+        config = RuntimeConfig(probe="cp", probe_time_limit=0.05)
+
+        def serve():
+            return RuntimePlacementManager(region, config).run(trace)
+
+        log = run_once(benchmark, serve)
+        elapsed = benchmark.stats.stats.total
+        throughput = len(trace) / elapsed
+        report(
+            "runtime manager throughput (Table-I workload)",
+            f"{len(trace)} requests in {elapsed:.2f}s = "
+            f"{throughput:.0f} req/s "
+            f"(admitted {log.admitted}, rejected {log.rejected}, "
+            f"defrags {log.stats.defrags})",
+        )
+        assert log.admitted + log.rejected == len(trace)
+        assert throughput >= 50.0
+
+
 class TestPhaseScheduling:
     def test_bench_phase_scheduling(self, benchmark, report):
         """D2 — sticky vs naive reconfiguration cost over a phase sequence."""

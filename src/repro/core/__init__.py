@@ -34,6 +34,16 @@ from repro.core.temporal import (
     TemporalResult,
     TemporalTask,
 )
+from repro.core.runtime import (
+    RejectReason,
+    RequestOutcome,
+    RuntimeConfig,
+    RuntimeLog,
+    RuntimePlacementManager,
+    RuntimeRequest,
+    RuntimeStats,
+    generate_workload,
+)
 from repro.core.report import placement_report, render_placement
 
 __all__ = [
@@ -67,4 +77,12 @@ __all__ = [
     "TemporalTask",
     "placement_report",
     "render_placement",
+    "RuntimePlacementManager",
+    "RuntimeConfig",
+    "RuntimeRequest",
+    "RequestOutcome",
+    "RejectReason",
+    "RuntimeLog",
+    "RuntimeStats",
+    "generate_workload",
 ]

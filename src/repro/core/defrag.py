@@ -80,17 +80,21 @@ def defragment(
 
     Returns a new :class:`PlacementResult` (the input is not modified)
     plus the move list with per-move reconfiguration frame costs.
+    ``max_moves`` is a hard cap on executed relocations; when None an
+    internal termination guard bounds the pass instead.
     """
     placements = list(result.placements)
     current = PlacementResult(result.region, placements, list(result.unplaced))
     initial_extent = current.extent or 0
     moves: List[Move] = []
-    if max_moves is None:
-        # termination guard: shape-changing moves may trade width for x,
-        # so bound the pass length instead of relying on a monotone metric
-        max_moves = 4 * max(1, len(placements))
+    # one unified move budget, checked in one place: the explicit cap, or
+    # a termination guard — shape-changing moves may trade width for x,
+    # so bound the pass length instead of relying on a monotone metric
+    budget = max_moves if max_moves is not None else 4 * max(1, len(placements))
 
-    while max_moves is None or len(moves) < max_moves:
+    # each loop iteration executes at most one move (frontier OR squeeze),
+    # so this single guard caps both phases consistently
+    while len(moves) < budget:
         extent = max((p.right for p in placements), default=0)
         frontier = [
             (i, p) for i, p in enumerate(placements) if p.right == extent
@@ -130,8 +134,6 @@ def defragment(
             # the frontier is stuck: squeeze interior modules left to open
             # space (in x order), then retry; stop when nothing moves at all
             for i, p in sorted(enumerate(placements), key=lambda t: t[1].x):
-                if max_moves is not None and len(moves) >= max_moves:
-                    break
                 sites = relocation_sites(
                     current, p, consider_alternatives=allow_shape_change
                 )

@@ -1,0 +1,681 @@
+"""Online runtime placement: admission control, backpressure, defrag triggers.
+
+The paper measures its utilization win offline, but its whole framing is
+*runtime* reconfigurable systems: modules arrive, run for a while and
+leave, and the free space shatters (Fekete et al. on dynamic
+defragmentation, Ahmadinia et al. on online free-space management).
+:class:`RuntimePlacementManager` is the serving loop that drives the
+repo's existing parts under such a load:
+
+* **Admission** — each arrival is placed on the residual region through a
+  deterministic fallback chain: a budgeted CP probe (anchor masks served
+  from a shared :class:`~repro.fabric.cache.AnchorMaskCache`), then a
+  bottom-left greedy scan over the vectorized anchor masks, then reject.
+* **Fragmentation control** — external fragmentation of the live
+  floorplan is monitored (:mod:`repro.metrics.fragmentation`); crossing a
+  threshold, or any rejection, triggers a :func:`~repro.core.defrag.defragment`
+  pass honoring either shape-change policy.
+* **Backpressure** — rejected arrivals wait in a bounded pending queue
+  with per-request deadlines; the queue is retried after every departure
+  and defrag pass, expired or overflowing requests are rejected
+  *gracefully* with machine-readable :class:`RejectReason` codes — no
+  exception escapes the manager on the serving path.
+* **Observability** — every lifecycle step emits a structured trace event
+  (``runtime.arrival`` / ``runtime.reject`` / ``runtime.defrag`` /
+  ``runtime.depart``) and the per-request latency / occupancy counters
+  aggregate into a :class:`~repro.obs.profile.SolveProfile` through the
+  existing :mod:`repro.obs` layer.
+
+Time model: the manager runs on the *logical* clock carried by the
+requests (arrival/lifetime/deadline are simulation time units); solver
+budgets (``probe_time_limit``) are wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.defrag import defragment
+from repro.core.placer import CPPlacer, PlacerConfig
+from repro.core.result import Placement, PlacementResult
+from repro.fabric.cache import AnchorMaskCache
+from repro.fabric.masks import compatibility_masks, valid_anchor_mask
+from repro.fabric.region import PartialRegion
+from repro.metrics.fragmentation import external_fragmentation
+from repro.metrics.utilization import region_utilization
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+from repro.obs import context as obs_context
+from repro.obs.profile import SolveProfile
+from repro.obs.trace import (
+    RUNTIME_ARRIVAL,
+    RUNTIME_DEFRAG,
+    RUNTIME_DEPART,
+    RUNTIME_REJECT,
+    Tracer,
+)
+
+
+# ----------------------------------------------------------------------
+# Requests and outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuntimeRequest:
+    """One module arrival in the online stream."""
+
+    module: Module
+    #: logical arrival time
+    arrival: int
+    #: logical time the module stays placed once admitted
+    lifetime: int
+    #: latest logical time admission is still useful (None = arrival +
+    #: the manager's ``max_queue_wait``)
+    deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.lifetime <= 0:
+            raise ValueError("request lifetime must be positive")
+
+
+class RejectReason(str, Enum):
+    """Machine-readable rejection codes (the manager never raises)."""
+
+    #: no fallback rung produced a feasible placement
+    NO_FIT = "no_fit"
+    #: the pending queue was at capacity when the request arrived
+    QUEUE_FULL = "queue_full"
+    #: the request waited in the queue past its deadline
+    DEADLINE = "deadline_expired"
+    #: a module with the same name is already placed or pending
+    DUPLICATE = "duplicate"
+
+    def __str__(self) -> str:  # "no_fit", not "RejectReason.NO_FIT"
+        return self.value
+
+
+@dataclass
+class RequestOutcome:
+    """The manager's answer for one request (mutated when a queued
+    request is later admitted or expires)."""
+
+    request: RuntimeRequest
+    #: "admitted" | "queued" | "rejected"
+    status: str = "rejected"
+    #: fallback rung that produced the placement ("cp", "greedy",
+    #: "cp+defrag", "greedy+defrag"); None when rejected
+    method: Optional[str] = None
+    reason: Optional[RejectReason] = None
+    placement: Optional[Placement] = None
+    #: logical time of admission (>= arrival when served from the queue)
+    admitted_at: Optional[int] = None
+    #: wall-clock seconds spent in admission attempts for this request
+    latency_s: float = 0.0
+    #: errors swallowed on the probe path (graceful degradation)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == "admitted"
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the runtime placement manager."""
+
+    #: admit with the full alternative set (False = primary shape only)
+    with_alternatives: bool = True
+    #: first fallback rung: "cp" (budgeted CP probe, then greedy) or
+    #: "greedy" (skip the CP probe — deterministic and much faster)
+    probe: str = "cp"
+    #: wall-clock budget of one CP probe (seconds)
+    probe_time_limit: float = 0.25
+    #: bounded pending queue (0 = reject immediately, no queueing)
+    queue_capacity: int = 8
+    #: default per-request deadline: arrival + this many logical ticks
+    max_queue_wait: int = 16
+    #: trigger a defrag pass when external fragmentation exceeds this
+    frag_threshold: float = 0.6
+    #: also defrag (once) when an arrival cannot be placed
+    defrag_on_reject: bool = True
+    #: may defrag pick a different design alternative? (the paper's
+    #: stateful-module assumption says no; True is valid for
+    #: stateless/restartable modules)
+    allow_shape_change: bool = False
+    #: hard cap on relocations per defrag pass (None = internal guard)
+    defrag_max_moves: Optional[int] = None
+    #: minimum logical ticks between fragmentation-triggered passes
+    defrag_cooldown: int = 4
+    #: structured event sink for runtime.* events (None = off)
+    tracer: Optional[Tracer] = None
+    #: anchor-mask cache shared by all CP probes (None = new cache)
+    cache: Optional[AnchorMaskCache] = None
+
+    def validate(self) -> None:
+        if self.probe not in ("cp", "greedy"):
+            raise ValueError(f"unknown probe {self.probe!r}")
+        if self.queue_capacity < 0:
+            raise ValueError("queue_capacity must be >= 0")
+        if self.max_queue_wait < 0:
+            raise ValueError("max_queue_wait must be >= 0")
+        if not 0.0 <= self.frag_threshold <= 1.0:
+            raise ValueError("frag_threshold must be within [0, 1]")
+
+
+@dataclass
+class RuntimeStats:
+    """Aggregate counters of one manager lifetime."""
+
+    arrivals: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    departures: int = 0
+    defrags: int = 0
+    defrag_moves: int = 0
+    probe_errors: int = 0
+    queued_admits: int = 0
+    rejected_by_reason: Dict[str, int] = field(default_factory=dict)
+    admits_by_method: Dict[str, int] = field(default_factory=dict)
+    total_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    peak_occupied_cells: int = 0
+
+    @property
+    def rejection_ratio(self) -> float:
+        total = self.admitted + self.rejected
+        return self.rejected / total if total else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        total = self.admitted + self.rejected
+        return self.total_latency_s / total if total else 0.0
+
+    def count_reject(self, reason: RejectReason) -> None:
+        self.rejected += 1
+        key = str(reason)
+        self.rejected_by_reason[key] = self.rejected_by_reason.get(key, 0) + 1
+
+    def count_admit(self, method: str, queued: bool) -> None:
+        self.admitted += 1
+        self.admits_by_method[method] = self.admits_by_method.get(method, 0) + 1
+        if queued:
+            self.queued_admits += 1
+
+
+@dataclass
+class RuntimeLog:
+    """Everything :meth:`RuntimePlacementManager.run` observed."""
+
+    outcomes: List[RequestOutcome]
+    stats: RuntimeStats
+    #: (clock, occupied_cells, region_utilization, external_fragmentation)
+    #: sampled after every processed event
+    timeline: List[Tuple[int, int, float, float]] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> int:
+        return self.stats.admitted
+
+    @property
+    def rejected(self) -> int:
+        return self.stats.rejected
+
+    def mean_utilization(self) -> float:
+        """Time-weighted mean region utilization over the run."""
+        if len(self.timeline) < 2:
+            return self.timeline[0][2] if self.timeline else 0.0
+        area = 0.0
+        span = 0
+        for (t0, _, u0, _), (t1, _, _, _) in zip(
+            self.timeline, self.timeline[1:]
+        ):
+            area += u0 * (t1 - t0)
+            span += t1 - t0
+        return area / span if span else self.timeline[-1][2]
+
+
+@dataclass
+class _Pending:
+    """A queued request plus its mutable outcome."""
+
+    request: RuntimeRequest
+    outcome: RequestOutcome
+    deadline: int
+
+
+# ----------------------------------------------------------------------
+# The manager
+# ----------------------------------------------------------------------
+class RuntimePlacementManager:
+    """Serves an online arrival/departure stream against a live fabric."""
+
+    def __init__(
+        self,
+        region: PartialRegion,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.region = region
+        self.config = config or RuntimeConfig()
+        self.config.validate()
+        self.clock = 0
+        self.stats = RuntimeStats()
+        self.outcomes: List[RequestOutcome] = []
+        self._placements: Dict[str, Placement] = {}
+        self._departures: List[Tuple[int, str]] = []  # heap
+        self._pending: Deque[_Pending] = deque()
+        self._last_defrag_clock: Optional[int] = None
+        cfg = self.config
+        self._cache = cfg.cache or (
+            AnchorMaskCache() if cfg.probe == "cp" else None
+        )
+        tracer = cfg.tracer
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+
+    # ------------------------------------------------------------------
+    # State views
+    # ------------------------------------------------------------------
+    @property
+    def placements(self) -> List[Placement]:
+        return list(self._placements.values())
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def result(self) -> PlacementResult:
+        return PlacementResult(self.region, self.placements)
+
+    def occupancy_mask(self) -> np.ndarray:
+        mask = np.zeros((self.region.height, self.region.width), dtype=bool)
+        for p in self._placements.values():
+            for x, y, _ in p.absolute_cells():
+                mask[y, x] = True
+        return mask
+
+    def residual_region(self) -> PartialRegion:
+        free = self.region.reconfigurable & ~self.occupancy_mask()
+        return PartialRegion(
+            self.region.grid, free, f"{self.region.name}-residual"
+        )
+
+    def fragmentation(self) -> float:
+        return external_fragmentation(self.result())
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def submit(self, request: RuntimeRequest) -> RequestOutcome:
+        """Process one arrival (advancing the logical clock first)."""
+        self.advance_to(request.arrival)
+        self.stats.arrivals += 1
+        self._emit(
+            RUNTIME_ARRIVAL,
+            module=request.module.name,
+            clock=self.clock,
+            queue=len(self._pending),
+        )
+        outcome = RequestOutcome(request)
+        self.outcomes.append(outcome)
+        if self._is_duplicate(request.module.name):
+            self._reject(outcome, RejectReason.DUPLICATE)
+            return outcome
+        if self._try_admit(request, outcome, allow_defrag=True):
+            return outcome
+        # no rung fit right now: queue under backpressure rules
+        if self.config.queue_capacity == 0:
+            # queueing disabled: the honest reason is the failed placement
+            self._reject(outcome, RejectReason.NO_FIT)
+            return outcome
+        if self.config.queue_capacity <= len(self._pending):
+            self._reject(outcome, RejectReason.QUEUE_FULL)
+            return outcome
+        deadline = (
+            request.deadline
+            if request.deadline is not None
+            else request.arrival + self.config.max_queue_wait
+        )
+        if deadline <= self.clock:
+            self._reject(outcome, RejectReason.DEADLINE)
+            return outcome
+        outcome.status = "queued"
+        self._pending.append(_Pending(request, outcome, deadline))
+        return outcome
+
+    def depart(self, name: str) -> Optional[Placement]:
+        """Explicitly remove a placed module (None if unknown)."""
+        placement = self._placements.pop(name, None)
+        if placement is not None:
+            self.stats.departures += 1
+            self._emit(RUNTIME_DEPART, module=name, clock=self.clock)
+            self._after_space_freed()
+        return placement
+
+    def advance_to(self, t: int) -> None:
+        """Advance the logical clock: departures due, queue upkeep."""
+        if t < self.clock:
+            raise ValueError(
+                f"clock may not go backwards ({t} < {self.clock})"
+            )
+        while self._departures and self._departures[0][0] <= t:
+            due, name = heapq.heappop(self._departures)
+            self.clock = max(self.clock, due)
+            if self._placements.pop(name, None) is not None:
+                self.stats.departures += 1
+                self._emit(RUNTIME_DEPART, module=name, clock=self.clock)
+                self._expire_pending()
+                self._after_space_freed()
+        self.clock = max(self.clock, t)
+        self._expire_pending()
+        self._maybe_defrag(trigger="fragmentation")
+
+    def drain(self) -> None:
+        """Play out every scheduled departure and settle the queue."""
+        if self._departures:
+            self.advance_to(max(t for t, _ in self._departures))
+        # whatever is still pending can never be admitted: its module
+        # didn't fit an otherwise empty(er) fabric before its deadline
+        while self._pending:
+            item = self._pending.popleft()
+            self._reject(item.outcome, RejectReason.DEADLINE)
+
+    def run(self, trace: Sequence[RuntimeRequest]) -> RuntimeLog:
+        """Consume a whole trace, then drain; returns the full log."""
+        log = RuntimeLog(outcomes=self.outcomes, stats=self.stats)
+        for request in sorted(trace, key=lambda r: r.arrival):
+            self.submit(request)
+            log.timeline.append(self._sample())
+        self.drain()
+        log.timeline.append(self._sample())
+        self._record_profile()
+        return log
+
+    # ------------------------------------------------------------------
+    # Admission (the fallback chain)
+    # ------------------------------------------------------------------
+    def _try_admit(
+        self,
+        request: RuntimeRequest,
+        outcome: RequestOutcome,
+        allow_defrag: bool,
+        queued: bool = False,
+    ) -> bool:
+        cfg = self.config
+        module = (
+            request.module
+            if cfg.with_alternatives
+            else request.module.restricted(1)
+        )
+        start = time.monotonic()
+        placement, method = self._place_once(module, outcome)
+        if placement is None and allow_defrag and self._defrag(
+            trigger="reject"
+        ):
+            placement, method = self._place_once(module, outcome)
+            method = f"{method}+defrag" if placement is not None else method
+        outcome.latency_s += time.monotonic() - start
+        if placement is None:
+            return False
+        self._commit(request, outcome, placement, method, queued)
+        return True
+
+    def _place_once(
+        self, module: Module, outcome: RequestOutcome
+    ) -> Tuple[Optional[Placement], str]:
+        """One sweep down the fallback chain; exceptions degrade a rung."""
+        cfg = self.config
+        if cfg.probe == "cp":
+            try:
+                placement = self._cp_probe(module)
+                if placement is not None:
+                    return placement, "cp"
+            except Exception as exc:  # graceful: fall through to greedy
+                self.stats.probe_errors += 1
+                outcome.errors.append(f"cp: {exc}")
+        try:
+            placement = self._greedy_probe(module)
+            if placement is not None:
+                return placement, "greedy"
+        except Exception as exc:
+            self.stats.probe_errors += 1
+            outcome.errors.append(f"greedy: {exc}")
+        return None, "none"
+
+    def _cp_probe(self, module: Module) -> Optional[Placement]:
+        cfg = self.config
+        placer = CPPlacer(
+            PlacerConfig(
+                time_limit=cfg.probe_time_limit,
+                first_solution_only=True,
+                cache=self._cache,
+            )
+        )
+        res = placer.place(self.residual_region(), [module])
+        return res.placements[0] if res.placements else None
+
+    def _greedy_probe(self, module: Module) -> Optional[Placement]:
+        """Bottom-left over all shapes, straight off the anchor masks."""
+        residual = self.residual_region()
+        compat = compatibility_masks(residual)
+        best: Optional[Tuple[int, int, int]] = None  # (x, y, shape)
+        for si, fp in enumerate(module.shapes):
+            mask = valid_anchor_mask(residual, sorted(fp.cells), compat)
+            ys, xs = np.nonzero(mask)
+            if xs.size == 0:
+                continue
+            k = np.lexsort((ys, xs))[0]
+            cand = (int(xs[k]), int(ys[k]), si)
+            if best is None or cand[:2] < best[:2]:
+                best = cand
+        if best is None:
+            return None
+        return Placement(module, best[2], best[0], best[1])
+
+    def _commit(
+        self,
+        request: RuntimeRequest,
+        outcome: RequestOutcome,
+        placement: Placement,
+        method: str,
+        queued: bool,
+    ) -> None:
+        self._placements[placement.module.name] = placement
+        heapq.heappush(
+            self._departures,
+            (self.clock + request.lifetime, placement.module.name),
+        )
+        outcome.status = "admitted"
+        outcome.method = method
+        outcome.placement = placement
+        outcome.admitted_at = self.clock
+        self.stats.count_admit(method, queued)
+        self.stats.total_latency_s += outcome.latency_s
+        self.stats.max_latency_s = max(
+            self.stats.max_latency_s, outcome.latency_s
+        )
+        occupied = sum(
+            p.footprint.area for p in self._placements.values()
+        )
+        self.stats.peak_occupied_cells = max(
+            self.stats.peak_occupied_cells, occupied
+        )
+
+    def _reject(self, outcome: RequestOutcome, reason: RejectReason) -> None:
+        outcome.status = "rejected"
+        outcome.reason = reason
+        self.stats.count_reject(reason)
+        self._emit(
+            RUNTIME_REJECT,
+            module=outcome.request.module.name,
+            clock=self.clock,
+            reason=str(reason),
+        )
+
+    def _is_duplicate(self, name: str) -> bool:
+        return name in self._placements or any(
+            item.request.module.name == name for item in self._pending
+        )
+
+    # ------------------------------------------------------------------
+    # Queue upkeep and defragmentation
+    # ------------------------------------------------------------------
+    def _expire_pending(self) -> None:
+        kept: Deque[_Pending] = deque()
+        while self._pending:
+            item = self._pending.popleft()
+            if item.deadline <= self.clock:
+                self._reject(item.outcome, RejectReason.DEADLINE)
+            else:
+                kept.append(item)
+        self._pending = kept
+
+    def _retry_pending(self) -> None:
+        """FIFO retry of queued requests against the current floorplan."""
+        remaining: Deque[_Pending] = deque()
+        while self._pending:
+            item = self._pending.popleft()
+            if item.deadline <= self.clock:
+                self._reject(item.outcome, RejectReason.DEADLINE)
+                continue
+            if not self._try_admit(
+                item.request, item.outcome, allow_defrag=False, queued=True
+            ):
+                remaining.append(item)
+        self._pending = remaining
+
+    def _after_space_freed(self) -> None:
+        self._retry_pending()
+        self._maybe_defrag(trigger="fragmentation")
+
+    def _maybe_defrag(self, trigger: str) -> None:
+        cfg = self.config
+        if len(self._placements) < 2:
+            return
+        if (
+            self._last_defrag_clock is not None
+            and self.clock - self._last_defrag_clock < cfg.defrag_cooldown
+        ):
+            return
+        if self.fragmentation() <= cfg.frag_threshold:
+            return
+        if self._defrag(trigger=trigger):
+            self._retry_pending()
+
+    def _defrag(self, trigger: str) -> bool:
+        """One defrag pass over the live floorplan; True if it moved."""
+        cfg = self.config
+        if trigger == "reject" and not cfg.defrag_on_reject:
+            return False
+        if not self._placements:
+            return False
+        before = self.result()
+        out = defragment(
+            before,
+            allow_shape_change=cfg.allow_shape_change,
+            max_moves=cfg.defrag_max_moves,
+        )
+        self._last_defrag_clock = self.clock
+        if not out.moves:
+            return False
+        self._placements = {
+            p.module.name: p for p in out.result.placements
+        }
+        self.stats.defrags += 1
+        self.stats.defrag_moves += len(out.moves)
+        self._emit(
+            RUNTIME_DEFRAG,
+            clock=self.clock,
+            trigger=trigger,
+            moves=len(out.moves),
+            extent_before=out.initial_extent,
+            extent_after=out.final_extent,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, **data) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(kind, **data)
+
+    def _sample(self) -> Tuple[int, int, float, float]:
+        res = self.result()
+        return (
+            self.clock,
+            res.used_cells(),
+            region_utilization(res),
+            external_fragmentation(res),
+        )
+
+    def profile(self) -> SolveProfile:
+        """The manager's counters as a mergeable SolveProfile record."""
+        s = self.stats
+        return SolveProfile(
+            elapsed=s.total_latency_s,
+            stop_reason="runtime",
+            meta={
+                "runtime.arrivals": s.arrivals,
+                "runtime.admitted": s.admitted,
+                "runtime.rejected": s.rejected,
+                "runtime.departures": s.departures,
+                "runtime.defrags": s.defrags,
+                "runtime.defrag_moves": s.defrag_moves,
+                "runtime.probe_errors": s.probe_errors,
+                "runtime.queued_admits": s.queued_admits,
+                "runtime.mean_latency_s": round(s.mean_latency_s, 6),
+                "runtime.max_latency_s": round(s.max_latency_s, 6),
+                "runtime.peak_occupied_cells": s.peak_occupied_cells,
+            },
+        )
+
+    def _record_profile(self) -> None:
+        session = obs_context.current()
+        if session is not None:
+            session.record(self.profile())
+
+
+# ----------------------------------------------------------------------
+# Workload generation (the Table-I module distribution, made online)
+# ----------------------------------------------------------------------
+def generate_workload(
+    n_requests: int,
+    seed: int = 0,
+    mean_interarrival: int = 2,
+    mean_lifetime: int = 24,
+    deadline_slack: Optional[int] = None,
+    generator_config: Optional[GeneratorConfig] = None,
+) -> List[RuntimeRequest]:
+    """A seeded arrival/lifetime trace over the Table-I distribution.
+
+    Interarrival gaps and lifetimes are uniform around their means (all
+    driven by one seeded :class:`random.Random`), module footprints come
+    from :class:`~repro.modules.generator.ModuleGenerator` — by default
+    the paper's Table-I workload (20–100 CLBs, 0–4 BRAMs, four design
+    alternatives per module).
+    """
+    import random
+
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    rng = random.Random(seed)
+    gen = ModuleGenerator(seed=seed, config=generator_config)
+    t = 0
+    out: List[RuntimeRequest] = []
+    for _ in range(n_requests):
+        t += rng.randint(1, max(1, 2 * mean_interarrival - 1))
+        lifetime = rng.randint(2, max(2, 2 * mean_lifetime - 2))
+        out.append(
+            RuntimeRequest(
+                module=gen.generate(),
+                arrival=t,
+                lifetime=lifetime,
+                deadline=None if deadline_slack is None else t + deadline_slack,
+            )
+        )
+    return out

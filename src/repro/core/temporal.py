@@ -216,8 +216,14 @@ class TemporalPlacer:
                 raise ValueError(f"invalid precedence ({a}, {b})")
         start_time = time.monotonic()
         m = Model()
-        table = ShapeTable()
+        # deduping table: tasks sharing a module (same footprints, same
+        # duration) share shape ids instead of registering copies
+        table = ShapeTable(dedupe=True)
         objects: List[GeostObject] = []
+        #: per-task shape-id lists — the ONLY valid way to decode a shape
+        #: choice back to a module alternative index (ids are shared and
+        #: need not form contiguous per-task blocks)
+        task_sids: List[List[int]] = []
         ends = []
         dv = []
         kinds = sorted(
@@ -234,12 +240,15 @@ class TemporalPlacer:
                     table.add(_extrude(fp, task.duration))
                     for fp in task.module.shapes
                 ]
+                task_sids.append(sids)
                 max_w = max(fp.width for fp in task.module.shapes)
                 max_h = max(fp.height for fp in task.module.shapes)
                 x = m.int_var(0, max(0, region.width - 1), f"x{i}")
                 y = m.int_var(0, max(0, region.height - 1), f"y{i}")
                 t = m.int_var(0, self.horizon - task.duration, f"t{i}")
-                s = m.int_var(min(sids), max(sids), f"s{i}")
+                # exactly the task's shape ids — shared ids leave holes,
+                # so a [min, max] interval would admit foreign shapes
+                s = m.int_var_from(sorted(set(sids)), f"s{i}")
                 objects.append(GeostObject(i, [x, y, t], s, table))
                 end = m.int_var(task.duration, self.horizon, f"end{i}")
                 m.add_eq(end, t, task.duration)  # end == t + duration
@@ -275,18 +284,18 @@ class TemporalPlacer:
             return TemporalResult(region, status=status, elapsed=elapsed)
         sol = res.best
         schedule = []
-        sid_base = 0
         for i, task in enumerate(tasks):
+            # decode via the task's own sid list: offset arithmetic breaks
+            # as soon as the table dedupes or ids are non-contiguous
             schedule.append(
                 ScheduledTask(
                     task=task,
-                    shape_index=sol[f"s{i}"] - sid_base,
+                    shape_index=task_sids[i].index(sol[f"s{i}"]),
                     x=sol[f"x{i}"],
                     y=sol[f"y{i}"],
                     start=sol[f"t{i}"],
                 )
             )
-            sid_base += task.module.n_alternatives
         return TemporalResult(
             region,
             schedule=schedule,

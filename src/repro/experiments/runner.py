@@ -113,6 +113,12 @@ def _a5() -> str:
     return format_online(online_comparison())
 
 
+def _a6() -> str:
+    from repro.experiments.runtime_exp import format_runtime, runtime_comparison
+
+    return format_runtime(runtime_comparison())
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig1": _fig1,
@@ -124,6 +130,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "a3": _a3,
     "a4": _a4,
     "a5": _a5,
+    "a6": _a6,
     "a7": _a7,
     "a8": _a8,
 }

@@ -1,0 +1,139 @@
+"""Runtime serving experiment (A6): design alternatives under load.
+
+The paper's offline claim — alternatives reduce fragmentation, so more
+fits — transplanted to the serving setting its introduction motivates.
+One seeded arrival/departure trace (Table-I module distribution) is
+served twice by :class:`~repro.core.runtime.RuntimePlacementManager`,
+once with the full alternative sets and once restricted to the primary
+shape; the comparison reports rejection counts, time-weighted mean
+utilization and defragmentation activity.
+
+The greedy probe is used so both runs are deterministic (no wall-clock
+budget in the admission decision); the CP probe variant is exercised by
+``benchmarks/test_bench_runtime.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.runtime import (
+    RuntimeConfig,
+    RuntimeLog,
+    RuntimePlacementManager,
+    RuntimeRequest,
+    generate_workload,
+)
+from repro.fabric.region import PartialRegion
+from repro.modules.generator import GeneratorConfig
+
+
+@dataclass
+class RuntimeRow:
+    """One serving run, summarized."""
+
+    label: str
+    admitted: int
+    rejected: int
+    mean_utilization: float
+    defrags: int
+    defrag_moves: int
+    mean_latency_ms: float
+
+    @property
+    def total(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def rejection_ratio(self) -> float:
+        return self.rejected / self.total if self.total else 0.0
+
+
+def default_runtime_region(seed: int = 9) -> PartialRegion:
+    """The demo fabric: a seeded irregular 48x12 device."""
+    from repro.fabric.devices import irregular_device
+
+    return PartialRegion.whole_device(irregular_device(48, 12, seed=seed))
+
+
+def default_runtime_trace(
+    n_requests: int = 60, seed: int = 7
+) -> List[RuntimeRequest]:
+    """The demo trace: Table-I sized modules scaled to the demo fabric."""
+    return generate_workload(
+        n_requests,
+        seed=seed,
+        mean_interarrival=2,
+        mean_lifetime=24,
+        generator_config=GeneratorConfig(
+            clb_min=12, clb_max=48, bram_max=2, height_min=3, height_max=6
+        ),
+    )
+
+
+def serve_trace(
+    region: PartialRegion,
+    trace: Sequence[RuntimeRequest],
+    with_alternatives: bool,
+    label: str,
+    config: Optional[RuntimeConfig] = None,
+) -> RuntimeRow:
+    """One serving run; returns the summary row."""
+    cfg = config or RuntimeConfig(probe="greedy")
+    cfg.with_alternatives = with_alternatives
+    manager = RuntimePlacementManager(region, cfg)
+    log: RuntimeLog = manager.run(trace)
+    return RuntimeRow(
+        label=label,
+        admitted=log.admitted,
+        rejected=log.rejected,
+        mean_utilization=log.mean_utilization(),
+        defrags=log.stats.defrags,
+        defrag_moves=log.stats.defrag_moves,
+        mean_latency_ms=1e3 * log.stats.mean_latency_s,
+    )
+
+
+def runtime_comparison(
+    n_requests: int = 60,
+    seed: int = 7,
+    region: Optional[PartialRegion] = None,
+    allow_shape_change: bool = False,
+) -> List[RuntimeRow]:
+    """Alternatives-on vs alternatives-off on one seeded trace."""
+    region = region or default_runtime_region()
+    trace = default_runtime_trace(n_requests, seed)
+    rows = []
+    for with_alts, label in (
+        (False, "runtime (1 shape)"),
+        (True, "runtime (alternatives)"),
+    ):
+        rows.append(
+            serve_trace(
+                region,
+                trace,
+                with_alts,
+                label,
+                RuntimeConfig(
+                    probe="greedy", allow_shape_change=allow_shape_change
+                ),
+            )
+        )
+    return rows
+
+
+def format_runtime(rows: Sequence[RuntimeRow]) -> str:
+    """Tabular rendering of the runtime comparison."""
+    header = (
+        f"{'serving policy':<24} {'admit':>6} {'reject':>7} "
+        f"{'util':>6} {'defrags':>8} {'lat(ms)':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r.label:<24} {r.admitted:>6} {r.rejected:>7} "
+            f"{r.mean_utilization:>5.1%} {r.defrags:>8} "
+            f"{r.mean_latency_ms:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -81,12 +81,38 @@ class GeostShape:
 
 
 class ShapeTable:
-    """Shared registry: shape id -> :class:`GeostShape`."""
+    """Shared registry: shape id -> :class:`GeostShape`.
 
-    def __init__(self) -> None:
+    With ``dedupe`` enabled, :meth:`add` returns the existing id when a
+    geometrically identical shape was registered before (two tasks of the
+    same module extrude to the same boxes, for example).  Callers must
+    then treat returned ids as *shared*, not as a fresh contiguous block
+    — decode a shape choice by looking the id up in the caller's own id
+    list, never by offset arithmetic.
+    """
+
+    def __init__(self, dedupe: bool = False) -> None:
         self._shapes: List[GeostShape] = []
+        self._by_key: Dict[tuple, int] | None = {} if dedupe else None
+
+    @staticmethod
+    def _key(shape: GeostShape) -> tuple:
+        return tuple(
+            sorted(
+                (b.offset, b.size, -1 if b.resource is None else int(b.resource))
+                for b in shape.boxes
+            )
+        )
 
     def add(self, shape: GeostShape) -> int:
+        if self._by_key is not None:
+            key = self._key(shape)
+            hit = self._by_key.get(key)
+            if hit is not None:
+                return hit
+            self._shapes.append(shape)
+            self._by_key[key] = len(self._shapes) - 1
+            return len(self._shapes) - 1
         self._shapes.append(shape)
         return len(self._shapes) - 1
 

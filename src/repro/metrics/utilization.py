@@ -27,12 +27,26 @@ from repro.core.result import PlacementResult
 from repro.fabric.resource import ResourceType
 
 
-def _extent_window(result: PlacementResult) -> Optional[tuple]:
-    """(first_col, last_col_exclusive) of the occupied span, or None."""
+def _extent_window(
+    result: PlacementResult, from_zero: bool = True
+) -> Optional[tuple]:
+    """``(lo, hi)`` denominator columns shared by every extent metric.
+
+    ``hi`` is one past the rightmost occupied column.  With ``from_zero``
+    the window starts at the first reconfigurable column (extent
+    minimization packs against that edge); otherwise at the leftmost
+    placed module.  All three utilization variants below slice the same
+    window, so their denominators always agree column-for-column.
+    """
     if not result.placements:
         return None
     lo = min(p.x for p in result.placements)
     hi = max(p.right for p in result.placements)
+    if from_zero:
+        allowed = result.region.allowed_mask()
+        cols_any = np.nonzero(allowed.any(axis=0))[0]
+        first = int(cols_any.min()) if cols_any.size else 0
+        lo = min(first, lo)
     return lo, hi
 
 
@@ -43,15 +57,11 @@ def extent_utilization(result: PlacementResult, from_zero: bool = True) -> float
     column (extent minimization packs against that edge); otherwise at the
     leftmost placed module.
     """
-    window = _extent_window(result)
+    window = _extent_window(result, from_zero)
     if window is None:
         return 0.0
     lo, hi = window
     allowed = result.region.allowed_mask()
-    if from_zero:
-        cols_any = np.nonzero(allowed.any(axis=0))[0]
-        lo = int(cols_any.min()) if cols_any.size else 0
-        lo = min(lo, window[0])
     available = int(allowed[:, lo:hi].sum())
     if available == 0:
         return 0.0
@@ -66,7 +76,9 @@ def region_utilization(result: PlacementResult) -> float:
     return result.used_cells() / available
 
 
-def weighted_extent_utilization(result: PlacementResult) -> float:
+def weighted_extent_utilization(
+    result: PlacementResult, from_zero: bool = True
+) -> float:
     """Area-weighted utilization within the extent window.
 
     Like :func:`extent_utilization` but each tile counts its physical
@@ -74,14 +86,16 @@ def weighted_extent_utilization(result: PlacementResult) -> float:
     the paper notes embedded memory consumes more area than logic
     (Section III-B), so a BRAM tile left idle wastes more silicon than a
     CLB tile.  Weighted and unweighted numbers coincide on CLB-only
-    workloads and diverge when dedicated resources go unused.
+    workloads and diverge when dedicated resources go unused.  The
+    ``from_zero`` window semantics match :func:`extent_utilization`
+    exactly (same ``_extent_window`` columns in the denominator).
     """
     from repro.fabric.resource import RESOURCE_AREA_WEIGHT
 
-    window = _extent_window(result)
+    window = _extent_window(result, from_zero)
     if window is None:
         return 0.0
-    _, hi = window
+    lo, hi = window
     allowed = result.region.allowed_mask()
     grid = result.region.grid.cells
     available = 0.0
@@ -89,7 +103,9 @@ def weighted_extent_utilization(result: PlacementResult) -> float:
         if kind is ResourceType.UNAVAILABLE:
             continue
         n = int(
-            np.count_nonzero(allowed[:, :hi] & (grid[:, :hi] == int(kind)))
+            np.count_nonzero(
+                allowed[:, lo:hi] & (grid[:, lo:hi] == int(kind))
+            )
         )
         available += n * RESOURCE_AREA_WEIGHT[kind]
     if available == 0:
@@ -102,16 +118,21 @@ def weighted_extent_utilization(result: PlacementResult) -> float:
 
 
 def resource_utilization(
-    result: PlacementResult, window: bool = True
+    result: PlacementResult, window: bool = True, from_zero: bool = True
 ) -> Dict[ResourceType, float]:
-    """Per-resource-type utilization (Table I's CLB and BRAM columns)."""
+    """Per-resource-type utilization (Table I's CLB and BRAM columns).
+
+    With ``window`` the denominator is the shared extent window of
+    :func:`_extent_window` (same ``from_zero`` semantics as the other
+    variants); without it, the whole region width.
+    """
     allowed = result.region.allowed_mask()
     grid = result.region.grid.cells
     if window:
-        w = _extent_window(result)
+        w = _extent_window(result, from_zero)
         if w is None:
             return {}
-        lo, hi = 0, w[1]
+        lo, hi = w
     else:
         lo, hi = 0, result.region.width
 

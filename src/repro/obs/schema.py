@@ -61,6 +61,12 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "lns.improved": ["iteration", "extent"],
     "portfolio.result": ["seed", "extent", "solved"],
     "cache.masks": ["hits", "misses", "narrowed"],
+    "runtime.arrival": ["module", "clock", "queue"],
+    "runtime.reject": ["module", "clock", "reason"],
+    "runtime.defrag": [
+        "clock", "trigger", "moves", "extent_before", "extent_after",
+    ],
+    "runtime.depart": ["module", "clock"],
 }
 
 

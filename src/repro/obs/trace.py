@@ -38,6 +38,11 @@ PORTFOLIO_RESULT = "portfolio.result"
 ENGINE_FAILURE = "engine.failure"
 #: anchor-mask cache accounting of one model construction
 CACHE_MASKS = "cache.masks"
+# runtime placement manager lifecycle (repro.core.runtime)
+RUNTIME_ARRIVAL = "runtime.arrival"
+RUNTIME_REJECT = "runtime.reject"
+RUNTIME_DEFRAG = "runtime.defrag"
+RUNTIME_DEPART = "runtime.depart"
 
 # Event kinds (fine — gated on Tracer.fine)
 PROPAGATE = "engine.propagate"

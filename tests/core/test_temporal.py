@@ -158,6 +158,52 @@ class TestHeterogeneityAndAlternatives:
         res_poly.verify()
 
 
+class TestSharedModuleDecode:
+    """Two tasks of the *same* module share deduplicated shape ids in the
+    table; decoding a shape choice must go through each task's own id
+    list, never through offset arithmetic (regression: the old
+    ``sol[s_i] - sid_base`` decode produced out-of-range alternative
+    indices as soon as ids were shared)."""
+
+    def test_two_tasks_same_module_decode_in_range(self):
+        region = clb_region(["....", "...."])
+        mod = Module(
+            "dup", [Footprint.rectangle(2, 2), Footprint.rectangle(1, 2)]
+        )
+        tasks = [TemporalTask(mod, 2), TemporalTask(mod, 2)]
+        res = TemporalPlacer(horizon=8).place(region, tasks)
+        assert res.status == "optimal"
+        for s in res.schedule:
+            assert 0 <= s.shape_index < mod.n_alternatives
+        res.verify()
+        assert res.makespan == 2  # both fit side by side
+
+    def test_same_module_different_duration_not_conflated(self):
+        # different extrusions must stay distinct shapes
+        region = clb_region(["...", "..."])
+        mod = Module("dup", [Footprint.rectangle(2, 2)])
+        tasks = [TemporalTask(mod, 1), TemporalTask(mod, 3)]
+        res = TemporalPlacer(horizon=8).place(region, tasks)
+        assert res.status == "optimal"
+        res.verify()
+        by_duration = sorted(res.schedule, key=lambda s: s.task.duration)
+        assert by_duration[0].end - by_duration[0].start == 1
+        assert by_duration[1].end - by_duration[1].start == 3
+
+    def test_three_clones_with_precedence_chain(self):
+        region = clb_region(["..", ".."])
+        mod = Module("m", [Footprint.rectangle(2, 2)])
+        tasks = [TemporalTask(mod, 2) for _ in range(3)]
+        res = TemporalPlacer(horizon=10).place(
+            region, tasks, precedences=[(0, 1), (1, 2)]
+        )
+        assert res.status == "optimal"
+        assert res.makespan == 6
+        res.verify(precedences=[(0, 1), (1, 2)])
+        for s in res.schedule:
+            assert s.shape_index == 0
+
+
 class TestRendering:
     def test_timeline_shows_every_step(self):
         region = clb_region(["..", ".."])

@@ -206,6 +206,60 @@ class TestStats:
         assert "no samples" in RunAggregate("x").summary()
 
 
+class TestWindowAlignment:
+    """Regression: all extent metrics must slice the same denominator
+    columns (``_extent_window``) for both ``from_zero`` modes.  The
+    weighted variant used to anchor at column 0 unconditionally and the
+    per-resource variant hardcoded ``lo = 0``."""
+
+    def _two_blocks(self):
+        region = PartialRegion.whole_device(homogeneous_device(10, 2))
+        return result_with(
+            region,
+            [
+                Placement(rect_module("a", 2, 2), 0, 3, 0),
+                Placement(rect_module("b", 2, 2), 0, 7, 0),
+            ],
+        )
+
+    def test_weighted_equals_unweighted_on_clb_only_both_modes(self):
+        from repro.metrics.utilization import weighted_extent_utilization
+
+        r = self._two_blocks()
+        for from_zero in (True, False):
+            assert weighted_extent_utilization(
+                r, from_zero=from_zero
+            ) == pytest.approx(extent_utilization(r, from_zero=from_zero))
+
+    def test_from_zero_false_starts_at_leftmost_module(self):
+        r = self._two_blocks()
+        # leftmost-module window [3, 9): 12 cells, 8 used
+        assert extent_utilization(r, from_zero=False) == pytest.approx(8 / 12)
+        assert extent_utilization(r, from_zero=True) == pytest.approx(8 / 18)
+
+    def test_resource_utilization_shares_the_window(self):
+        r = self._two_blocks()
+        # CLB-only fabric: the per-kind ratio must equal the scalar metric
+        for from_zero in (True, False):
+            util = resource_utilization(r, window=True, from_zero=from_zero)
+            assert util[ResourceType.CLB] == pytest.approx(
+                extent_utilization(r, from_zero=from_zero)
+            )
+
+    def test_window_skips_static_prefix_columns(self):
+        g = homogeneous_device(8, 2)
+        region = PartialRegion.with_static_box(g, 0, 0, 2, 2)
+        r = result_with(region, [Placement(rect_module("a", 2, 2), 0, 4, 0)])
+        # from_zero anchors at the first *allowed* column (x=2): window
+        # [2, 6) has 8 available cells, 4 used — for every variant
+        from repro.metrics.utilization import weighted_extent_utilization
+
+        assert extent_utilization(r) == pytest.approx(4 / 8)
+        assert weighted_extent_utilization(r) == pytest.approx(4 / 8)
+        util = resource_utilization(r, window=True, from_zero=True)
+        assert util[ResourceType.CLB] == pytest.approx(4 / 8)
+
+
 class TestWeightedUtilization:
     def test_matches_unweighted_on_clb_only(self):
         from repro.metrics.utilization import weighted_extent_utilization
