@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast bench bench-fast profile-smoke runtime-smoke
+.PHONY: test test-fast bench bench-fast profile-smoke runtime-smoke backends-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -30,3 +30,8 @@ profile-smoke:
 ## manager; validates outcomes, trace events and the profile
 runtime-smoke:
 	$(PY) scripts/runtime_smoke.py
+
+## every registered placement backend on one seeded instance; validates
+## placements, trace events and the honesty of the result flags
+backends-smoke:
+	$(PY) scripts/backends_smoke.py

@@ -1,0 +1,230 @@
+"""Backend adapters for every placement engine in the repo.
+
+Each adapter maps the uniform :class:`~repro.core.backend.protocol.PlacementRequest`
+knobs onto one engine's native config and delegates; request overrides
+always win over the backend's construction-time config, and ``None``
+request fields leave the engine's defaults untouched.  The module tail
+registers the default fleet:
+
+=============  ===========================================================
+``cp``         exact CP kernel (B&B extent minimization)
+``lns``        large-neighborhood search over the CP kernel
+``portfolio``  best-of-N parallel LNS (process pool)
+``greedy``     alias of ``bottom-left`` — the runtime chain's classic rung
+``bottom-left``/``first-fit``/``best-fit``  greedy offline heuristics
+``kamer``      Bazargan-style maximal-empty-rectangle placement
+``annealing``  simulated annealing over (order, alternative) encodings
+``1d-slots``   historical fixed-slot model (not relocatable)
+=============  ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, Optional
+
+from repro.core.backend.protocol import (
+    BackendCapabilities,
+    PlacementBackend,
+    PlacementRequest,
+)
+from repro.core.backend.registry import register_backend
+from repro.core.lns import LNSConfig, LNSPlacer
+from repro.core.placer import CPPlacer, PlacerConfig
+from repro.core.portfolio import PortfolioConfig, PortfolioPlacer
+from repro.core.result import PlacementResult
+from repro.obs.trace import Tracer
+from repro.placer import (
+    AnnealingPlacer,
+    BasePlacer,
+    BestFitPlacer,
+    BottomLeftPlacer,
+    FirstFitPlacer,
+    KamerPlacer,
+    SlotPlacer,
+)
+
+
+class CPBackend(PlacementBackend):
+    """The exact CP kernel behind the uniform surface."""
+
+    name = "cp"
+    capabilities = BackendCapabilities(
+        supports_alternatives=True,
+        supports_objective=True,
+        anytime=True,
+        relocatable=True,
+    )
+    session_self_recording = True  # CPPlacer feeds the session itself
+
+    def __init__(self, config: Optional[PlacerConfig] = None) -> None:
+        self.config = config or PlacerConfig()
+
+    def _solve(self, request, tracer, profiling):
+        cfg = self.config
+        updates = {}
+        if request.time_limit is not None:
+            updates["time_limit"] = request.time_limit
+        if request.node_limit is not None:
+            updates["node_limit"] = request.node_limit
+        if request.seed is not None:
+            updates["seed"] = request.seed
+        if request.first_solution_only:
+            updates["first_solution_only"] = True
+        if request.profile:
+            updates["profile"] = True
+        if request.cache is not None:
+            updates["cache"] = request.cache
+        if tracer is not None:
+            updates["tracer"] = tracer
+        if updates:
+            cfg = dc_replace(cfg, **updates)
+        return CPPlacer(cfg).place(request.region, list(request.modules))
+
+
+class LNSBackend(PlacementBackend):
+    """LNS improvement loop over the CP kernel."""
+
+    name = "lns"
+    capabilities = BackendCapabilities(
+        supports_alternatives=True,
+        supports_objective=True,
+        anytime=True,
+        relocatable=True,
+    )
+    session_self_recording = True  # its CP subsolves feed the session
+
+    def __init__(self, config: Optional[LNSConfig] = None) -> None:
+        self.config = config or LNSConfig()
+
+    def _solve(self, request, tracer, profiling):
+        cfg = self.config
+        updates = {}
+        if request.time_limit is not None:
+            updates["time_limit"] = request.time_limit
+        if request.seed is not None:
+            updates["seed"] = request.seed
+        if request.profile:
+            updates["profile"] = True
+        if request.cache is not None:
+            updates["cache"] = request.cache
+        if tracer is not None:
+            updates["tracer"] = tracer
+        if updates:
+            cfg = dc_replace(cfg, **updates)
+        return LNSPlacer(cfg).place(request.region, list(request.modules))
+
+
+class PortfolioBackend(PlacementBackend):
+    """Best-of-N parallel LNS (per-request process pool).
+
+    Not relocatable: a portfolio answer is a whole-instance packing whose
+    quality comes from global restructuring, so it cannot serve the
+    runtime chain's incremental one-module requests economically.
+    """
+
+    name = "portfolio"
+    capabilities = BackendCapabilities(
+        supports_alternatives=True,
+        supports_objective=True,
+        anytime=True,
+        relocatable=False,
+    )
+    session_self_recording = False  # workers can't reach this session
+
+    def __init__(self, config: Optional[PortfolioConfig] = None) -> None:
+        self.config = config or PortfolioConfig()
+
+    def _solve(self, request, tracer, profiling):
+        cfg = self.config
+        updates = {}
+        if request.time_limit is not None:
+            updates["time_limit"] = request.time_limit
+        if request.seed is not None:
+            updates["base_seed"] = request.seed
+        if profiling:
+            # the merged member profile is what place() records
+            updates["profile"] = True
+        if tracer is not None:
+            updates["tracer"] = tracer
+        if updates:
+            cfg = dc_replace(cfg, **updates)
+        return PortfolioPlacer(cfg).place(request.region, list(request.modules))
+
+
+class BaselineBackend(PlacementBackend):
+    """Adapter running one :class:`BasePlacer` heuristic per request.
+
+    A fresh placer is built per call (they are stateful across ``_run``),
+    and the request's seed / budget / cache land on the uniform
+    ``BasePlacer`` knobs — no per-placer plumbing.
+    """
+
+    session_self_recording = False
+
+    def __init__(
+        self,
+        factory: Callable[[], BasePlacer],
+        name: str,
+        capabilities: BackendCapabilities = BackendCapabilities(),
+    ) -> None:
+        self._factory = factory
+        self.name = name
+        self.capabilities = capabilities
+
+    def _solve(self, request, tracer, profiling):
+        placer = self._factory()
+        if request.seed is not None:
+            placer.seed = request.seed
+        if request.time_limit is not None:
+            placer.time_limit = request.time_limit
+        return placer.place(
+            request.region, list(request.modules), cache=request.cache
+        )
+
+
+# ----------------------------------------------------------------------
+# Default registrations
+# ----------------------------------------------------------------------
+def _baseline_factory(
+    placer_cls, name: str, capabilities: BackendCapabilities
+):
+    def factory(config=None) -> BaselineBackend:
+        make = (lambda: placer_cls(config)) if config is not None else placer_cls
+        return BaselineBackend(make, name, capabilities)
+
+    return factory
+
+
+_GREEDY_CAPS = BackendCapabilities()
+_BASELINES = (
+    # "greedy" is the runtime chain's historical name for the bottom-left
+    # rung; both names resolve to the same placer
+    ("greedy", BottomLeftPlacer, _GREEDY_CAPS),
+    ("bottom-left", BottomLeftPlacer, _GREEDY_CAPS),
+    ("first-fit", FirstFitPlacer, _GREEDY_CAPS),
+    ("best-fit", BestFitPlacer, BackendCapabilities(supports_objective=True)),
+    ("kamer", KamerPlacer, _GREEDY_CAPS),
+    (
+        "annealing",
+        AnnealingPlacer,
+        BackendCapabilities(supports_objective=True, anytime=True),
+    ),
+    (
+        "1d-slots",
+        SlotPlacer,
+        BackendCapabilities(relocatable=False),
+    ),
+)
+
+
+def register_default_backends() -> None:
+    """Idempotently register the built-in fleet (module import does this)."""
+    register_backend("cp", CPBackend, replace=True)
+    register_backend("lns", LNSBackend, replace=True)
+    register_backend("portfolio", PortfolioBackend, replace=True)
+    for name, cls, caps in _BASELINES:
+        register_backend(name, _baseline_factory(cls, name, caps), replace=True)
+
+
+register_default_backends()

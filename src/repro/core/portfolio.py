@@ -2,9 +2,11 @@
 
 Packing search has a heavy-tailed runtime/quality distribution: different
 random seeds explore very different regions.  A *portfolio* runs several
-independent LNS placers in parallel worker processes and keeps the best
-incumbent — near-linear quality-per-wall-clock scaling for free, and the
-natural way to use a multi-core workstation for the paper's workload.
+independent placement backends (all-LNS by default; any registered
+backend names via ``PortfolioConfig.members``) in parallel worker
+processes and keeps the best incumbent — near-linear
+quality-per-wall-clock scaling for free, and the natural way to use a
+multi-core workstation for the paper's workload.
 
 Implementation notes (per the HPC guides, keep the parallel layer thin
 and the data exchange explicit): workers receive only JSON-serializable
@@ -20,7 +22,6 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.lns import LNSConfig, LNSPlacer
 from repro.core.result import Placement, PlacementResult
 from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.io import region_from_dict, region_to_dict
@@ -45,18 +46,28 @@ def _worker(
     time_limit: float,
     seed: int,
     profile: bool = False,
+    backend: str = "lns",
 ) -> _WorkerResult:
     """Solve one portfolio member; returns (seed, extent, placements, profile)."""
+    # lazy import: the backend package imports this module for its adapter
+    from repro.core.backend import PlacementRequest, create_backend
+
     region = region_from_dict(region_payload)
     modules = [module_from_dict(p) for p in module_payloads]
     # one anchor-mask cache per worker process, warmed once: the initial
     # solve and every LNS subproblem of this member then run on hits only
     cache = AnchorMaskCache()
     cache.warm(region, modules)
-    result = LNSPlacer(
-        LNSConfig(time_limit=time_limit, seed=seed, profile=profile,
-                  cache=cache)
-    ).place(region, modules)
+    result = create_backend(backend).place(
+        PlacementRequest(
+            region,
+            modules,
+            seed=seed,
+            time_limit=time_limit,
+            profile=profile,
+            cache=cache,
+        )
+    )
     profile_payload = None
     if profile:
         captured = result.stats.get("profile")
@@ -79,11 +90,14 @@ def _worker(
 class PortfolioConfig:
     """Knobs of the parallel portfolio."""
 
-    #: independent LNS members (= worker processes)
+    #: independent members (= worker processes)
     n_workers: int = 4
     #: per-member wall-clock budget in seconds
     time_limit: float = 8.0
     base_seed: int = 0
+    #: registered backend names cycled across the workers (worker k runs
+    #: ``members[k % len(members)]``); None = all-LNS, today's default
+    members: Optional[Sequence[str]] = None
     #: collect per-member SolveProfiles (returned across the process
     #: boundary as plain dicts) and merge them into ``stats["profile"]``
     profile: bool = False
@@ -93,12 +107,29 @@ class PortfolioConfig:
 
 
 class PortfolioPlacer:
-    """Best-of-N parallel LNS placement."""
+    """Best-of-N parallel placement over registered backends (default LNS)."""
 
     def __init__(self, config: Optional[PortfolioConfig] = None) -> None:
         self.config = config or PortfolioConfig()
         if self.config.n_workers < 1:
             raise ValueError("need at least one worker")
+        if self.config.members is not None:
+            from repro.core.backend import available_backends
+
+            if not self.config.members:
+                raise ValueError("members must name at least one backend")
+            registered = set(available_backends())
+            for name in self.config.members:
+                if name not in registered:
+                    raise ValueError(
+                        f"unknown backend {name!r} in portfolio members; "
+                        f"registered: {', '.join(sorted(registered))}"
+                    )
+
+    def _member_names(self) -> List[str]:
+        cfg = self.config
+        names = list(cfg.members) if cfg.members is not None else ["lns"]
+        return [names[k % len(names)] for k in range(cfg.n_workers)]
 
     def place(
         self, region: PartialRegion, modules: Sequence[Module]
@@ -112,6 +143,7 @@ class PortfolioPlacer:
             cfg.tracer if cfg.tracer is not None and cfg.tracer.enabled else None
         )
 
+        member_names = self._member_names()
         outcomes: List[_WorkerResult] = []
         crashed: Dict[int, str] = {}
 
@@ -125,7 +157,7 @@ class PortfolioPlacer:
             try:
                 outcomes.append(
                     _worker(region_payload, module_payloads, cfg.time_limit,
-                            cfg.base_seed, cfg.profile)
+                            cfg.base_seed, cfg.profile, member_names[0])
                 )
             except Exception as exc:
                 record_crash(cfg.base_seed, exc)
@@ -139,6 +171,7 @@ class PortfolioPlacer:
                         cfg.time_limit,
                         cfg.base_seed + k,
                         cfg.profile,
+                        member_names[k],
                     ): cfg.base_seed + k
                     for k in range(cfg.n_workers)
                 }
@@ -148,10 +181,14 @@ class PortfolioPlacer:
                     except Exception as exc:  # must not sink the rest
                         record_crash(futures[fut], exc)
 
+        backend_by_seed = {
+            cfg.base_seed + k: member_names[k] for k in range(cfg.n_workers)
+        }
         if tracer is not None:
             for seed, extent, _tuples, _prof in outcomes:
                 payload = dict(
-                    seed=seed, extent=extent, solved=extent is not None
+                    seed=seed, extent=extent, solved=extent is not None,
+                    backend=backend_by_seed.get(seed, "lns"),
                 )
                 if seed in crashed:
                     payload["error"] = crashed[seed]
@@ -160,6 +197,7 @@ class PortfolioPlacer:
         stats: Dict = {
             "method": "portfolio",
             "members": len(outcomes),
+            "member_backends": member_names,
             "crashed_members": dict(crashed),
         }
         if cfg.profile:

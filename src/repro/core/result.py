@@ -73,6 +73,16 @@ class PlacementResult:
     def all_placed(self) -> bool:
         return not self.unplaced
 
+    @property
+    def solved(self) -> bool:
+        """Every module placed and the run ended in a solution state."""
+        return not self.unplaced and self.status in ("feasible", "optimal")
+
+    @property
+    def proved_optimal(self) -> bool:
+        """The extent is a *proven* optimum, not just the best incumbent."""
+        return self.status == "optimal" and not self.unplaced
+
     def used_cells(self) -> int:
         return sum(p.footprint.area for p in self.placements)
 

@@ -8,9 +8,11 @@ defragmentation, Ahmadinia et al. on online free-space management).
 repo's existing parts under such a load:
 
 * **Admission** — each arrival is placed on the residual region through a
-  deterministic fallback chain: a budgeted CP probe (anchor masks served
-  from a shared :class:`~repro.fabric.cache.AnchorMaskCache`), then a
-  bottom-left greedy scan over the vectorized anchor masks, then reject.
+  deterministic fallback chain of registered placement backends
+  (:mod:`repro.core.backend`): by default a budgeted CP probe (anchor
+  masks served from a shared :class:`~repro.fabric.cache.AnchorMaskCache`),
+  then the bottom-left greedy rung, then reject.  ``RuntimeConfig.chain``
+  overrides the rungs declaratively by backend name.
 * **Fragmentation control** — external fragmentation of the live
   floorplan is monitored (:mod:`repro.metrics.fragmentation`); crossing a
   threshold, or any rejection, triggers a :func:`~repro.core.defrag.defragment`
@@ -42,11 +44,14 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.backend import (
+    PlacementRequest,
+    available_backends,
+    create_backend,
+)
 from repro.core.defrag import defragment
-from repro.core.placer import CPPlacer, PlacerConfig
 from repro.core.result import Placement, PlacementResult
 from repro.fabric.cache import AnchorMaskCache
-from repro.fabric.masks import compatibility_masks, valid_anchor_mask
 from repro.fabric.region import PartialRegion
 from repro.metrics.fragmentation import external_fragmentation
 from repro.metrics.utilization import region_utilization
@@ -134,6 +139,10 @@ class RuntimeConfig:
     #: first fallback rung: "cp" (budgeted CP probe, then greedy) or
     #: "greedy" (skip the CP probe — deterministic and much faster)
     probe: str = "cp"
+    #: explicit admission chain as registered backend names (overrides
+    #: ``probe``); None = derived from ``probe``: ("cp", "greedy") or
+    #: ("greedy",).  Every name must be registered and relocatable.
+    chain: Optional[Sequence[str]] = None
     #: wall-clock budget of one CP probe (seconds)
     probe_time_limit: float = 0.25
     #: bounded pending queue (0 = reject immediately, no queueing)
@@ -157,9 +166,30 @@ class RuntimeConfig:
     #: anchor-mask cache shared by all CP probes (None = new cache)
     cache: Optional[AnchorMaskCache] = None
 
+    def effective_chain(self) -> Tuple[str, ...]:
+        """The admission rungs as registered backend names."""
+        if self.chain is not None:
+            return tuple(self.chain)
+        return ("cp", "greedy") if self.probe == "cp" else ("greedy",)
+
     def validate(self) -> None:
         if self.probe not in ("cp", "greedy"):
             raise ValueError(f"unknown probe {self.probe!r}")
+        chain = self.effective_chain()
+        if not chain:
+            raise ValueError("admission chain must name at least one backend")
+        registered = set(available_backends())
+        for name in chain:
+            if name not in registered:
+                raise ValueError(
+                    f"unknown backend {name!r} in admission chain; "
+                    f"registered: {', '.join(sorted(registered))}"
+                )
+            if not create_backend(name).capabilities.relocatable:
+                raise ValueError(
+                    f"backend {name!r} is not relocatable and cannot serve "
+                    f"the runtime admission chain"
+                )
         if self.queue_capacity < 0:
             raise ValueError("queue_capacity must be >= 0")
         if self.max_queue_wait < 0:
@@ -271,9 +301,12 @@ class RuntimePlacementManager:
         self._pending: Deque[_Pending] = deque()
         self._last_defrag_clock: Optional[int] = None
         cfg = self.config
-        self._cache = cfg.cache or (
-            AnchorMaskCache() if cfg.probe == "cp" else None
-        )
+        #: one shared anchor-mask cache across every probe of every rung
+        self._cache = cfg.cache or AnchorMaskCache()
+        #: the admission rungs, instantiated once per manager
+        self._chain = [
+            (name, create_backend(name)) for name in cfg.effective_chain()
+        ]
         tracer = cfg.tracer
         self._tracer = tracer if tracer is not None and tracer.enabled else None
 
@@ -429,52 +462,23 @@ class RuntimePlacementManager:
     ) -> Tuple[Optional[Placement], str]:
         """One sweep down the fallback chain; exceptions degrade a rung."""
         cfg = self.config
-        if cfg.probe == "cp":
+        for name, backend in self._chain:
             try:
-                placement = self._cp_probe(module)
-                if placement is not None:
-                    return placement, "cp"
-            except Exception as exc:  # graceful: fall through to greedy
+                request = PlacementRequest(
+                    region=self.residual_region(),
+                    modules=[module],
+                    time_limit=cfg.probe_time_limit,
+                    first_solution_only=True,
+                    cache=self._cache,
+                    tracer=self._tracer,
+                )
+                res = backend.place(request)
+                if res.placements:
+                    return res.placements[0], name
+            except Exception as exc:  # graceful: fall through to next rung
                 self.stats.probe_errors += 1
-                outcome.errors.append(f"cp: {exc}")
-        try:
-            placement = self._greedy_probe(module)
-            if placement is not None:
-                return placement, "greedy"
-        except Exception as exc:
-            self.stats.probe_errors += 1
-            outcome.errors.append(f"greedy: {exc}")
+                outcome.errors.append(f"{name}: {exc}")
         return None, "none"
-
-    def _cp_probe(self, module: Module) -> Optional[Placement]:
-        cfg = self.config
-        placer = CPPlacer(
-            PlacerConfig(
-                time_limit=cfg.probe_time_limit,
-                first_solution_only=True,
-                cache=self._cache,
-            )
-        )
-        res = placer.place(self.residual_region(), [module])
-        return res.placements[0] if res.placements else None
-
-    def _greedy_probe(self, module: Module) -> Optional[Placement]:
-        """Bottom-left over all shapes, straight off the anchor masks."""
-        residual = self.residual_region()
-        compat = compatibility_masks(residual)
-        best: Optional[Tuple[int, int, int]] = None  # (x, y, shape)
-        for si, fp in enumerate(module.shapes):
-            mask = valid_anchor_mask(residual, sorted(fp.cells), compat)
-            ys, xs = np.nonzero(mask)
-            if xs.size == 0:
-                continue
-            k = np.lexsort((ys, xs))[0]
-            cand = (int(xs[k]), int(ys[k]), si)
-            if best is None or cand[:2] < best[:2]:
-                best = cand
-        if best is None:
-            return None
-        return Placement(module, best[2], best[0], best[1])
 
     def _commit(
         self,

@@ -145,6 +145,61 @@ def baseline_comparison(
 
 
 # ----------------------------------------------------------------------
+# A9 — uniform backend comparison (the registry-driven A3)
+# ----------------------------------------------------------------------
+def backend_comparison(
+    names: Optional[Sequence[str]] = None,
+    n_modules: int = 12,
+    seed: int = 5,
+    time_limit: float = 3.0,
+) -> List[SweepPoint]:
+    """A9: every registered backend on one instance, via the uniform
+    :class:`~repro.core.backend.PlacementRequest` surface.
+
+    Unlike :func:`baseline_comparison` (which hand-wires each placer's
+    native config), this goes through the registry only — what the
+    ``--backend`` runner flag selects from.
+    """
+    from repro.core.backend import (
+        PlacementRequest,
+        available_backends,
+        create_backend,
+    )
+    from repro.core.portfolio import PortfolioConfig
+    from repro.fabric.cache import AnchorMaskCache
+
+    region = default_fabric()
+    modules = ModuleGenerator(seed=seed).generate_set(n_modules)
+    selected = list(names) if names else available_backends()
+    # structural knobs the request cannot carry (worker counts etc.)
+    configs = {
+        "portfolio": PortfolioConfig(n_workers=2, time_limit=time_limit),
+    }
+    cache = AnchorMaskCache()
+    points = []
+    for name in selected:
+        backend = create_backend(name, configs.get(name))
+        res = backend.place(
+            PlacementRequest(
+                region, modules, seed=seed, time_limit=time_limit, cache=cache
+            )
+        )
+        if res.placements:
+            res.verify()
+        points.append(
+            SweepPoint(
+                label=name,
+                utilization=extent_utilization(res),
+                extent=res.extent,
+                placed=len(res.placements),
+                unplaced=len(res.unplaced),
+                elapsed=res.elapsed,
+            )
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
 # A4 — solver strategy / budget anatomy
 # ----------------------------------------------------------------------
 def solver_strategy_sweep(

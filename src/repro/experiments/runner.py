@@ -119,6 +119,20 @@ def _a6() -> str:
     return format_runtime(runtime_comparison())
 
 
+#: backend names selected with --backend (None = every registered backend);
+#: set by main() before the experiments run
+_BACKEND_SELECTION: "list[str] | None" = None
+
+
+def _a9() -> str:
+    from repro.experiments.ablations import backend_comparison, format_sweep
+
+    return format_sweep(
+        backend_comparison(names=_BACKEND_SELECTION),
+        "A9 — backend comparison",
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig1": _fig1,
@@ -133,6 +147,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "a6": _a6,
     "a7": _a7,
     "a8": _a8,
+    "a9": _a9,
 }
 
 
@@ -154,7 +169,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write a merged solver profile JSON per experiment",
     )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict backend-driven experiments (a9) to this registered "
+        "backend; repeatable (default: every registered backend)",
+    )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from repro.core.backend import available_backends
+
+        registered = set(available_backends())
+        for name in args.backend:
+            if name not in registered:
+                parser.error(
+                    f"unknown backend {name!r}; registered: "
+                    f"{', '.join(sorted(registered))}"
+                )
+        global _BACKEND_SELECTION
+        _BACKEND_SELECTION = list(args.backend)
     names = (
         sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     )

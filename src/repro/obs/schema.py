@@ -60,6 +60,8 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "lns.neighborhood": ["iteration", "free", "frontier"],
     "lns.improved": ["iteration", "extent"],
     "portfolio.result": ["seed", "extent", "solved"],
+    "backend.start": ["backend", "modules"],
+    "backend.result": ["backend", "status", "placed", "elapsed"],
     "cache.masks": ["hits", "misses", "narrowed"],
     "runtime.arrival": ["module", "clock", "queue"],
     "runtime.reject": ["module", "clock", "reason"],

@@ -35,6 +35,10 @@ KERNEL_IMPRINT = "kernel.imprint"
 LNS_NEIGHBORHOOD = "lns.neighborhood"
 LNS_IMPROVED = "lns.improved"
 PORTFOLIO_RESULT = "portfolio.result"
+#: placement backend lifecycle (repro.core.backend) — one start/result
+#: pair per `PlacementBackend.place` call, whatever the engine behind it
+BACKEND_START = "backend.start"
+BACKEND_RESULT = "backend.result"
 ENGINE_FAILURE = "engine.failure"
 #: anchor-mask cache accounting of one model construction
 CACHE_MASKS = "cache.masks"

@@ -5,16 +5,25 @@ through the same vectorized machinery as the kernel
 (:func:`repro.fabric.masks.valid_anchor_mask` plus an occupancy
 convolution), so their placements satisfy M_a / M_b / M_c by construction
 and are cross-checked by ``PlacementResult.verify`` in the tests.
+
+Seeding, wall-clock budgets and :class:`~repro.fabric.cache.AnchorMaskCache`
+reuse are owned here, once: ``BasePlacer.place`` builds one :class:`_State`
+carrying the RNG, the deadline and the (possibly cached) static anchor
+masks, and every concrete placer only implements ``_run(state)``.  The
+backend adapters (:mod:`repro.core.backend`) thread a request's seed,
+budget and cache straight through this surface.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.result import Placement, PlacementResult
+from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.masks import compatibility_masks, valid_anchor_mask
 from repro.fabric.region import PartialRegion
 from repro.modules.footprint import Footprint
@@ -24,20 +33,36 @@ from repro.modules.module import Module
 class _State:
     """Occupancy-tracking placement state shared by the greedy baselines."""
 
-    def __init__(self, region: PartialRegion, modules: Sequence[Module]) -> None:
+    def __init__(
+        self,
+        region: PartialRegion,
+        modules: Sequence[Module],
+        cache: Optional[AnchorMaskCache] = None,
+        seed: int = 0,
+        deadline: Optional[float] = None,
+    ) -> None:
         self.region = region
         self.modules = list(modules)
         self.H, self.W = region.height, region.width
         self.occupancy = np.zeros((self.H, self.W), dtype=bool)
-        compat = compatibility_masks(region)
-        #: static anchors per (module index, shape index)
-        self.static: List[List[np.ndarray]] = [
-            [
-                valid_anchor_mask(region, sorted(fp.cells), compat)
-                for fp in m.shapes
+        #: static anchors per (module index, shape index); served from the
+        #: shared cache when one is handed in (the masks are read-only
+        #: views then — ``anchors`` never mutates them)
+        if cache is not None:
+            key = cache.region_key(region)
+            self.static: List[List[np.ndarray]] = [
+                [cache.anchor_mask(region, fp, region_key=key) for fp in m.shapes]
+                for m in self.modules
             ]
-            for m in self.modules
-        ]
+        else:
+            compat = compatibility_masks(region)
+            self.static = [
+                [
+                    valid_anchor_mask(region, sorted(fp.cells), compat)
+                    for fp in m.shapes
+                ]
+                for m in self.modules
+            ]
         #: per (module, shape) cell offset arrays (dy, dx)
         self.offsets: List[List[np.ndarray]] = [
             [
@@ -47,6 +72,13 @@ class _State:
             for m in self.modules
         ]
         self.placements: List[Placement] = []
+        #: seeded RNG for stochastic placers (annealing); deterministic per
+        #: (placer seed) because it is drawn nowhere else
+        self.rng = random.Random(seed)
+        #: wall-clock deadline (``time.monotonic()`` scale) or None
+        self.deadline = deadline
+        #: placer-specific counters merged into ``PlacementResult.stats``
+        self.stats: Dict = {}
 
     # ------------------------------------------------------------------
     def anchors(self, mi: int, si: int) -> np.ndarray:
@@ -71,20 +103,48 @@ class _State:
         self.occupancy[y + off[:, 0], x + off[:, 1]] = True
         self.placements.append(Placement(self.modules[mi], si, x, y))
 
+    def reset(self) -> None:
+        """Clear occupancy and placements (decode loops re-place from zero)."""
+        self.occupancy[:] = False
+        self.placements = []
+
+    def out_of_budget(self) -> bool:
+        """True once the wall-clock deadline (if any) has passed."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
     def extent(self) -> int:
         return max((p.right for p in self.placements), default=0)
 
 
 class BasePlacer:
-    """Interface of every baseline placer."""
+    """Interface of every baseline placer.
+
+    Class-level ``seed`` / ``time_limit`` are the uniform knobs the backend
+    adapter overrides per request; placers with their own config objects
+    (annealing, slots) mirror the relevant fields onto these attributes in
+    their ``__init__``.
+    """
 
     name = "base"
+    #: RNG seed handed to the run state (stochastic placers draw from it)
+    seed: int = 0
+    #: optional wall-clock budget in seconds (None = unbounded)
+    time_limit: Optional[float] = None
 
     def place(
-        self, region: PartialRegion, modules: Sequence[Module]
+        self,
+        region: PartialRegion,
+        modules: Sequence[Module],
+        *,
+        cache: Optional[AnchorMaskCache] = None,
     ) -> PlacementResult:
         start = time.monotonic()
-        state = _State(region, modules)
+        deadline = (
+            start + self.time_limit if self.time_limit is not None else None
+        )
+        state = _State(
+            region, modules, cache=cache, seed=self.seed, deadline=deadline
+        )
         unplaced = self._run(state)
         return PlacementResult(
             region,
@@ -92,7 +152,7 @@ class BasePlacer:
             unplaced,
             status="feasible" if not unplaced else "partial",
             elapsed=time.monotonic() - start,
-            stats={"method": self.name},
+            stats={"method": self.name, **state.stats},
         )
 
     def _run(self, state: _State) -> List[Module]:

@@ -1,0 +1,340 @@
+"""The uniform placement-backend layer: protocol, registry, adapters.
+
+Three layers of coverage:
+
+* registry semantics (duplicate rejection, unknown-name errors, replace),
+* adapter parity — the registered backends must behave exactly like the
+  engines they wrap (greedy ≡ bottom-left, annealing seeding, runtime
+  chain and portfolio member configuration reproduce the defaults), and
+* the seeded cross-backend differential suite: every registered backend
+  placed on the same ~20-instance set must return placements that pass
+  ``PlacementResult.verify``, respect its wall-clock budget, and report
+  honest ``solved`` / ``proved_optimal`` flags.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backend import (
+    BackendCapabilities,
+    PlacementBackend,
+    PlacementRequest,
+    available_backends,
+    backend_capabilities,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.lns import LNSConfig
+from repro.core.portfolio import PortfolioConfig, PortfolioPlacer
+from repro.core.runtime import (
+    RuntimeConfig,
+    RuntimePlacementManager,
+    RuntimeRequest,
+    generate_workload,
+)
+from repro.fabric.cache import AnchorMaskCache
+from repro.fabric.devices import homogeneous_device, irregular_device
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+from repro.obs import RecordingTracer, profiling_session, validate_event
+from repro.placer import AnnealingConfig, AnnealingPlacer, BottomLeftPlacer
+
+EXPECTED_BACKENDS = {
+    "cp", "lns", "portfolio", "greedy", "bottom-left", "first-fit",
+    "best-fit", "kamer", "annealing", "1d-slots",
+}
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_default_fleet_registered(self):
+        assert EXPECTED_BACKENDS <= set(available_backends())
+
+    def test_duplicate_names_rejected_loudly(self):
+        register_backend("dup-probe", lambda config=None: PlacementBackend())
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(
+                    "dup-probe", lambda config=None: PlacementBackend()
+                )
+        finally:
+            unregister_backend("dup-probe")
+
+    def test_replace_is_the_explicit_escape_hatch(self):
+        class _A(PlacementBackend):
+            name = "swap-probe"
+
+        class _B(PlacementBackend):
+            name = "swap-probe"
+
+        register_backend("swap-probe", lambda config=None: _A())
+        try:
+            register_backend(
+                "swap-probe", lambda config=None: _B(), replace=True
+            )
+            assert isinstance(create_backend("swap-probe"), _B)
+        finally:
+            unregister_backend("swap-probe")
+
+    def test_unknown_name_lists_the_registry(self):
+        with pytest.raises(KeyError, match="cp"):
+            create_backend("definitely-not-a-backend")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("", lambda config=None: PlacementBackend())
+
+
+class TestCapabilities:
+    def test_objective_backends(self):
+        for name in ("cp", "lns", "portfolio", "best-fit", "annealing"):
+            assert backend_capabilities(name).supports_objective, name
+        for name in ("greedy", "bottom-left", "first-fit", "kamer", "1d-slots"):
+            assert not backend_capabilities(name).supports_objective, name
+
+    def test_runtime_chain_eligibility(self):
+        for name in ("portfolio", "1d-slots"):
+            assert not backend_capabilities(name).relocatable, name
+        for name in ("cp", "lns", "greedy", "kamer", "annealing"):
+            assert backend_capabilities(name).relocatable, name
+
+    def test_all_backends_claim_alternatives(self):
+        for name in available_backends():
+            assert backend_capabilities(name).supports_alternatives, name
+
+
+# ----------------------------------------------------------------------
+# Adapter parity with the wrapped engines
+# ----------------------------------------------------------------------
+def small_instance(seed: int = 3, n: int = 4):
+    region = PartialRegion.whole_device(irregular_device(32, 8, seed=seed))
+    cfg = GeneratorConfig(
+        clb_min=6, clb_max=14, bram_max=1, height_min=2, height_max=3
+    )
+    return region, ModuleGenerator(seed=seed, config=cfg).generate_set(n)
+
+
+class TestAdapterParity:
+    def test_greedy_alias_matches_bottom_left_placer(self):
+        region, modules = small_instance()
+        direct = BottomLeftPlacer().place(region, modules)
+        for name in ("greedy", "bottom-left"):
+            via = create_backend(name).place(PlacementRequest(region, modules))
+            assert via.placements == direct.placements, name
+            assert via.extent == direct.extent
+
+    def test_annealing_request_seed_matches_native_config(self):
+        region, modules = small_instance()
+        cfg = AnnealingConfig(time_limit=30.0, seed=9, max_evaluations=80)
+        direct = AnnealingPlacer(cfg).place(region, modules)
+        via = create_backend("annealing", cfg).place(
+            PlacementRequest(region, modules)
+        )
+        assert via.placements == direct.placements
+        assert via.stats["evaluations"] == direct.stats["evaluations"]
+        # a request seed overrides the config seed deterministically
+        a = create_backend(
+            "annealing", AnnealingConfig(time_limit=30.0, max_evaluations=80)
+        ).place(PlacementRequest(region, modules, seed=9))
+        assert a.placements == direct.placements
+
+    def test_annealing_result_verifies_through_shared_scaffolding(self):
+        region, modules = small_instance(seed=5, n=5)
+        res = create_backend(
+            "annealing", AnnealingConfig(time_limit=30.0, max_evaluations=60)
+        ).place(PlacementRequest(region, modules))
+        res.verify()
+        assert res.stats["method"] == "annealing"
+        assert res.stats["backend"] == "annealing"
+
+    def test_baseline_cache_reuse_is_visible(self):
+        region, modules = small_instance()
+        cache = AnchorMaskCache()
+        backend = create_backend("bottom-left")
+        backend.place(PlacementRequest(region, modules, cache=cache))
+        misses_after_first = cache.misses
+        assert misses_after_first > 0 and cache.hits == 0
+        backend.place(PlacementRequest(region, modules, cache=cache))
+        assert cache.misses == misses_after_first  # pure hits now
+        assert cache.hits >= misses_after_first
+
+
+class TestBackendObservability:
+    def test_start_result_event_pair(self):
+        region, modules = small_instance()
+        tracer = RecordingTracer()
+        create_backend("greedy").place(
+            PlacementRequest(region, modules, tracer=tracer)
+        )
+        (start,) = tracer.by_kind("backend.start")
+        (result,) = tracer.by_kind("backend.result")
+        assert start.data["backend"] == "greedy"
+        assert start.data["modules"] == len(modules)
+        assert result.data["status"] in ("feasible", "partial")
+        assert result.data["placed"] == len(modules)
+        for ev in tracer.events:
+            assert validate_event(ev.to_dict()) == []
+
+    def test_error_emits_result_event_and_reraises(self):
+        class _Boom(PlacementBackend):
+            name = "boom"
+
+            def _solve(self, request, tracer, profiling):
+                raise RuntimeError("engine down")
+
+        region, modules = small_instance()
+        tracer = RecordingTracer()
+        with pytest.raises(RuntimeError, match="engine down"):
+            _Boom().place(PlacementRequest(region, modules, tracer=tracer))
+        (result,) = tracer.by_kind("backend.result")
+        assert result.data["status"] == "error"
+        assert "engine down" in result.data["error"]
+        assert validate_event(result.to_dict()) == []
+
+    def test_profile_section_lands_in_session(self):
+        region, modules = small_instance()
+        with profiling_session("backends") as session:
+            res = create_backend("kamer").place(
+                PlacementRequest(region, modules)
+            )
+        profile = res.stats["profile"]
+        assert profile.meta["backend"] == "kamer"
+        assert session.merged().meta.get("backend") == "kamer"
+
+
+# ----------------------------------------------------------------------
+# Declarative orchestration wiring
+# ----------------------------------------------------------------------
+class TestRuntimeChainConfig:
+    def _workload(self):
+        return generate_workload(
+            16, seed=3, mean_lifetime=8,
+            generator_config=GeneratorConfig(
+                clb_min=4, clb_max=10, bram_max=0, height_min=2, height_max=2
+            ),
+        )
+
+    def test_default_chain_reproduces_probe_greedy(self):
+        region = PartialRegion.whole_device(homogeneous_device(10, 2))
+        by_probe = RuntimePlacementManager(
+            region, RuntimeConfig(probe="greedy")
+        ).run(self._workload())
+        by_chain = RuntimePlacementManager(
+            region, RuntimeConfig(chain=("greedy",))
+        ).run(self._workload())
+        assert [
+            (o.status, o.method, o.placement) for o in by_probe.outcomes
+        ] == [(o.status, o.method, o.placement) for o in by_chain.outcomes]
+
+    def test_custom_chain_method_labels_are_backend_names(self):
+        region = PartialRegion.whole_device(homogeneous_device(10, 2))
+        mgr = RuntimePlacementManager(
+            region, RuntimeConfig(chain=("first-fit",))
+        )
+        out = mgr.submit(
+            RuntimeRequest(
+                Module("m", [Footprint.rectangle(2, 2)]), arrival=1, lifetime=5
+            )
+        )
+        assert out.admitted and out.method == "first-fit"
+
+    def test_chain_validation(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            RuntimeConfig(chain=("not-a-backend",)).validate()
+        with pytest.raises(ValueError, match="not relocatable"):
+            RuntimeConfig(chain=("1d-slots",)).validate()
+        with pytest.raises(ValueError, match="at least one"):
+            RuntimeConfig(chain=()).validate()
+
+
+class TestPortfolioMembersConfig:
+    def test_members_validated_against_registry(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            PortfolioPlacer(PortfolioConfig(members=("nope",)))
+        with pytest.raises(ValueError, match="at least one"):
+            PortfolioPlacer(PortfolioConfig(members=()))
+
+    def test_heterogeneous_members_report_their_backends(self):
+        region, modules = small_instance()
+        res = PortfolioPlacer(
+            PortfolioConfig(
+                n_workers=1, time_limit=1.0, members=("bottom-left",)
+            )
+        ).place(region, modules)
+        assert res.stats["member_backends"] == ["bottom-left"]
+        assert res.all_placed
+        res.verify()
+
+
+# ----------------------------------------------------------------------
+# The seeded cross-backend differential suite
+# ----------------------------------------------------------------------
+BUDGET_S = 0.4
+#: wall-clock slack over the budget: process startup, one in-flight CP
+#: subsolve, CI jitter
+SLACK_S = 2.0
+
+
+def _differential_instances():
+    """~20 seeded instances: irregular and homogeneous fabrics."""
+    out = []
+    small = GeneratorConfig(
+        clb_min=4, clb_max=10, bram_max=1, height_min=2, height_max=3
+    )
+    clb_only = GeneratorConfig(
+        clb_min=4, clb_max=12, bram_max=0, height_min=2, height_max=3
+    )
+    for i in range(10):
+        region = PartialRegion.whole_device(irregular_device(24, 8, seed=i))
+        modules = ModuleGenerator(seed=100 + i, config=small).generate_set(3)
+        out.append(pytest.param(region, modules, id=f"irr{i}"))
+    for i in range(10):
+        region = PartialRegion.whole_device(homogeneous_device(16, 6))
+        modules = ModuleGenerator(seed=200 + i, config=clb_only).generate_set(3)
+        out.append(pytest.param(region, modules, id=f"hom{i}"))
+    return out
+
+
+#: structural config overrides keeping heavy backends test-sized
+_DIFF_CONFIGS = {
+    "lns": LNSConfig(time_limit=BUDGET_S, sub_time_limit=0.2, stall_limit=2),
+    "portfolio": PortfolioConfig(n_workers=1, time_limit=BUDGET_S),
+}
+
+_INSTANCES = _differential_instances()
+
+
+@pytest.mark.parametrize("backend_name", sorted(EXPECTED_BACKENDS))
+class TestCrossBackendDifferential:
+    @pytest.mark.parametrize("region,modules", _INSTANCES)
+    def test_verified_honest_and_budgeted(self, backend_name, region, modules):
+        backend = create_backend(backend_name, _DIFF_CONFIGS.get(backend_name))
+        res = backend.place(
+            PlacementRequest(
+                region, modules, seed=7, time_limit=BUDGET_S,
+                cache=AnchorMaskCache(),
+            )
+        )
+        # every placement a backend returns must satisfy M_a / M_b / M_c
+        res.verify()
+        assert res.status in (
+            "optimal", "feasible", "infeasible", "unknown", "partial"
+        )
+        # honest flags: solved means the whole instance is placed
+        assert len(res.placements) + len(res.unplaced) == len(modules)
+        if res.solved:
+            assert res.all_placed
+            assert len(res.placements) == len(modules)
+            assert res.extent is not None and res.extent > 0
+        if res.proved_optimal:
+            assert res.solved
+        # deadlines are respected (greedy baselines finish instantly;
+        # anytime engines must stop near the budget)
+        assert res.elapsed <= BUDGET_S + SLACK_S
+        assert res.stats.get("backend") == backend_name

@@ -185,7 +185,7 @@ class TestCrashInjection:
     """No exception escapes the manager's serving path."""
 
     def test_cp_probe_crash_falls_back_to_greedy(self, monkeypatch):
-        import repro.core.runtime as rt
+        import repro.core.backend.adapters as adapters
 
         class Boom:
             def __init__(self, *a, **kw):
@@ -194,7 +194,7 @@ class TestCrashInjection:
             def place(self, *a, **kw):
                 raise RuntimeError("injected solver crash")
 
-        monkeypatch.setattr(rt, "CPPlacer", Boom)
+        monkeypatch.setattr(adapters, "CPPlacer", Boom)
         mgr = RuntimePlacementManager(region_w(6), RuntimeConfig(probe="cp"))
         out = mgr.submit(req(rect("a", 2), 1))
         assert out.admitted and out.method == "greedy"
@@ -202,7 +202,7 @@ class TestCrashInjection:
         assert mgr.stats.probe_errors == 1
 
     def test_total_probe_failure_rejects_gracefully(self, monkeypatch):
-        import repro.core.runtime as rt
+        import repro.core.backend.adapters as adapters
 
         class Boom:
             def __init__(self, *a, **kw):
@@ -211,12 +211,12 @@ class TestCrashInjection:
             def place(self, *a, **kw):
                 raise RuntimeError("cp down")
 
-        def greedy_boom(self, module):
+        def greedy_boom(self, request, tracer, profiling):
             raise RuntimeError("mask kernel down")
 
-        monkeypatch.setattr(rt, "CPPlacer", Boom)
+        monkeypatch.setattr(adapters, "CPPlacer", Boom)
         monkeypatch.setattr(
-            rt.RuntimePlacementManager, "_greedy_probe", greedy_boom
+            adapters.BaselineBackend, "_solve", greedy_boom
         )
         mgr = RuntimePlacementManager(
             region_w(6), RuntimeConfig(probe="cp", queue_capacity=0)
