@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast bench bench-fast profile-smoke runtime-smoke backends-smoke
+.PHONY: test test-fast bench bench-fast bench-geost profile-smoke runtime-smoke backends-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -20,6 +20,11 @@ bench:
 ## quick benchmark loop: only the non-slow benches
 bench-fast:
 	$(PY) -m pytest benchmarks -q -m "not slow"
+
+## incremental geost propagation: pins the >= 2x re-propagation speedup
+## over wholesale re-filtering on the Table-I workload
+bench-geost:
+	$(PY) -m pytest benchmarks/test_bench_geost_incremental.py -q -s
 
 ## one instrumented solve; exports a profile JSON and validates it
 ## against the published schema — fails non-zero on any mismatch

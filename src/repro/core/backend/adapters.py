@@ -77,6 +77,8 @@ class CPBackend(PlacementBackend):
             updates["cache"] = request.cache
         if tracer is not None:
             updates["tracer"] = tracer
+        if request.incremental is not None:
+            updates["incremental"] = request.incremental
         if updates:
             cfg = dc_replace(cfg, **updates)
         return CPPlacer(cfg).place(request.region, list(request.modules))
@@ -110,6 +112,8 @@ class LNSBackend(PlacementBackend):
             updates["cache"] = request.cache
         if tracer is not None:
             updates["tracer"] = tracer
+        if request.incremental is not None:
+            updates["incremental"] = request.incremental
         if updates:
             cfg = dc_replace(cfg, **updates)
         return LNSPlacer(cfg).place(request.region, list(request.modules))
@@ -147,6 +151,8 @@ class PortfolioBackend(PlacementBackend):
             updates["profile"] = True
         if tracer is not None:
             updates["tracer"] = tracer
+        if request.incremental is not None:
+            updates["incremental"] = request.incremental
         if updates:
             cfg = dc_replace(cfg, **updates)
         return PortfolioPlacer(cfg).place(request.region, list(request.modules))

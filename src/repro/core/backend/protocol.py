@@ -73,6 +73,9 @@ class PlacementRequest:
     cache: Optional[AnchorMaskCache] = None
     #: event sink for ``backend.*`` (and engine-level) trace events
     tracer: Optional[Tracer] = None
+    #: incremental geost propagation override (None = backend default,
+    #: False = wholesale re-filtering — the differential oracle mode)
+    incremental: Optional[bool] = None
 
 
 class PlacementBackend:

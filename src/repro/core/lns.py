@@ -63,6 +63,9 @@ class LNSConfig:
     #: None = one private cache per ``place`` call (still warm across
     #: iterations).  Portfolio workers pass their per-process cache here.
     cache: Optional[AnchorMaskCache] = None
+    #: incremental geost propagation in every CP solve (initial, restart
+    #: rescue, and all subproblems); False = wholesale re-filtering
+    incremental: bool = True
 
 
 class LNSPlacer:
@@ -99,6 +102,7 @@ class LNSPlacer:
         initial_cfg = cfg.initial or PlacerConfig(
             time_limit=min(cfg.time_limit / 2, 5.0),
             first_solution_only=True,
+            incremental=cfg.incremental,
         )
         if cfg.profile or tracer is not None:
             initial_cfg = replace(
@@ -126,6 +130,7 @@ class LNSPlacer:
                 profile=cfg.profile,
                 tracer=tracer,
                 cache=self._cache,
+                incremental=cfg.incremental,
             )
             restarted = CPPlacer(restart_cfg).place(region, modules)
             self._absorb_profile(restarted)
@@ -247,7 +252,7 @@ class LNSPlacer:
         budget = min(cfg.sub_time_limit, max(0.1, deadline - time.monotonic()))
         sub_cfg = PlacerConfig(
             time_limit=budget, profile=cfg.profile, tracer=tracer,
-            cache=self._cache,
+            cache=self._cache, incremental=cfg.incremental,
         )
         free_modules = [placements[i].module for i in free_idx]
         placer = CPPlacer(sub_cfg)

@@ -51,6 +51,7 @@ class PlacementModel:
         tracer: Optional[Tracer] = None,
         profile: bool = False,
         cache: Optional[AnchorMaskCache] = None,
+        incremental: bool = True,
     ) -> None:
         if not modules:
             raise ValueError("nothing to place")
@@ -70,7 +71,8 @@ class PlacementModel:
             self.ss.append(m.int_var(0, mod.n_alternatives - 1, f"s[{i}]"))
 
         self.kernel = PlacementKernel(
-            region, self.modules, self.xs, self.ys, self.ss, cache=cache
+            region, self.modules, self.xs, self.ys, self.ss, cache=cache,
+            incremental=incremental,
         )
         #: anchor-mask cache increments of this construction (None = uncached)
         self.cache_stats = self.kernel.cache_stats

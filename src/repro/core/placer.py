@@ -63,6 +63,11 @@ class PlacerConfig:
     #: anchor-mask cache shared across model constructions (None = compute
     #: masks fresh); the LNS driver and portfolio workers thread one in
     cache: Optional[AnchorMaskCache] = None
+    #: incremental geost propagation (dirty-object maintenance + cached
+    #: anchor counts); False re-filters every module per wake-up — the
+    #: wholesale oracle, bit-identical by construction, kept for the
+    #: differential harness
+    incremental: bool = True
 
 
 class CPPlacer:
@@ -109,6 +114,7 @@ class CPPlacer:
                 tracer=cfg.tracer,
                 profile=profiling,
                 cache=cfg.cache,
+                incremental=cfg.incremental,
             )
             if max_extent is not None:
                 pm.objective_var.remove_above(max_extent)
@@ -208,6 +214,10 @@ class CPPlacer:
             profile.cache_hits = pm.cache_stats["hits"]
             profile.cache_misses = pm.cache_stats["misses"]
             profile.cache_narrowed = pm.cache_stats["narrowed"]
+        inc = pm.kernel.inc_stats
+        profile.geost_dirty = inc.dirty
+        profile.geost_reused = inc.reused
+        profile.geost_rasterized = inc.rasterized
         session = obs_context.current()
         if session is not None:
             session.record(profile)
@@ -285,6 +295,9 @@ def _kernel_fail_first(pm: PlacementModel):
     the kernel's live anchor masks — and branch its first unfixed variable
     in x, y, s order (fixing x lets the kernel collapse y and s).  Falls
     back to input order for auxiliary variables (objective coupling).
+    Ties break on anchor count, then area (hardest first), then module
+    index — all explicit key components, so the chosen branch never
+    depends on container iteration order.
     """
     kernel = pm.kernel
 
@@ -294,7 +307,11 @@ def _kernel_fail_first(pm: PlacementModel):
         for item in kernel.items:
             if item.placed or item.is_fixed():
                 continue
-            key = (kernel.anchor_count(item.index), -item.module.primary().area)
+            key = (
+                kernel.anchor_count(item.index),
+                -item.module.primary().area,
+                item.index,
+            )
             if best_key is None or key < best_key:
                 best_key, best_item = key, item
         if best_item is not None:

@@ -47,6 +47,7 @@ def _worker(
     seed: int,
     profile: bool = False,
     backend: str = "lns",
+    incremental: bool = True,
 ) -> _WorkerResult:
     """Solve one portfolio member; returns (seed, extent, placements, profile)."""
     # lazy import: the backend package imports this module for its adapter
@@ -66,6 +67,7 @@ def _worker(
             time_limit=time_limit,
             profile=profile,
             cache=cache,
+            incremental=incremental,
         )
     )
     profile_payload = None
@@ -104,6 +106,9 @@ class PortfolioConfig:
     #: event sink for ``portfolio.result`` events (parent process only —
     #: tracers do not cross into workers)
     tracer: Optional[Tracer] = None
+    #: incremental geost propagation inside every member's CP solves;
+    #: False = wholesale re-filtering (the differential oracle mode)
+    incremental: bool = True
 
 
 class PortfolioPlacer:
@@ -157,7 +162,8 @@ class PortfolioPlacer:
             try:
                 outcomes.append(
                     _worker(region_payload, module_payloads, cfg.time_limit,
-                            cfg.base_seed, cfg.profile, member_names[0])
+                            cfg.base_seed, cfg.profile, member_names[0],
+                            cfg.incremental)
                 )
             except Exception as exc:
                 record_crash(cfg.base_seed, exc)
@@ -172,6 +178,7 @@ class PortfolioPlacer:
                         cfg.base_seed + k,
                         cfg.profile,
                         member_names[k],
+                        cfg.incremental,
                     ): cfg.base_seed + k
                     for k in range(cfg.n_workers)
                 }

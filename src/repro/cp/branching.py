@@ -31,15 +31,20 @@ def input_order(variables: Sequence[IntVar]) -> Optional[IntVar]:
 
 
 def smallest_domain(variables: Sequence[IntVar]) -> Optional[IntVar]:
-    """Fail-first: the unfixed variable with the fewest remaining values."""
+    """Fail-first: the unfixed variable with the fewest remaining values.
+
+    Ties break on the position in ``variables`` — an explicit part of the
+    key, never left to container iteration order, so searches replay
+    identically across Python versions and variable-registry layouts.
+    """
     best: Optional[IntVar] = None
-    best_size = 0
-    for v in variables:
+    best_key: Optional[tuple] = None
+    for idx, v in enumerate(variables):
         if v.is_fixed():
             continue
-        s = v.size()
-        if best is None or s < best_size:
-            best, best_size = v, s
+        key = (v.size(), idx)
+        if best_key is None or key < best_key:
+            best, best_key = v, key
     return best
 
 

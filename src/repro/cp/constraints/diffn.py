@@ -49,6 +49,12 @@ class DiffN(Propagator):
     """No two rectangles overlap."""
 
     priority = Priority.QUADRATIC
+    #: one pass over the pairs is not a fixpoint: tightening rect j against
+    #: rect i can enable further tightening of an already-visited pair, so
+    #: the engine must re-run this propagator when it prunes its own
+    #: watched variables (the self-notification re-queue in
+    #: ``Engine.fixpoint``)
+    idempotent = False
 
     def __init__(self, rects: Sequence[Rect]) -> None:
         super().__init__("diffn")

@@ -141,9 +141,21 @@ class Engine:
                 cause=cause.name if cause is not None else None,
             )
         for prop, mask in var.watchers:
-            if prop is cause or not prop.active:
+            if not prop.active or not (event & mask):
                 continue
-            if (event & mask) and prop.on_event(var, event):
+            if prop is cause:
+                # The causing propagator is mid-`propagate` and its
+                # `_queued` flag is already cleared, so a plain `schedule`
+                # here would be redundant (the run is still going) while
+                # skipping entirely loses the wake-up for propagators that
+                # are not idempotent in one run.  `on_event` still fires so
+                # dirty-set maintenance sees self-caused changes; the
+                # engine re-queues the propagator after the run completes
+                # (see `fixpoint`) unless it declares itself idempotent.
+                if prop.on_event(var, event) and not prop.idempotent:
+                    prop._self_notified = True
+                continue
+            if prop.on_event(var, event):
                 self.schedule(prop)
         return True
 
@@ -173,10 +185,19 @@ class Engine:
                 if not prop.active:
                     continue
                 self.stats.propagations += 1
+                prop._self_notified = False
                 if plain:
                     prop.propagate(self)
                 else:
                     self._propagate_instrumented(prop)
+                if prop._self_notified:
+                    # the run pruned one of its own watched variables and
+                    # the propagator is not idempotent: without this
+                    # re-queue the wake-up would be lost and the engine
+                    # could report a false fixpoint (see the `prop is
+                    # cause` branch in `update_domain`)
+                    prop._self_notified = False
+                    self.schedule(prop)
         except Inconsistent:
             self._flush_queue()
             raise

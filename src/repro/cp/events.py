@@ -23,6 +23,15 @@ class Event(IntFlag):
     #: Convenience: wake on everything.
     ANY = DOMAIN | BOUNDS | FIX
 
+    #: What interval (bounds-consistency) propagators need: any change of
+    #: min/max, plus fixing.  Interior hole removals are invisible to a
+    #: filter that only reads ``min()``/``max()``, so subscribing with this
+    #: mask instead of :data:`ANY` skips those wake-ups soundly.  (With the
+    #: engine's ``classify``, a FIX from size >= 2 always moves a bound, so
+    #: INTERVAL and BOUNDS wake the same propagators; FIX is kept in the
+    #: mask for propagators that branch on it in ``on_event``.)
+    INTERVAL = BOUNDS | FIX
+
 
 def classify(old_min: int, old_max: int, old_size: int,
              new_min: int, new_max: int, new_size: int) -> Event:

@@ -36,9 +36,21 @@ class Propagator:
 
     priority: Priority = Priority.LINEAR
 
+    #: Declares that one ``propagate`` run always reaches this propagator's
+    #: own fixpoint, even w.r.t. domain changes it makes itself mid-run
+    #: (e.g. kernels that drain an internal dirty set).  The engine skips
+    #: the self-notification re-queue for idempotent propagators; for the
+    #: default (False) a propagator that modifies its own variables
+    #: mid-``propagate`` is queued again once the run completes, closing
+    #: the lost-wake-up window created by clearing ``_queued`` before the
+    #: run.  Only set True after verifying the single-run-fixpoint claim.
+    idempotent: bool = False
+
     def __init__(self, name: str = "") -> None:
         self.name = name or type(self).__name__
         self._queued = False  # engine bookkeeping: already in the queue?
+        #: engine bookkeeping: modified own watched vars mid-propagate?
+        self._self_notified = False
         self._active = True
 
     # ------------------------------------------------------------------

@@ -13,6 +13,30 @@ from __future__ import annotations
 from typing import Callable, List
 
 
+class Revision:
+    """Monotonic stamp for trail-aware cache invalidation.
+
+    Global constraints that cache derived state (anchor counts, forbidden
+    boxes) key each cache entry on the stamp current at computation time.
+    The owner calls :meth:`bump` on every tracked mutation *and from the
+    mutation's trail undo closure*, so the stamp never repeats a value:
+    a cache entry is valid iff its stamp equals :attr:`current`, and both
+    forward mutations and backtracking invalidate it.  This deliberately
+    sidesteps the ABA problem of comparing restored state for equality —
+    equality of stamps proves nothing ever changed.
+    """
+
+    __slots__ = ("current",)
+
+    def __init__(self) -> None:
+        self.current = 0
+
+    def bump(self) -> int:
+        """Invalidate all caches keyed on the previous stamp."""
+        self.current += 1
+        return self.current
+
+
 class Trail:
     """A stack of undo callbacks with level markers."""
 

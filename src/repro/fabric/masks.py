@@ -78,6 +78,19 @@ def valid_anchor_mask(
     return valid
 
 
+def count_anchors(valid: np.ndarray, col: np.ndarray, row: np.ndarray) -> int:
+    """Anchors of a (H, W) validity mask surviving the axis-domain masks.
+
+    Equivalent to ``(valid & row[:, None] & col[None, :]).sum()`` but
+    selects the surviving rows/columns first, so the intermediate scales
+    with the *domain* sizes rather than the fabric — the shape branching
+    heuristics call this for every module at every search node.
+    """
+    if not row.any() or not col.any():
+        return 0
+    return int(np.count_nonzero(valid[row][:, col]))
+
+
 def anchors_list(valid: np.ndarray) -> list[Tuple[int, int]]:
     """The (x, y) anchor coordinates of a validity mask, bottom-left order.
 

@@ -1,0 +1,180 @@
+"""NumPy occupancy bitboards: the geost raster fast path.
+
+Fixed material — resource-typed forbidden regions known at post time, and
+the footprints of objects whose placement has become fully fixed during
+search — never moves while it exists, yet the wholesale kernel re-derives
+one forbidden anchor box per (shifted box, obstacle) pair for it on every
+wake-up and scans those boxes point by point inside the sweep.  This module
+rasterizes such material *once* into k-dimensional boolean occupancy planes
+over the anchor-reachable window; a candidate sweep point is then tested by
+slicing the planes under the shape's shifted boxes — one vectorized mask
+intersection per shifted box — instead of per-box containment loops.
+
+Resource typing follows the paper's extension: ``planes[None]`` holds
+material that blocks every shifted box (fixed objects' footprints, untyped
+forbidden regions) while ``planes[rt]`` holds material that blocks only
+shifted boxes of resource ``rt``, so heterogeneous fabric rasterizes into
+one plane per resource type actually used.
+
+Everything outside the window counts as free.  That is sound because the
+window covers every cell any object can touch — per dimension it spans
+``[min(anchor_min + offset), max(anchor_max + offset + size))`` over the
+anchor bounds at construction time — and anchor bounds only shrink during
+search, so a probed cell ``p + offset`` never leaves the window.  Material
+clipped away (e.g. the sentinel walls far outside the fabric) can therefore
+never block a probed point, and the explicit-box path it came from would
+not have either.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cp.trail import Trail
+from repro.fabric.resource import ResourceType
+from repro.geost.boxes import Box, ShiftedBox
+from repro.geost.forbidden import ForbiddenRegion, anchor_forbidden_box
+from repro.geost.objects import GeostObject
+from repro.geost.sweep import RasterProbe
+
+
+def anchor_window(objects: Sequence[GeostObject]) -> Box:
+    """The box of cells reachable by any object under current anchor bounds."""
+    if not objects:
+        raise ValueError("anchor window needs at least one object")
+    k = objects[0].dim
+    lo = [None] * k
+    hi = [None] * k
+    for obj in objects:
+        amin, amax = obj.anchor_min(), obj.anchor_max()
+        for sid in obj.candidate_shapes():
+            for sbox in obj.shape(sid).boxes:
+                for d in range(k):
+                    cell_lo = amin[d] + sbox.offset[d]
+                    cell_hi = amax[d] + sbox.offset[d] + sbox.size[d]
+                    if lo[d] is None or cell_lo < lo[d]:
+                        lo[d] = cell_lo
+                    if hi[d] is None or cell_hi > hi[d]:
+                        hi[d] = cell_hi
+    return Box(tuple(lo), tuple(h - l for l, h in zip(lo, hi)))
+
+
+class OccupancyBitboard:
+    """k-dimensional boolean occupancy planes over a fixed window.
+
+    Static material is rasterized with :meth:`add_region`; search-time
+    material (fixed objects) is stamped with :meth:`imprint`, which trails
+    an undo restoring the exact previous cells so the board rolls back
+    with chronological backtracking.
+    """
+
+    __slots__ = ("window", "_origin", "_shape", "_planes")
+
+    def __init__(self, window: Box) -> None:
+        self.window = window
+        self._origin = window.origin
+        self._shape = window.size
+        #: occupancy per resource key; created lazily, ``None`` blocks all
+        self._planes: Dict[Optional[ResourceType], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def _plane(self, key: Optional[ResourceType]) -> np.ndarray:
+        plane = self._planes.get(key)
+        if plane is None:
+            plane = self._planes[key] = np.zeros(self._shape, dtype=bool)
+        return plane
+
+    def _slices(self, clipped: Box) -> Tuple[slice, ...]:
+        return tuple(
+            slice(o - w, o - w + s)
+            for o, s, w in zip(clipped.origin, clipped.size, self._origin)
+        )
+
+    # ------------------------------------------------------------------
+    def add_region(self, region: ForbiddenRegion) -> None:
+        """Rasterize a static forbidden region (clipped to the window)."""
+        clipped = region.box.intersection(self.window)
+        if clipped is None:
+            return
+        self._plane(region.resource)[self._slices(clipped)] = True
+
+    def imprint(self, boxes: Sequence[Box], trail: Optional[Trail] = None) -> None:
+        """Stamp all-blocking material; trail an undo when ``trail`` given."""
+        plane = self._plane(None)
+        for box in boxes:
+            clipped = box.intersection(self.window)
+            if clipped is None:
+                continue
+            idx = self._slices(clipped)
+            if trail is not None:
+                prev = plane[idx].copy()
+                trail.push(
+                    lambda plane=plane, idx=idx, prev=prev: plane.__setitem__(
+                        idx, prev
+                    )
+                )
+            plane[idx] = True
+
+    # ------------------------------------------------------------------
+    def blocking_cell(
+        self, sbox: ShiftedBox, anchor: Tuple[int, ...]
+    ) -> Optional[Tuple[int, ...]]:
+        """An occupied cell under ``sbox`` placed at ``anchor``, or ``None``.
+
+        Tests ``planes[None] | planes[sbox.resource]`` under the absolute
+        box — the rasterized equivalent of the explicit-box containment
+        test, since a cell blocks the shifted box iff it is all-blocking or
+        resource-matching (:meth:`ForbiddenRegion.blocks`).
+        """
+        lo = tuple(a + f for a, f in zip(anchor, sbox.offset))
+        clo = tuple(max(l, w) for l, w in zip(lo, self._origin))
+        chi = tuple(
+            min(l + s, w + t)
+            for l, s, w, t in zip(lo, sbox.size, self._origin, self._shape)
+        )
+        if any(a >= b for a, b in zip(clo, chi)):
+            return None
+        idx = tuple(
+            slice(a - w, b - w) for a, b, w in zip(clo, chi, self._origin)
+        )
+        combined: Optional[np.ndarray] = None
+        keys: Tuple[Optional[ResourceType], ...] = (
+            (None,) if sbox.resource is None else (None, sbox.resource)
+        )
+        for key in keys:
+            plane = self._planes.get(key)
+            if plane is None:
+                continue
+            sub = plane[idx]
+            combined = sub if combined is None else (combined | sub)
+        if combined is None or not combined.any():
+            return None
+        local = np.unravel_index(int(np.argmax(combined)), combined.shape)
+        return tuple(int(i) + a for i, a in zip(local, clo))
+
+    def probe_for_shape(self, sboxes: Sequence[ShiftedBox]) -> RasterProbe:
+        """A sweep raster probe testing one shape's boxes against the board.
+
+        A hit is converted back into a forbidden *anchor* box by treating
+        the blocking cell as a unit obstacle — the box of all anchors at
+        which the shifted box would cover that cell — so the sweep can jump
+        past it exactly as it does for explicit forbidden boxes.
+        """
+        k = len(self._origin)
+        unit = (1,) * k
+
+        def probe(p: Tuple[int, ...]) -> Optional[Box]:
+            for sbox in sboxes:
+                cell = self.blocking_cell(sbox, p)
+                if cell is not None:
+                    return anchor_forbidden_box(sbox, Box(cell, unit))
+            return None
+
+        return probe
+
+    # ------------------------------------------------------------------
+    def occupied_count(self) -> int:
+        """Total occupied cells across planes (tests / debugging)."""
+        return sum(int(p.sum()) for p in self._planes.values())

@@ -64,6 +64,18 @@ class Box:
     def translated(self, delta: Tuple[int, ...]) -> "Box":
         return Box(tuple(o + d for o, d in zip(self.origin, delta)), self.size)
 
+    def reflected(self) -> "Box":
+        """Reflection through the origin: the cells ``{-c | c in box}``.
+
+        ``[o, o + s)`` maps to ``[-(o + s - 1), -o + 1)``, same size.  Used
+        by the sweep to reduce ``sweep_max`` to ``sweep_min``; reflection is
+        an involution (``b.reflected().reflected() == b``).
+        """
+        return Box(
+            tuple(-(o + s - 1) for o, s in zip(self.origin, self.size)),
+            self.size,
+        )
+
     def points(self) -> Iterator[Tuple[int, ...]]:
         """Iterate lattice points (tests / tiny boxes only)."""
         def rec(prefix: Tuple[int, ...], d: int) -> Iterator[Tuple[int, ...]]:

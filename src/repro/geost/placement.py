@@ -37,13 +37,19 @@ import numpy as np
 from repro.cp.domain import Domain
 from repro.cp.engine import Engine, Inconsistent
 from repro.cp.propagator import Priority, Propagator
+from repro.cp.trail import Revision
 from repro.cp.variable import IntVar
 from repro.fabric.cache import AnchorMaskCache
-from repro.fabric.masks import compatibility_masks, valid_anchor_mask
+from repro.fabric.masks import (
+    compatibility_masks,
+    count_anchors,
+    valid_anchor_mask,
+)
 from repro.fabric.region import NarrowedRegion, PartialRegion
+from repro.geost.incremental import IncStats
 from repro.modules.footprint import Footprint
 from repro.modules.module import Module
-from repro.obs.trace import KERNEL_IMPRINT
+from repro.obs.trace import GEOST_INCREMENTAL, KERNEL_IMPRINT
 
 
 @dataclass(frozen=True)
@@ -90,9 +96,24 @@ class _Item:
 
 
 class PlacementKernel(Propagator):
-    """Global placement constraint over a heterogeneous partial region."""
+    """Global placement constraint over a heterogeneous partial region.
+
+    ``incremental=True`` (default) re-filters only the modules whose
+    variables changed since the last fixpoint (the dirty set fed by
+    :meth:`on_event`) and serves :meth:`anchor_count` from a cache keyed on
+    a :class:`~repro.cp.trail.Revision` stamp that mask-bank mutations and
+    their trail undos both bump.  ``incremental=False`` re-filters every
+    module on each wake-up — the wholesale oracle the differential suite
+    pins against; both modes reach the same fixpoint (the per-module
+    filters are monotone, so chaotic iteration is confluent) and hence
+    produce bit-identical search trees.
+    """
 
     priority = Priority.EXPENSIVE
+    #: one run drains the dirty set to this propagator's own fixpoint;
+    #: self-caused events land in the dirty set via on_event and are
+    #: consumed by the same run, so the engine need not re-queue it
+    idempotent = True
 
     def __init__(
         self,
@@ -102,6 +123,7 @@ class PlacementKernel(Propagator):
         ys: Sequence[IntVar],
         ss: Sequence[IntVar],
         cache: Optional[AnchorMaskCache] = None,
+        incremental: bool = True,
     ) -> None:
         super().__init__("placement-kernel")
         if not (len(modules) == len(xs) == len(ys) == len(ss)):
@@ -110,6 +132,12 @@ class PlacementKernel(Propagator):
             raise ValueError("at least one module is required")
         self.region = region
         self.H, self.W = region.height, region.width
+        self.incremental = incremental
+        self.inc_stats = IncStats()
+        #: bumped on every mask-bank mutation and from its trail undo —
+        #: keys the anchor-count cache
+        self._rev = Revision()
+        self._count_cache: Dict[int, Tuple] = {}
         self.items = [
             _Item(i, m, x, y, s)
             for i, (m, x, y, s) in enumerate(zip(modules, xs, ys, ss))
@@ -119,8 +147,8 @@ class PlacementKernel(Propagator):
         # (the incremental LNS path); a cache alone memoizes per (region,
         # footprint); no cache recomputes the cross-correlation every time
         snap = cache.snapshot() if cache is not None else None
-        incremental = cache is not None and isinstance(region, NarrowedRegion)
-        if incremental:
+        narrowed = cache is not None and isinstance(region, NarrowedRegion)
+        if narrowed:
             base_key = cache.region_key(region.base)
             mask_of = lambda fp: cache.anchor_mask(  # noqa: E731
                 region.base, fp, region_key=base_key
@@ -165,7 +193,7 @@ class PlacementKernel(Propagator):
         self._all_owners = np.concatenate(owner_chunks)      # (TOT,)
         #: offsets of still-unplaced items; placed items need no narrowing
         self._active_offsets = np.ones(len(self._all_owners), dtype=bool)
-        if incremental:
+        if narrowed:
             # derive the sub-region masks from the base-region masks: an
             # anchor is newly invalid iff some footprint cell lands on a
             # blocked (frozen) cell.  The collide map is the OR-dual of the
@@ -293,12 +321,18 @@ class PlacementKernel(Propagator):
     def propagate(self, engine: Engine) -> None:
         # process only dirty items; imprinting re-dirties the rest.  The
         # dirty set is conservative across backtracking (stale entries just
-        # cause a redundant re-filter, never unsoundness).
+        # cause a redundant re-filter, never unsoundness).  Wholesale mode
+        # dirties everything up front — the re-filter-the-world behavior
+        # kept as the differential oracle.
+        if not self.incremental:
+            self._dirty.update(range(len(self.items)))
         while self._dirty:
-            idx = self._dirty.pop()
+            idx = min(self._dirty)  # deterministic processing order
+            self._dirty.discard(idx)
             item = self.items[idx]
             if item.placed:
                 continue
+            self.inc_stats.dirty += 1
             if item.is_fixed():
                 self._imprint(engine, item)
             else:
@@ -314,6 +348,9 @@ class PlacementKernel(Propagator):
                 f"placement-kernel: area demand {demand} exceeds "
                 f"capacity {self._capacity}"
             )
+        tr = engine.tracer
+        if tr is not None and tr.fine:
+            tr.emit(GEOST_INCREMENTAL, **self.inc_stats.as_dict())
 
     def _imprint(self, engine: Engine, item: _Item) -> None:
         """Commit a fixed module: occupy cells, narrow other modules' masks."""
@@ -333,6 +370,7 @@ class PlacementKernel(Propagator):
             )
         self.occupancy[idx] = True
         item.placed = True
+        self.inc_stats.rasterized += 1
         if engine.tracer is not None:
             engine.tracer.emit(
                 KERNEL_IMPRINT, module=item.module.name, shape=sid, x=x0, y=y0
@@ -365,9 +403,12 @@ class PlacementKernel(Propagator):
         flat_hit = flat[was_valid]
         if rows_hit.size:
             bank[rows_hit, flat_hit] = False
+            self._rev.bump()
+            rev = self._rev
 
             def undo_mask(rows_hit=rows_hit, flat_hit=flat_hit) -> None:
                 bank[rows_hit, flat_hit] = True
+                rev.bump()
 
             engine.trail.push(undo_mask)
 
@@ -393,10 +434,10 @@ class PlacementKernel(Propagator):
         changed |= item.y.set_domain(
             item.y.domain.intersect(rows), cause=self
         )
-        # our own updates do not re-trigger on_event; if the pruning just
-        # collapsed the item to a full placement it must still be imprinted
-        if item.is_fixed():
-            self._dirty.add(item.index)
+        # our own updates re-enter the dirty set through on_event (the
+        # engine notifies self-caused events precisely so dirty-set
+        # propagators see their own prunings), so a collapse to a full
+        # placement is picked up by the same run and imprinted
         return changed
 
     # ------------------------------------------------------------------
@@ -420,10 +461,38 @@ class PlacementKernel(Propagator):
         return out
 
     def anchor_count(self, index: int) -> int:
+        """Feasible anchors over all candidate shapes of one module.
+
+        The fail-first branching heuristic asks this for every unfixed
+        module at every node; in incremental mode the answer is cached and
+        served as long as the mask bank (revision stamp) and all three
+        domains (identity — Domains are immutable and restored by
+        reference on backtrack, so holding them pins their ids) are the
+        ones the entry was computed from.
+        """
         item = self.items[index]
-        return sum(
-            int(self._shape_allowed(item, sid).sum()) for sid in item.s.domain
+        xd, yd, sd = item.x.domain, item.y.domain, item.s.domain
+        if self.incremental:
+            entry = self._count_cache.get(index)
+            if (
+                entry is not None
+                and entry[0] == self._rev.current
+                and entry[1] is xd
+                and entry[2] is yd
+                and entry[3] is sd
+            ):
+                self.inc_stats.reused += 1
+                return entry[4]
+        col, row = self._axis_masks(item)
+        count = sum(
+            count_anchors(
+                self.valid[item.index][sid].reshape(self.H, self.W), col, row
+            )
+            for sid in sd
         )
+        if self.incremental:
+            self._count_cache[index] = (self._rev.current, xd, yd, sd, count)
+        return count
 
     def occupied_mask(self) -> np.ndarray:
         return self.occupancy.reshape(self.H, self.W).copy()

@@ -9,31 +9,112 @@ it; the intersection of those boxes is a region that is infeasible for
 *all* shapes, so the sweep jumps past it (odometer-style) instead of
 stepping by one.  This is the essence of Beldiceanu et al.'s k-dimensional
 sweep, specialized to interval (bounds) domains.
+
+Two refinements over the textbook version:
+
+* Among the forbidden boxes covering the sweep point, each shape reports
+  the one with *maximal* ``end`` along the sweep's least-significant axis
+  (not the first hit), so the covering intersection — and hence the
+  odometer jump — is as wide as possible.  The choice never changes the
+  sweep's result, only how many points it inspects: any covering box is a
+  sound jump, and the returned point is the exact lexicographic extremum
+  either way.
+* A shape's forbidden space may be backed partly by a rasterized
+  :class:`~repro.geost.bitboard.OccupancyBitboard` (fixed material tested
+  by mask intersection) instead of explicit boxes; :class:`ShapeView`
+  folds both sources behind one ``covering_box`` query.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.geost.boxes import Box
 
 #: inclusive per-dimension bounds of the anchor search space
 Bounds = Sequence[Tuple[int, int]]
 
+#: raster fast-path probe: maps an anchor point to a covering forbidden box
+#: derived from rasterized occupancy, or ``None`` when the rasterized
+#: material does not forbid the point
+RasterProbe = Callable[[Tuple[int, ...]], Optional[Box]]
+
+
+@dataclass
+class SweepStats:
+    """Sweep-point accounting, shared across calls (tests / benchmarks)."""
+
+    #: points inspected (one covering-intersection query each)
+    iterations: int = 0
+
+
+class ShapeView:
+    """The forbidden anchor space of one candidate shape.
+
+    A point is infeasible for the shape iff it lies in one of the explicit
+    forbidden ``boxes`` *or* the optional ``raster`` probe reports a hit.
+    :meth:`covering_box` returns a forbidden box containing the query
+    point — preferring maximal ``end`` along ``jump_dim`` — or ``None``
+    when the point is feasible for this shape.
+
+    The raster probe always speaks *original* (unreflected) anchor space;
+    :meth:`reflected` views reflect the query point before probing and the
+    returned box after, so :func:`sweep_max` can reuse the probe unchanged.
+    """
+
+    __slots__ = ("boxes", "raster", "_reflect")
+
+    def __init__(
+        self,
+        boxes: Sequence[Box],
+        raster: Optional[RasterProbe] = None,
+        _reflect: bool = False,
+    ) -> None:
+        self.boxes = list(boxes)
+        self.raster = raster
+        self._reflect = _reflect
+
+    def reflected(self) -> "ShapeView":
+        """This forbidden space reflected through the origin."""
+        return ShapeView(
+            [b.reflected() for b in self.boxes], self.raster, not self._reflect
+        )
+
+    def covering_box(self, p: Tuple[int, ...], jump_dim: int) -> Optional[Box]:
+        best: Optional[Box] = None
+        for b in self.boxes:
+            if b.contains_point(p) and (
+                best is None or b.end[jump_dim] > best.end[jump_dim]
+            ):
+                best = b
+        if self.raster is not None:
+            hit = self.raster(tuple(-x for x in p) if self._reflect else p)
+            if hit is not None:
+                if self._reflect:
+                    hit = hit.reflected()
+                if best is None or hit.end[jump_dim] > best.end[jump_dim]:
+                    best = hit
+        return best
+
+
+#: what the sweep accepts per shape: bare forbidden boxes or a full view
+ShapeInput = Union[Sequence[Box], ShapeView]
+
+
+def _as_views(per_shape: Sequence[ShapeInput]) -> List[ShapeView]:
+    return [s if isinstance(s, ShapeView) else ShapeView(s) for s in per_shape]
+
 
 def _covering_intersection(
-    p: Tuple[int, ...], per_shape_boxes: Sequence[Sequence[Box]]
+    p: Tuple[int, ...], views: Sequence[ShapeView], jump_dim: int
 ) -> Optional[Box]:
     """If ``p`` is infeasible for every shape, a box around ``p`` that is
     infeasible for every shape; ``None`` if ``p`` is feasible for some shape.
     """
     cover: Optional[Box] = None
-    for boxes in per_shape_boxes:
-        found = None
-        for b in boxes:
-            if b.contains_point(p):
-                found = b
-                break
+    for view in views:
+        found = view.covering_box(p, jump_dim)
         if found is None:
             return None  # p feasible for this shape
         cover = found if cover is None else cover.intersection(found)
@@ -43,8 +124,9 @@ def _covering_intersection(
 
 def sweep_min(
     bounds: Bounds,
-    per_shape_boxes: Sequence[Sequence[Box]],
+    per_shape_boxes: Sequence[ShapeInput],
     dim: int,
+    stats: Optional[SweepStats] = None,
 ) -> Optional[Tuple[int, ...]]:
     """Smallest feasible point with ``dim`` as the most significant axis.
 
@@ -55,12 +137,16 @@ def sweep_min(
     k = len(bounds)
     if not per_shape_boxes:
         raise ValueError("at least one candidate shape is required")
+    views = _as_views(per_shape_boxes)
     order = [dim] + [d for d in range(k) if d != dim]  # most significant first
+    jump_dim = order[-1]
     p = [lo for lo, _ in bounds]
     if any(lo > hi for lo, hi in bounds):
         return None
     while True:
-        cover = _covering_intersection(tuple(p), per_shape_boxes)
+        if stats is not None:
+            stats.iterations += 1
+        cover = _covering_intersection(tuple(p), views, jump_dim)
         if cover is None:
             return tuple(p)
         # jump past the covering region along the least significant axis,
@@ -85,34 +171,25 @@ def sweep_min(
 
 def sweep_max(
     bounds: Bounds,
-    per_shape_boxes: Sequence[Sequence[Box]],
+    per_shape_boxes: Sequence[ShapeInput],
     dim: int,
+    stats: Optional[SweepStats] = None,
 ) -> Optional[Tuple[int, ...]]:
     """Mirror of :func:`sweep_min`: largest feasible point on axis ``dim``.
 
     Implemented by reflecting the search space through the origin and
-    reusing :func:`sweep_min` — reflection maps box ``[o, o+s)`` to
-    ``[-o-s+1, -o+1)`` i.e. origin ``-(o+s-1)``, same size.
+    reusing :func:`sweep_min` (see :meth:`Box.reflected`).
     """
     refl_bounds = [(-hi, -lo) for lo, hi in bounds]
-    refl_shapes = [
-        [
-            Box(
-                tuple(-(o + s - 1) for o, s in zip(b.origin, b.size)),
-                b.size,
-            )
-            for b in boxes
-        ]
-        for boxes in per_shape_boxes
-    ]
-    p = sweep_min(refl_bounds, refl_shapes, dim)
+    refl_views = [v.reflected() for v in _as_views(per_shape_boxes)]
+    p = sweep_min(refl_bounds, refl_views, dim, stats)
     if p is None:
         return None
     return tuple(-v for v in p)
 
 
 def point_feasible(
-    p: Tuple[int, ...], per_shape_boxes: Sequence[Sequence[Box]]
+    p: Tuple[int, ...], per_shape_boxes: Sequence[ShapeInput]
 ) -> bool:
     """Is ``p`` outside the forbidden boxes of at least one shape?"""
-    return _covering_intersection(p, per_shape_boxes) is None
+    return _covering_intersection(p, _as_views(per_shape_boxes), 0) is None

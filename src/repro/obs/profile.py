@@ -84,6 +84,12 @@ class SolveProfile:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_narrowed: int = 0
+    # incremental-geost counters (0 when the kernel ran wholesale):
+    # dirty objects filtered / cached results reused / objects rasterized
+    # onto the occupancy bitboard
+    geost_dirty: int = 0
+    geost_reused: int = 0
+    geost_rasterized: int = 0
     #: per-propagator breakdown, keyed by propagator name
     propagators: Dict[str, PropagatorProfile] = field(default_factory=dict)
     #: free-form context: instance name, seed, placer config, ...
@@ -147,6 +153,9 @@ class SolveProfile:
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
             cache_narrowed=self.cache_narrowed + other.cache_narrowed,
+            geost_dirty=self.geost_dirty + other.geost_dirty,
+            geost_reused=self.geost_reused + other.geost_reused,
+            geost_rasterized=self.geost_rasterized + other.geost_rasterized,
             propagators=props,
             meta=meta,
         )
@@ -165,6 +174,9 @@ class SolveProfile:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_narrowed": self.cache_narrowed,
+            "geost_dirty": self.geost_dirty,
+            "geost_reused": self.geost_reused,
+            "geost_rasterized": self.geost_rasterized,
         }
 
     # ------------------------------------------------------------------
@@ -205,6 +217,9 @@ class SolveProfile:
             cache_hits=d.get("cache_hits", 0),
             cache_misses=d.get("cache_misses", 0),
             cache_narrowed=d.get("cache_narrowed", 0),
+            geost_dirty=d.get("geost_dirty", 0),
+            geost_reused=d.get("geost_reused", 0),
+            geost_rasterized=d.get("geost_rasterized", 0),
             propagators={p.name: p for p in props},
             meta=dict(d.get("meta", {})),
         )
@@ -250,6 +265,11 @@ def profile_report(profile: SolveProfile) -> str:
         head.append(
             f"anchor-mask cache: hits={p.cache_hits} "
             f"misses={p.cache_misses} narrowed={p.cache_narrowed}"
+        )
+    if p.geost_dirty or p.geost_reused or p.geost_rasterized:
+        head.append(
+            f"incremental geost: dirty={p.geost_dirty} "
+            f"reused={p.geost_reused} rasterized={p.geost_rasterized}"
         )
     if p.meta:
         head.append(

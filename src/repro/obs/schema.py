@@ -30,6 +30,9 @@ PROFILE_SCHEMA: Dict[str, type] = {
     "propagations": int,
     "domain_updates": int,
     "failures": int,
+    "geost_dirty": int,
+    "geost_reused": int,
+    "geost_rasterized": int,
     "elapsed": float,
     "stop_reason": str,
     "propagators": list,
@@ -56,6 +59,7 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "engine.propagate": ["propagator", "prunes"],
     "engine.domain": ["var", "size", "cause"],
     "geost.shape_removed": ["object", "shape"],
+    "geost.incremental": ["dirty", "reused", "rasterized"],
     "kernel.imprint": ["module", "shape", "x", "y"],
     "lns.neighborhood": ["iteration", "free", "frontier"],
     "lns.improved": ["iteration", "extent"],
@@ -107,6 +111,7 @@ def validate_profile(doc: Dict[str, Any]) -> List[str]:
         "nodes", "backtracks", "solutions", "max_depth", "restarts",
         "propagations", "domain_updates", "failures",
         "cache_hits", "cache_misses", "cache_narrowed",
+        "geost_dirty", "geost_reused", "geost_rasterized",
     ):
         value = doc.get(key)
         if isinstance(value, int) and not isinstance(value, bool) and value < 0:

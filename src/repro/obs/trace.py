@@ -51,6 +51,9 @@ RUNTIME_DEPART = "runtime.depart"
 # Event kinds (fine — gated on Tracer.fine)
 PROPAGATE = "engine.propagate"
 DOMAIN_UPDATE = "engine.domain"
+#: incremental-geost accounting of one propagator run (dirty objects
+#: filtered, cached forbidden-box lists reused, objects rasterized)
+GEOST_INCREMENTAL = "geost.incremental"
 
 
 @dataclass(frozen=True)

@@ -156,16 +156,17 @@ class TestPortfolio:
 # ----------------------------------------------------------------------
 
 def _crashing_worker(region_payload, module_payloads, time_limit, seed,
-                     profile=False, backend="lns"):
+                     profile=False, backend="lns", incremental=True):
     raise RuntimeError(f"boom-{seed}")
 
 
 def _odd_seed_crashing_worker(region_payload, module_payloads, time_limit,
-                              seed, profile=False, backend="lns"):
+                              seed, profile=False, backend="lns",
+                              incremental=True):
     if seed % 2 == 1:
         raise RuntimeError(f"boom-{seed}")
     return _worker(region_payload, module_payloads, time_limit, seed, profile,
-                   backend)
+                   backend, incremental)
 
 
 needs_fork = pytest.mark.skipif(

@@ -188,6 +188,27 @@ class TestDiffN:
         with pytest.raises(ValueError):
             Rect(m.int_var(0, 1), m.int_var(0, 1), 0, 2)
 
+    def test_self_notification_reaches_own_fixpoint(self):
+        # Lost-wake-up regression: one pairwise pass is not a fixpoint.
+        # Pairs run in order (0,1), (0,2), (1,2); here the *last* pair
+        # pushes r2 right (r1 at x=1 forces r2.min 2 -> 3), which only
+        # then lets the *earlier* pair (0,2) push r0 right (r2 left of r0
+        # forces r0.min 4 -> 5).  Without the engine re-queuing a
+        # propagator that pruned its own watched variables, fixpoint()
+        # would return with r0.min still at 4.
+        m = Model()
+        r0 = Rect(m.int_var(4, 9, "x0"), m.int_var(0, 0, "y0"), 2, 2)
+        r1 = Rect(m.int_var(1, 1, "x1"), m.int_var(0, 0, "y1"), 2, 2)
+        r2 = Rect(m.int_var(2, 4, "x2"), m.int_var(0, 0, "y2"), 2, 2)
+        prop = m.add_diffn([r0, r1, r2])
+        assert r2.x.min() == 3
+        assert r0.x.min() == 5
+        # and the engine's fixpoint really is DiffN's own fixpoint: one
+        # more manual run changes nothing
+        before = m.engine.stats.domain_updates
+        prop.propagate(m.engine)
+        assert m.engine.stats.domain_updates == before
+
     @given(
         st.lists(
             st.tuples(st.integers(1, 2), st.integers(1, 2)),

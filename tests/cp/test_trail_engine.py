@@ -131,7 +131,10 @@ class TestEngine:
         assert bounds_watcher.runs == 1
         assert any_watcher.runs == 2
 
-    def test_cause_not_rescheduled(self):
+    def test_self_modifier_requeued_until_quiescent(self):
+        # a non-idempotent propagator that prunes its own watched variable
+        # must be re-run (the lost-wake-up fix); the second run changes
+        # nothing, so it settles after exactly two runs
         e = Engine()
         v = e.new_var(0, 9)
 
@@ -146,9 +149,34 @@ class TestEngine:
 
             def propagate(self, engine):
                 self.runs += 1
-                v.remove_above(8, cause=self)  # must not re-wake itself
+                v.remove_above(8, cause=self)  # no-op from the 2nd run on
 
         p = SelfModifier()
+        e.post(p)
+        assert p.runs == 2
+
+    def test_idempotent_self_modifier_not_rescheduled(self):
+        # declaring ``idempotent = True`` restores the single-run behavior:
+        # one run reaches the propagator's own fixpoint by contract
+        e = Engine()
+        v = e.new_var(0, 9)
+
+        class IdempotentSelfModifier(Propagator):
+            idempotent = True
+
+            def __init__(self):
+                super().__init__()
+                self.runs = 0
+
+            def post(self, engine):
+                v.watch(self, Event.ANY)
+                engine.schedule(self)
+
+            def propagate(self, engine):
+                self.runs += 1
+                v.remove_above(8, cause=self)
+
+        p = IdempotentSelfModifier()
         e.post(p)
         assert p.runs == 1
 

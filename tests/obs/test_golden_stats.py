@@ -30,13 +30,14 @@ from repro.obs import SolveProfile
 COUNT_KEYS = (
     "nodes", "backtracks", "solutions", "max_depth",
     "restarts", "propagations", "domain_updates", "failures",
+    "geost_dirty", "geost_reused", "geost_rasterized",
 )
 
 #: instance name -> pinned counter vector, ordered as COUNT_KEYS
 GOLDEN = {
-    "homogeneous-corridor": (36, 36, 2, 6, 0, 116, 192, 22),
-    "irregular-bram": (25, 25, 1, 6, 0, 20, 45, 19),
-    "generated-16x8": (60, 60, 1, 11, 0, 47, 107, 49),
+    "homogeneous-corridor": (36, 36, 2, 6, 0, 180, 189, 22, 51, 2, 13),
+    "irregular-bram": (25, 25, 1, 6, 0, 28, 45, 19, 16, 3, 3),
+    "generated-16x8": (60, 60, 1, 11, 0, 69, 108, 49, 28, 9, 4),
 }
 
 

@@ -48,7 +48,12 @@ from repro.modules.module import Module
 SolutionSet = Set[Tuple[Tuple[int, int, int], ...]]
 
 
-def build_kernel(m: Model, region: PartialRegion, modules: Sequence[Module]):
+def build_kernel(
+    m: Model,
+    region: PartialRegion,
+    modules: Sequence[Module],
+    incremental: bool = True,
+):
     """Post a PlacementKernel over fresh x/y/s variables; returns all four."""
     xs = [m.int_var(0, region.width - 1, f"x{i}") for i in range(len(modules))]
     ys = [m.int_var(0, region.height - 1, f"y{i}") for i in range(len(modules))]
@@ -56,7 +61,8 @@ def build_kernel(m: Model, region: PartialRegion, modules: Sequence[Module]):
         m.int_var(0, mod.n_alternatives - 1, f"s{i}")
         for i, mod in enumerate(modules)
     ]
-    kernel = PlacementKernel(region, modules, xs, ys, ss)
+    kernel = PlacementKernel(region, modules, xs, ys, ss,
+                             incremental=incremental)
     m.post(kernel)
     return kernel, xs, ys, ss
 
