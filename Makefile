@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast bench bench-fast bench-geost profile-smoke runtime-smoke backends-smoke
+.PHONY: test test-fast test-oracle bench bench-fast bench-geost profile-smoke runtime-smoke backends-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -12,6 +12,17 @@ test:
 ## quick loop: skip the slow-marked sweeps
 test-fast:
 	$(PY) -m pytest -q -m "not slow"
+
+## the full differential oracle surface, slow legs included: the
+## cross-kernel oracle-ladder suite plus every cross-validation /
+## property file that pins one implementation against another
+test-oracle:
+	$(PY) -m pytest -q \
+	  tests/geost/test_differential_oracle.py \
+	  tests/geost/test_incremental_differential.py \
+	  tests/geost/test_cross_validation.py \
+	  tests/geost/test_bitboard_planes.py \
+	  tests/geost/test_sweep_monotonic.py
 
 ## pytest-benchmark suite (not part of tier-1)
 bench:

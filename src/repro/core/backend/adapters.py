@@ -79,6 +79,8 @@ class CPBackend(PlacementBackend):
             updates["tracer"] = tracer
         if request.incremental is not None:
             updates["incremental"] = request.incremental
+        if request.bitboard is not None:
+            updates["bitboard"] = request.bitboard
         if updates:
             cfg = dc_replace(cfg, **updates)
         return CPPlacer(cfg).place(request.region, list(request.modules))
@@ -114,6 +116,8 @@ class LNSBackend(PlacementBackend):
             updates["tracer"] = tracer
         if request.incremental is not None:
             updates["incremental"] = request.incremental
+        if request.bitboard is not None:
+            updates["bitboard"] = request.bitboard
         if updates:
             cfg = dc_replace(cfg, **updates)
         return LNSPlacer(cfg).place(request.region, list(request.modules))
@@ -153,6 +157,8 @@ class PortfolioBackend(PlacementBackend):
             updates["tracer"] = tracer
         if request.incremental is not None:
             updates["incremental"] = request.incremental
+        if request.bitboard is not None:
+            updates["bitboard"] = request.bitboard
         if updates:
             cfg = dc_replace(cfg, **updates)
         return PortfolioPlacer(cfg).place(request.region, list(request.modules))

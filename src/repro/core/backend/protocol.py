@@ -76,6 +76,9 @@ class PlacementRequest:
     #: incremental geost propagation override (None = backend default,
     #: False = wholesale re-filtering — the differential oracle mode)
     incremental: Optional[bool] = None
+    #: bitboard-first vectorized sweep override (None = backend default,
+    #: False = the per-shape scalar oracle path)
+    bitboard: Optional[bool] = None
 
 
 class PlacementBackend:

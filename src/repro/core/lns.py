@@ -66,6 +66,9 @@ class LNSConfig:
     #: incremental geost propagation in every CP solve (initial, restart
     #: rescue, and all subproblems); False = wholesale re-filtering
     incremental: bool = True
+    #: bitboard-first vectorized sweep in every CP solve; False = the
+    #: per-shape scalar oracle path
+    bitboard: bool = True
 
 
 class LNSPlacer:
@@ -103,6 +106,7 @@ class LNSPlacer:
             time_limit=min(cfg.time_limit / 2, 5.0),
             first_solution_only=True,
             incremental=cfg.incremental,
+            bitboard=cfg.bitboard,
         )
         if cfg.profile or tracer is not None:
             initial_cfg = replace(
@@ -131,6 +135,7 @@ class LNSPlacer:
                 tracer=tracer,
                 cache=self._cache,
                 incremental=cfg.incremental,
+                bitboard=cfg.bitboard,
             )
             restarted = CPPlacer(restart_cfg).place(region, modules)
             self._absorb_profile(restarted)
@@ -253,6 +258,7 @@ class LNSPlacer:
         sub_cfg = PlacerConfig(
             time_limit=budget, profile=cfg.profile, tracer=tracer,
             cache=self._cache, incremental=cfg.incremental,
+            bitboard=cfg.bitboard,
         )
         free_modules = [placements[i].module for i in free_idx]
         placer = CPPlacer(sub_cfg)

@@ -52,6 +52,7 @@ class PlacementModel:
         profile: bool = False,
         cache: Optional[AnchorMaskCache] = None,
         incremental: bool = True,
+        bitboard: bool = True,
     ) -> None:
         if not modules:
             raise ValueError("nothing to place")
@@ -72,7 +73,7 @@ class PlacementModel:
 
         self.kernel = PlacementKernel(
             region, self.modules, self.xs, self.ys, self.ss, cache=cache,
-            incremental=incremental,
+            incremental=incremental, bitboard=bitboard,
         )
         #: anchor-mask cache increments of this construction (None = uncached)
         self.cache_stats = self.kernel.cache_stats

@@ -68,6 +68,10 @@ class PlacerConfig:
     #: wholesale oracle, bit-identical by construction, kept for the
     #: differential harness
     incremental: bool = True
+    #: bitboard-first vectorized sweep (batched per-shape mask reductions
+    #: + batched anchor counting); False keeps the per-shape scalar path
+    #: — the other rung of the differential oracle ladder
+    bitboard: bool = True
 
 
 class CPPlacer:
@@ -115,6 +119,7 @@ class CPPlacer:
                 profile=profiling,
                 cache=cfg.cache,
                 incremental=cfg.incremental,
+                bitboard=cfg.bitboard,
             )
             if max_extent is not None:
                 pm.objective_var.remove_above(max_extent)
@@ -218,6 +223,8 @@ class CPPlacer:
         profile.geost_dirty = inc.dirty
         profile.geost_reused = inc.reused
         profile.geost_rasterized = inc.rasterized
+        profile.bitboard_rows_tested = inc.rows_tested
+        profile.bitboard_fallbacks = inc.fallbacks
         session = obs_context.current()
         if session is not None:
             session.record(profile)

@@ -48,6 +48,7 @@ def _worker(
     profile: bool = False,
     backend: str = "lns",
     incremental: bool = True,
+    bitboard: bool = True,
 ) -> _WorkerResult:
     """Solve one portfolio member; returns (seed, extent, placements, profile)."""
     # lazy import: the backend package imports this module for its adapter
@@ -68,6 +69,7 @@ def _worker(
             profile=profile,
             cache=cache,
             incremental=incremental,
+            bitboard=bitboard,
         )
     )
     profile_payload = None
@@ -109,6 +111,9 @@ class PortfolioConfig:
     #: incremental geost propagation inside every member's CP solves;
     #: False = wholesale re-filtering (the differential oracle mode)
     incremental: bool = True
+    #: bitboard-first vectorized sweep inside every member's CP solves;
+    #: False = the per-shape scalar oracle path
+    bitboard: bool = True
 
 
 class PortfolioPlacer:
@@ -163,7 +168,7 @@ class PortfolioPlacer:
                 outcomes.append(
                     _worker(region_payload, module_payloads, cfg.time_limit,
                             cfg.base_seed, cfg.profile, member_names[0],
-                            cfg.incremental)
+                            cfg.incremental, cfg.bitboard)
                 )
             except Exception as exc:
                 record_crash(cfg.base_seed, exc)
@@ -179,6 +184,7 @@ class PortfolioPlacer:
                         cfg.profile,
                         member_names[k],
                         cfg.incremental,
+                        cfg.bitboard,
                     ): cfg.base_seed + k
                     for k in range(cfg.n_workers)
                 }

@@ -10,6 +10,20 @@ over the anchor-reachable window; a candidate sweep point is then tested by
 slicing the planes under the shape's shifted boxes — one vectorized mask
 intersection per shifted box — instead of per-box containment loops.
 
+Two levels of raster testing are offered:
+
+* :meth:`OccupancyBitboard.probe_for_shape` — the per-point probe of the
+  scalar sweep (PR 5's fast path, kept as part of the oracle ladder), and
+* :meth:`OccupancyBitboard.forbidden_anchor_lattice` — the bitboard-first
+  sweep: the forbidden-anchor set of one shape over a whole anchor
+  lattice, evaluated as sliding-box counts against summed-area tables
+  (:func:`repro.fabric.masks.sliding_box_counts`), so whole candidate
+  rows/frontiers are tested by mask intersection with no per-point Python
+  loop at all.  Dynamic material (compulsory parts of unfixed objects) is
+  stamped into a throwaway copy via :meth:`combined_occupancy`; typed
+  planes are static after post time, so their tables are built once and
+  cached.
+
 Resource typing follows the paper's extension: ``planes[None]`` holds
 material that blocks every shifted box (fixed objects' footprints, untyped
 forbidden regions) while ``planes[rt]`` holds material that blocks only
@@ -33,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cp.trail import Trail
+from repro.fabric.masks import integral_occupancy, sliding_box_counts
 from repro.fabric.resource import ResourceType
 from repro.geost.boxes import Box, ShiftedBox
 from repro.geost.forbidden import ForbiddenRegion, anchor_forbidden_box
@@ -70,7 +85,7 @@ class OccupancyBitboard:
     with chronological backtracking.
     """
 
-    __slots__ = ("window", "_origin", "_shape", "_planes")
+    __slots__ = ("window", "_origin", "_shape", "_planes", "_typed_tables")
 
     def __init__(self, window: Box) -> None:
         self.window = window
@@ -78,6 +93,10 @@ class OccupancyBitboard:
         self._shape = window.size
         #: occupancy per resource key; created lazily, ``None`` blocks all
         self._planes: Dict[Optional[ResourceType], np.ndarray] = {}
+        #: cached summed-area tables of the *typed* planes; sound to cache
+        #: because only ``plane[None]`` ever changes after post time
+        #: (imprints are all-blocking), while :meth:`add_region` clears it
+        self._typed_tables: Dict[ResourceType, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _plane(self, key: Optional[ResourceType]) -> np.ndarray:
@@ -99,6 +118,8 @@ class OccupancyBitboard:
         if clipped is None:
             return
         self._plane(region.resource)[self._slices(clipped)] = True
+        if region.resource is not None:
+            self._typed_tables.pop(region.resource, None)
 
     def imprint(self, boxes: Sequence[Box], trail: Optional[Trail] = None) -> None:
         """Stamp all-blocking material; trail an undo when ``trail`` given."""
@@ -173,6 +194,77 @@ class OccupancyBitboard:
             return None
 
         return probe
+
+    # ------------------------------------------------------------------
+    # Bitboard-first sweep: whole-lattice forbidden-anchor evaluation
+    # ------------------------------------------------------------------
+    def typed_integral(self, key: ResourceType) -> Optional[np.ndarray]:
+        """Cached summed-area table of the typed plane, ``None`` if empty."""
+        table = self._typed_tables.get(key)
+        if table is None:
+            plane = self._planes.get(key)
+            if plane is None:
+                return None
+            table = self._typed_tables[key] = integral_occupancy(plane)
+        return table
+
+    def combined_occupancy(self, extra_boxes: Sequence[Box]) -> np.ndarray:
+        """The all-blocking plane plus ``extra_boxes`` stamped in, as a copy.
+
+        This is how the compulsory parts of *other* unfixed objects enter
+        the bitboard sweep: they block every shifted box of the swept
+        object regardless of resource, exactly like a fixed imprint, but
+        they move between wake-ups and so are stamped into a throwaway
+        copy rather than the trailed plane.
+        """
+        plane = self._planes.get(None)
+        occ = (
+            plane.copy() if plane is not None
+            else np.zeros(self._shape, dtype=bool)
+        )
+        for box in extra_boxes:
+            clipped = box.intersection(self.window)
+            if clipped is None:
+                continue
+            occ[self._slices(clipped)] = True
+        return occ
+
+    def forbidden_anchor_lattice(
+        self,
+        sboxes: Sequence[ShiftedBox],
+        bounds: Sequence[Tuple[int, int]],
+        all_integral: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean forbidden mask over one shape's whole anchor lattice.
+
+        ``bounds[d] = (lo, hi)`` are the inclusive anchor bounds per
+        dimension; entry ``a`` of the result is True iff placing the shape
+        at anchor ``bounds_lo + a`` covers an occupied cell — the exact
+        per-point predicate of :meth:`blocking_cell`, evaluated for the
+        entire lattice with ``2k`` table subtractions per shifted box.
+        ``all_integral`` is the :func:`integral_occupancy` of
+        :meth:`combined_occupancy` (all-blocking material); typed planes
+        are folded in from their cached tables.
+        """
+        counts = tuple(hi - lo + 1 for lo, hi in bounds)
+        total: Optional[np.ndarray] = None
+        for sbox in sboxes:
+            starts = tuple(
+                lo + f - w
+                for (lo, _), f, w in zip(bounds, sbox.offset, self._origin)
+            )
+            hits = sliding_box_counts(all_integral, starts, sbox.size, counts)
+            if sbox.resource is not None:
+                typed = self.typed_integral(sbox.resource)
+                if typed is not None:
+                    hits = hits + sliding_box_counts(
+                        typed, starts, sbox.size, counts
+                    )
+            forb = hits > 0
+            total = forb if total is None else (total | forb)
+        if total is None:
+            return np.zeros(counts, dtype=bool)
+        return total
 
     # ------------------------------------------------------------------
     def occupied_count(self) -> int:

@@ -17,6 +17,15 @@ This module holds the counter block they export (surfaced as the
     objects whose footprint was stamped into the occupancy bitboard after
     becoming fully fixed, switching them from per-box containment tests to
     the mask-intersection fast path.
+``rows_tested``
+    vectorized frontier scans performed by the bitboard-first sweep
+    (whole candidate lattices tested by mask intersection); surfaced as
+    ``bitboard_rows_tested`` on the profile and the ``geost.bitboard``
+    trace event.
+``fallbacks``
+    filter invocations that wanted the bitboard sweep but fell back to
+    the scalar path because no board exists (anchor window above the
+    rasterization guard); surfaced as ``bitboard_fallbacks``.
 """
 
 from __future__ import annotations
@@ -32,10 +41,14 @@ class IncStats:
     dirty: int = 0
     reused: int = 0
     rasterized: int = 0
+    rows_tested: int = 0
+    fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "dirty": self.dirty,
             "reused": self.reused,
             "rasterized": self.rasterized,
+            "rows_tested": self.rows_tested,
+            "fallbacks": self.fallbacks,
         }

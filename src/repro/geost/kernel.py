@@ -36,16 +36,34 @@ Two propagation modes enforce that relation identically:
     fixpoint of the same monotone per-object filters (chaotic-iteration
     confluence), so search trees are bit-identical — the property the
     differential suite pins.
+
+On top of the incremental mode, ``bitboard=True`` (default) replaces the
+per-point scalar sweep itself: compulsory parts of the *other* unfixed
+objects are stamped into a throwaway copy of the board's all-blocking
+plane, summed-area tables turn every shape's forbidden-anchor set over
+the whole anchor lattice into a handful of array subtractions
+(:meth:`~repro.geost.bitboard.OccupancyBitboard.forbidden_anchor_lattice`),
+and per-axis bounds come from vectorized first-free scans of the free
+lattice.  The scans prune the exact lexicographic extrema the scalar
+sweep finds and replay its prune order (per shape, then per dimension
+min/max with bounds re-read after every prune), so the three modes form
+an oracle ladder — scalar / incremental / bitboard — with bit-identical
+search trees all the way up.  Instances whose anchor window exceeds the
+rasterization guard keep the scalar sweep and count a ``fallbacks``
+tick.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.cp.engine import Engine, Inconsistent
 from repro.cp.events import Event
 from repro.cp.propagator import Priority, Propagator
 from repro.cp.trail import Revision, Trail
+from repro.fabric.masks import integral_occupancy
 from repro.geost.bitboard import OccupancyBitboard, anchor_window
 from repro.geost.boxes import Box
 from repro.geost.forbidden import (
@@ -55,8 +73,12 @@ from repro.geost.forbidden import (
 )
 from repro.geost.incremental import IncStats
 from repro.geost.objects import GeostObject
-from repro.geost.sweep import ShapeView, sweep_max, sweep_min
-from repro.obs.trace import GEOST_INCREMENTAL, GEOST_SHAPE_REMOVED
+from repro.geost.sweep import ShapeView, SweepStats, sweep_max, sweep_min
+from repro.obs.trace import (
+    GEOST_BITBOARD,
+    GEOST_INCREMENTAL,
+    GEOST_SHAPE_REMOVED,
+)
 
 #: bitboard memory guard: skip rasterization when the anchor-reachable
 #: window would exceed this many cells per plane (~4 MiB of bools)
@@ -77,6 +99,7 @@ class Geost(Propagator):
         objects: Sequence[GeostObject],
         regions: Sequence[ForbiddenRegion] = (),
         incremental: bool = True,
+        bitboard: bool = True,
     ) -> None:
         super().__init__("geost")
         if not objects:
@@ -87,7 +110,11 @@ class Geost(Propagator):
         self.objects = list(objects)
         self.regions = list(regions)
         self.incremental = incremental
+        #: use the vectorized lattice sweep (meaningful only when
+        #: ``incremental`` — the wholesale oracle stays purely scalar)
+        self.bitboard = bitboard and incremental
         self.inc_stats = IncStats()
+        self.sweep_stats = SweepStats()
         # --- incremental state (unused in wholesale mode) ---
         self._trail: Optional[Trail] = None
         self._var_to_idx: Dict[int, int] = {}
@@ -258,6 +285,12 @@ class Geost(Propagator):
         tr = engine.tracer
         if tr is not None and tr.fine:
             tr.emit(GEOST_INCREMENTAL, **self.inc_stats.as_dict())
+            if self.bitboard:
+                tr.emit(
+                    GEOST_BITBOARD,
+                    rows_tested=self.inc_stats.rows_tested,
+                    fallbacks=self.inc_stats.fallbacks,
+                )
 
     def _filter_object(self, obj: GeostObject, engine: Engine) -> bool:
         """Prune one object's shape and anchor variables; True if changed."""
@@ -267,6 +300,11 @@ class Geost(Propagator):
 
     def _filter_incremental(self, idx: int, engine: Engine) -> None:
         obj = self.objects[idx]
+        if self.bitboard:
+            if self._board is not None:
+                self._filter_bitboard(idx, obj, engine)
+                return
+            self.inc_stats.fallbacks += 1
         obstacles = [
             b
             for j in range(len(self.objects))
@@ -284,6 +322,77 @@ class Geost(Propagator):
             per_shape[sid] = ShapeView(boxes, raster)
         self._filter_views(obj, per_shape, engine)
 
+    def _filter_bitboard(self, idx: int, obj: GeostObject, engine: Engine) -> None:
+        """Vectorized filter: whole-lattice masks instead of sweep points.
+
+        Reproduces :meth:`_filter_views` prune for prune.  The forbidden
+        predicate of an anchor is bounds-independent, so one free lattice
+        computed over the entry bounds serves every later scan: the lattice
+        restricted to shrunken bounds *is* the lattice of those bounds.
+        Per-axis extrema of the free set equal the scalar sweep's
+        lexicographic extrema coordinate (the sweep returns the least/
+        greatest feasible point with that axis most significant), and
+        bounds are re-read after every prune — exactly the scalar
+        sequencing — so domain holes behind a pruned bound resolve
+        identically.
+        """
+        board = self._board
+        assert board is not None
+        obstacles = [
+            b
+            for j in range(len(self.objects))
+            if j != idx and not self._imprinted[j]
+            for b in self._comp[j]
+        ]
+        all_integral = integral_occupancy(board.combined_occupancy(obstacles))
+        bounds = [(v.min(), v.max()) for v in obj.origin]
+        # 1) drop shapes with no feasible anchor at all
+        union: Optional[np.ndarray] = None
+        for sid in list(obj.candidate_shapes()):
+            forbidden = board.forbidden_anchor_lattice(
+                obj.shape(sid).boxes, bounds, all_integral
+            )
+            self.inc_stats.rows_tested += 1
+            self.sweep_stats.rows += 1
+            if forbidden.all():
+                if obj.shape_var.remove(sid, cause=self):
+                    if engine.tracer is not None:
+                        engine.tracer.emit(
+                            GEOST_SHAPE_REMOVED, object=obj.oid, shape=sid
+                        )
+            else:
+                free = ~forbidden
+                union = free if union is None else (union | free)
+        if union is None:
+            raise Inconsistent(f"geost: object {obj.oid} has no placement")
+        # 2) bounds filtering per dimension via first/last-free scans
+        k = obj.dim
+        base = [lo for lo, _ in bounds]
+        clip = list(bounds)
+        for d, var in enumerate(obj.origin):
+            for want_max in (False, True):
+                sub = union[
+                    tuple(
+                        slice(lo - b, hi - b + 1)
+                        for (lo, hi), b in zip(clip, base)
+                    )
+                ]
+                self.inc_stats.rows_tested += 1
+                self.sweep_stats.rows += 1
+                axes = tuple(a for a in range(k) if a != d)
+                line = sub.any(axis=axes) if axes else sub
+                if not line.any():
+                    raise Inconsistent(
+                        f"geost: object {obj.oid} has no placement"
+                    )
+                if want_max:
+                    pos = len(line) - 1 - int(np.argmax(line[::-1]))
+                    var.remove_above(clip[d][0] + pos, cause=self)
+                else:
+                    pos = int(np.argmax(line))
+                    var.remove_below(clip[d][0] + pos, cause=self)
+                clip[d] = (var.min(), var.max())
+
     def _filter_views(self, obj: GeostObject, per_shape, engine: Engine) -> bool:
         """Prune one object given its per-shape forbidden spaces."""
         bounds = [(v.min(), v.max()) for v in obj.origin]
@@ -291,7 +400,7 @@ class Geost(Propagator):
         # 1) drop shapes with no feasible anchor at all
         feasible_shapes: List[int] = []
         for sid, boxes in per_shape.items():
-            if sweep_min(bounds, [boxes], 0) is not None:
+            if sweep_min(bounds, [boxes], 0, self.sweep_stats) is not None:
                 feasible_shapes.append(sid)
             else:
                 if obj.shape_var.remove(sid, cause=self):
@@ -305,12 +414,13 @@ class Geost(Propagator):
         shape_boxes = [per_shape[sid] for sid in feasible_shapes]
         # 2) bounds filtering per dimension via the sweep
         for d, var in enumerate(obj.origin):
-            lo_pt = sweep_min(bounds, shape_boxes, d)
+            lo_pt = sweep_min(bounds, shape_boxes, d, self.sweep_stats)
             if lo_pt is None:
                 raise Inconsistent(f"geost: object {obj.oid} has no placement")
             changed |= var.remove_below(lo_pt[d], cause=self)
             hi_pt = sweep_max(
-                [(v.min(), v.max()) for v in obj.origin], shape_boxes, d
+                [(v.min(), v.max()) for v in obj.origin], shape_boxes, d,
+                self.sweep_stats,
             )
             if hi_pt is None:
                 raise Inconsistent(f"geost: object {obj.oid} has no placement")

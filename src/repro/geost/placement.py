@@ -43,13 +43,14 @@ from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.masks import (
     compatibility_masks,
     count_anchors,
+    count_anchors_batch,
     valid_anchor_mask,
 )
 from repro.fabric.region import NarrowedRegion, PartialRegion
 from repro.geost.incremental import IncStats
 from repro.modules.footprint import Footprint
 from repro.modules.module import Module
-from repro.obs.trace import GEOST_INCREMENTAL, KERNEL_IMPRINT
+from repro.obs.trace import GEOST_BITBOARD, GEOST_INCREMENTAL, KERNEL_IMPRINT
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,15 @@ class PlacementKernel(Propagator):
     pins against; both modes reach the same fixpoint (the per-module
     filters are monotone, so chaotic iteration is confluent) and hence
     produce bit-identical search trees.
+
+    ``bitboard=True`` (default) additionally batches the per-shape work:
+    :meth:`_prune` tests all candidate shapes of a module against the
+    occupancy/domain masks in one stacked bank reduction instead of one
+    NumPy dispatch per shape, and :meth:`anchor_count` counts all shapes
+    through :func:`~repro.fabric.masks.count_anchors_batch`.  Pure
+    vectorization of the same boolean algebra — identical prunes, counts
+    and cache behavior — so ``bitboard=False`` is the per-shape scalar
+    oracle of the differential suite.
     """
 
     priority = Priority.EXPENSIVE
@@ -124,6 +134,7 @@ class PlacementKernel(Propagator):
         ss: Sequence[IntVar],
         cache: Optional[AnchorMaskCache] = None,
         incremental: bool = True,
+        bitboard: bool = True,
     ) -> None:
         super().__init__("placement-kernel")
         if not (len(modules) == len(xs) == len(ys) == len(ss)):
@@ -133,6 +144,7 @@ class PlacementKernel(Propagator):
         self.region = region
         self.H, self.W = region.height, region.width
         self.incremental = incremental
+        self.bitboard = bitboard
         self.inc_stats = IncStats()
         #: bumped on every mask-bank mutation and from its trail undo —
         #: keys the anchor-count cache
@@ -351,6 +363,12 @@ class PlacementKernel(Propagator):
         tr = engine.tracer
         if tr is not None and tr.fine:
             tr.emit(GEOST_INCREMENTAL, **self.inc_stats.as_dict())
+            if self.bitboard:
+                tr.emit(
+                    GEOST_BITBOARD,
+                    rows_tested=self.inc_stats.rows_tested,
+                    fallbacks=self.inc_stats.fallbacks,
+                )
 
     def _imprint(self, engine: Engine, item: _Item) -> None:
         """Commit a fixed module: occupy cells, narrow other modules' masks."""
@@ -414,6 +432,8 @@ class PlacementKernel(Propagator):
 
     def _prune(self, item: _Item) -> bool:
         """Per-axis domain consistency for one unfixed module."""
+        if self.bitboard:
+            return self._prune_batched(item)
         union: Optional[np.ndarray] = None
         keep_shapes: List[int] = []
         for sid in item.s.domain:
@@ -438,6 +458,38 @@ class PlacementKernel(Propagator):
         # engine notifies self-caused events precisely so dirty-set
         # propagators see their own prunings), so a collapse to a full
         # placement is picked up by the same run and imprinted
+        return changed
+
+    def _prune_batched(self, item: _Item) -> bool:
+        """:meth:`_prune` with all candidate shapes reduced in one pass.
+
+        Same boolean algebra as the per-shape loop — per-shape feasibility
+        is the row-wise ``any`` of the stacked (mask & domain) bank rows
+        and the union is the ``any`` over feasible rows — so the resulting
+        domains, error conditions and messages are identical.
+        """
+        sids = list(item.s.domain)
+        row_ids = [self._row_of[item.index][sid] for sid in sids]
+        col, row = self._axis_masks(item)
+        axes = (row[:, None] & col[None, :]).reshape(-1)
+        sub = self.bank[row_ids] & axes[None, :]
+        self.inc_stats.rows_tested += len(sids)
+        feasible = sub.any(axis=1)
+        keep_shapes = [sid for sid, ok in zip(sids, feasible) if ok]
+        if not keep_shapes:
+            raise Inconsistent(
+                f"placement-kernel: {item.module.name} has no feasible anchor"
+            )
+        union = sub[feasible].any(axis=0).reshape(self.H, self.W)
+        changed = item.s.set_domain(Domain(keep_shapes), cause=self)
+        cols = Domain.from_bool_array(union.any(axis=0))
+        rows = Domain.from_bool_array(union.any(axis=1))
+        changed |= item.x.set_domain(
+            item.x.domain.intersect(cols), cause=self
+        )
+        changed |= item.y.set_domain(
+            item.y.domain.intersect(rows), cause=self
+        )
         return changed
 
     # ------------------------------------------------------------------
@@ -484,12 +536,19 @@ class PlacementKernel(Propagator):
                 self.inc_stats.reused += 1
                 return entry[4]
         col, row = self._axis_masks(item)
-        count = sum(
-            count_anchors(
-                self.valid[item.index][sid].reshape(self.H, self.W), col, row
+        if self.bitboard:
+            row_ids = [self._row_of[item.index][sid] for sid in sd]
+            stack = self.bank[row_ids].reshape(-1, self.H, self.W)
+            count = int(count_anchors_batch(stack, col, row).sum())
+            self.inc_stats.rows_tested += 1
+        else:
+            count = sum(
+                count_anchors(
+                    self.valid[item.index][sid].reshape(self.H, self.W),
+                    col, row,
+                )
+                for sid in sd
             )
-            for sid in sd
-        )
         if self.incremental:
             self._count_cache[index] = (self._rev.current, xd, yd, sd, count)
         return count

@@ -43,10 +43,21 @@ RasterProbe = Callable[[Tuple[int, ...]], Optional[Box]]
 
 @dataclass
 class SweepStats:
-    """Sweep-point accounting, shared across calls (tests / benchmarks)."""
+    """Sweep-point accounting, shared across calls (tests / benchmarks).
+
+    The two counters measure the two sweep generations: the scalar
+    odometer sweep pays one Python-level ``iterations`` tick per point it
+    inspects, while the bitboard-first sweep pays one ``rows`` tick per
+    vectorized frontier scan (a whole-lattice reduction replacing an
+    entire run of per-point inspections).  Regression tests pin
+    ``rows < iterations`` on the Table-I instances so a silent fallback
+    to the scalar path fails loudly.
+    """
 
     #: points inspected (one covering-intersection query each)
     iterations: int = 0
+    #: vectorized frontier scans (bitboard sweep; zero in scalar mode)
+    rows: int = 0
 
 
 class ShapeView:

@@ -90,6 +90,11 @@ class SolveProfile:
     geost_dirty: int = 0
     geost_reused: int = 0
     geost_rasterized: int = 0
+    # bitboard-sweep counters (0 when the sweep ran scalar): vectorized
+    # frontier scans performed / filters that fell back to the scalar
+    # sweep because the anchor window exceeded the rasterization guard
+    bitboard_rows_tested: int = 0
+    bitboard_fallbacks: int = 0
     #: per-propagator breakdown, keyed by propagator name
     propagators: Dict[str, PropagatorProfile] = field(default_factory=dict)
     #: free-form context: instance name, seed, placer config, ...
@@ -156,6 +161,10 @@ class SolveProfile:
             geost_dirty=self.geost_dirty + other.geost_dirty,
             geost_reused=self.geost_reused + other.geost_reused,
             geost_rasterized=self.geost_rasterized + other.geost_rasterized,
+            bitboard_rows_tested=(
+                self.bitboard_rows_tested + other.bitboard_rows_tested
+            ),
+            bitboard_fallbacks=self.bitboard_fallbacks + other.bitboard_fallbacks,
             propagators=props,
             meta=meta,
         )
@@ -177,6 +186,8 @@ class SolveProfile:
             "geost_dirty": self.geost_dirty,
             "geost_reused": self.geost_reused,
             "geost_rasterized": self.geost_rasterized,
+            "bitboard_rows_tested": self.bitboard_rows_tested,
+            "bitboard_fallbacks": self.bitboard_fallbacks,
         }
 
     # ------------------------------------------------------------------
@@ -220,6 +231,8 @@ class SolveProfile:
             geost_dirty=d.get("geost_dirty", 0),
             geost_reused=d.get("geost_reused", 0),
             geost_rasterized=d.get("geost_rasterized", 0),
+            bitboard_rows_tested=d.get("bitboard_rows_tested", 0),
+            bitboard_fallbacks=d.get("bitboard_fallbacks", 0),
             propagators={p.name: p for p in props},
             meta=dict(d.get("meta", {})),
         )
@@ -270,6 +283,11 @@ def profile_report(profile: SolveProfile) -> str:
         head.append(
             f"incremental geost: dirty={p.geost_dirty} "
             f"reused={p.geost_reused} rasterized={p.geost_rasterized}"
+        )
+    if p.bitboard_rows_tested or p.bitboard_fallbacks:
+        head.append(
+            f"bitboard sweep: rows_tested={p.bitboard_rows_tested} "
+            f"fallbacks={p.bitboard_fallbacks}"
         )
     if p.meta:
         head.append(

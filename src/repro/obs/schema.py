@@ -33,6 +33,8 @@ PROFILE_SCHEMA: Dict[str, type] = {
     "geost_dirty": int,
     "geost_reused": int,
     "geost_rasterized": int,
+    "bitboard_rows_tested": int,
+    "bitboard_fallbacks": int,
     "elapsed": float,
     "stop_reason": str,
     "propagators": list,
@@ -59,7 +61,10 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "engine.propagate": ["propagator", "prunes"],
     "engine.domain": ["var", "size", "cause"],
     "geost.shape_removed": ["object", "shape"],
-    "geost.incremental": ["dirty", "reused", "rasterized"],
+    "geost.incremental": [
+        "dirty", "reused", "rasterized", "rows_tested", "fallbacks",
+    ],
+    "geost.bitboard": ["rows_tested", "fallbacks"],
     "kernel.imprint": ["module", "shape", "x", "y"],
     "lns.neighborhood": ["iteration", "free", "frontier"],
     "lns.improved": ["iteration", "extent"],
@@ -112,6 +117,7 @@ def validate_profile(doc: Dict[str, Any]) -> List[str]:
         "propagations", "domain_updates", "failures",
         "cache_hits", "cache_misses", "cache_narrowed",
         "geost_dirty", "geost_reused", "geost_rasterized",
+        "bitboard_rows_tested", "bitboard_fallbacks",
     ):
         value = doc.get(key)
         if isinstance(value, int) and not isinstance(value, bool) and value < 0:

@@ -156,17 +156,18 @@ class TestPortfolio:
 # ----------------------------------------------------------------------
 
 def _crashing_worker(region_payload, module_payloads, time_limit, seed,
-                     profile=False, backend="lns", incremental=True):
+                     profile=False, backend="lns", incremental=True,
+                     bitboard=True):
     raise RuntimeError(f"boom-{seed}")
 
 
 def _odd_seed_crashing_worker(region_payload, module_payloads, time_limit,
                               seed, profile=False, backend="lns",
-                              incremental=True):
+                              incremental=True, bitboard=True):
     if seed % 2 == 1:
         raise RuntimeError(f"boom-{seed}")
     return _worker(region_payload, module_payloads, time_limit, seed, profile,
-                   backend, incremental)
+                   backend, incremental, bitboard)
 
 
 needs_fork = pytest.mark.skipif(
