@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-oracle bench bench-fast bench-geost profile-smoke runtime-smoke backends-smoke
+.PHONY: test test-fast test-oracle bench bench-fast bench-geost bench-runtime profile-smoke runtime-smoke backends-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -36,6 +36,12 @@ bench-fast:
 ## over wholesale re-filtering on the Table-I workload
 bench-geost:
 	$(PY) -m pytest benchmarks/test_bench_geost_incremental.py -q -s
+
+## sharded-service trace replay on the seeded Table-I workload: reads
+## its req/s and p99-latency gates from the committed BENCH_runtime.json
+## and writes the measured values to bench_runtime_latest.json
+bench-runtime:
+	$(PY) -m pytest benchmarks/test_bench_service.py -q -s
 
 ## one instrumented solve; exports a profile JSON and validates it
 ## against the published schema — fails non-zero on any mismatch

@@ -1,0 +1,94 @@
+"""Sharded-service throughput gate: trace replay on the Table-I workload.
+
+The acceptance bar of the sharded placement service: the trace-replay
+load harness (:mod:`repro.experiments.service_load`) must sustain at
+least 10x the PR 3 single-manager pin (50 req/s, see
+``test_bench_runtime.py``) on the seeded Table-I workload replayed
+across >= 4 column-split shards, with the admission-latency tail
+bounded.
+
+Thresholds are **not** hardcoded: the gate reads the committed
+``BENCH_runtime.json`` (tightening it is a reviewed one-line diff) and
+every run writes the freshly measured p50/p99/req-s to
+``bench_runtime_latest.json`` — append that entry to the JSON's
+``history`` when landing a perf-relevant change so the trajectory stays
+on record, mirroring the ``BENCH_geost.json`` flow.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.service_load import run_load, serving_config
+
+GATES_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+)
+LATEST_PATH = "bench_runtime_latest.json"
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return json.loads(GATES_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def latest():
+    """Collects measured values; written as the trajectory artifact."""
+    measured: dict = {"label": "local-run"}
+    yield measured
+    artifact = {"gates_from": GATES_PATH.name, "entry": measured}
+    pathlib.Path(LATEST_PATH).write_text(json.dumps(artifact, indent=2) + "\n")
+
+
+@pytest.mark.slow
+class TestServiceThroughputGate:
+    def test_trace_replay_meets_committed_gates(self, spec, latest):
+        workload = spec["workload"]
+        gates = spec["gates"]
+        assert workload["n_shards"] >= 4  # the bar is a *sharded* replay
+        report = run_load(
+            n_requests=workload["n_requests"],
+            n_shards=workload["n_shards"],
+            seed=workload["seed"],
+            config=serving_config(
+                router=workload["router"], chain=workload["chain"]
+            ),
+            mean_interarrival=workload["mean_interarrival"],
+            mean_lifetime=workload["mean_lifetime"],
+        )
+        latest.update(
+            req_per_s=round(report.req_per_s, 1),
+            p50_latency_s=round(report.p50_latency_s, 6),
+            p99_latency_s=round(report.p99_latency_s, 6),
+            reject_rate=round(report.reject_rate, 4),
+            admitted=report.admitted,
+            rejected=report.rejected,
+        )
+        assert report.req_per_s >= gates["req_per_s_min"], (
+            f"sharded service sustained {report.req_per_s:.0f} req/s, "
+            f"gate is {gates['req_per_s_min']:.0f} "
+            f"(see {GATES_PATH.name})"
+        )
+        assert report.p99_latency_s <= gates["p99_latency_s_max"], (
+            f"p99 admission latency {report.p99_latency_s * 1e3:.2f}ms "
+            f"exceeds the {gates['p99_latency_s_max'] * 1e3:.0f}ms gate"
+        )
+        # the replay must exercise real admission decisions end to end
+        assert report.admitted + report.rejected == workload["n_requests"]
+
+    def test_sharding_beats_the_single_manager_pin(self, spec):
+        """Sanity anchor: one shard alone clears the old 50 req/s pin,
+        so the 10x service gate is sharding + serving-path work, not a
+        workload change."""
+        workload = spec["workload"]
+        report = run_load(
+            n_requests=150,
+            n_shards=1,
+            seed=workload["seed"],
+            config=serving_config(chain=workload["chain"]),
+        )
+        assert report.req_per_s >= 50

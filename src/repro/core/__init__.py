@@ -44,6 +44,19 @@ from repro.core.runtime import (
     RuntimeStats,
     generate_workload,
 )
+from repro.core.service import (
+    AffinityRouter,
+    LeastFragmentedRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+    ServiceConfig,
+    ServiceLog,
+    ShardedPlacementService,
+    available_routers,
+    create_router,
+    register_router,
+)
 from repro.core.report import placement_report, render_placement
 
 __all__ = [
@@ -85,4 +98,15 @@ __all__ = [
     "RuntimeLog",
     "RuntimeStats",
     "generate_workload",
+    "ShardedPlacementService",
+    "ServiceConfig",
+    "ServiceLog",
+    "Router",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "LeastFragmentedRouter",
+    "AffinityRouter",
+    "register_router",
+    "available_routers",
+    "create_router",
 ]

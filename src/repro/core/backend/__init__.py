@@ -25,6 +25,12 @@ from repro.core.backend.adapters import (
     PortfolioBackend,
     register_default_backends,
 )
+from repro.core.backend.worker import (
+    process_cache,
+    reset_process_caches,
+    solve_in_worker,
+    warm_process_cache,
+)
 
 __all__ = [
     "BackendCapabilities",
@@ -40,4 +46,8 @@ __all__ = [
     "LNSBackend",
     "PortfolioBackend",
     "register_default_backends",
+    "process_cache",
+    "reset_process_caches",
+    "solve_in_worker",
+    "warm_process_cache",
 ]

@@ -40,7 +40,7 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -100,6 +100,10 @@ class RejectReason(str, Enum):
     DEADLINE = "deadline_expired"
     #: a module with the same name is already placed or pending
     DUPLICATE = "duplicate"
+    #: the manager drained while the request still waited — its deadline
+    #: had *not* passed; the serving run simply ended (reject-rate
+    #: experiments must not conflate this with a real deadline miss)
+    DRAINED = "drained"
 
     def __str__(self) -> str:  # "no_fit", not "RejectReason.NO_FIT"
         return self.value
@@ -165,6 +169,17 @@ class RuntimeConfig:
     tracer: Optional[Tracer] = None
     #: anchor-mask cache shared by all CP probes (None = new cache)
     cache: Optional[AnchorMaskCache] = None
+    #: sample (clock, occupancy, utilization, fragmentation) into the log
+    #: timeline after every request — the fragmentation metric is a pure
+    #: Python maximal-rectangles pass, so high-throughput serving loops
+    #: (the sharded service) switch it off
+    sample_timeline: bool = True
+    #: external admission solver hook: a callable ``(module, residual
+    #: region) -> Optional[(Placement, method)]`` tried *before* the
+    #: in-process chain — the sharded service's process-pool mode plugs
+    #: its worker dispatch in here.  Exceptions degrade gracefully to the
+    #: chain; None (the default) keeps the chain as the only path.
+    solver: Optional[Callable[[Module, PartialRegion], Optional[Tuple[Placement, str]]]] = None
 
     def effective_chain(self) -> Tuple[str, ...]:
         """The admission rungs as registered backend names."""
@@ -190,6 +205,8 @@ class RuntimeConfig:
                     f"backend {name!r} is not relocatable and cannot serve "
                     f"the runtime admission chain"
                 )
+        if self.solver is not None and not callable(self.solver):
+            raise ValueError("solver must be callable (or None)")
         if self.queue_capacity < 0:
             raise ValueError("queue_capacity must be >= 0")
         if self.max_queue_wait < 0:
@@ -236,6 +253,32 @@ class RuntimeStats:
         self.admits_by_method[method] = self.admits_by_method.get(method, 0) + 1
         if queued:
             self.queued_admits += 1
+
+    def __add__(self, other: "RuntimeStats") -> "RuntimeStats":
+        """Merge shard-local stats into one service-level record."""
+        rejected_by = dict(self.rejected_by_reason)
+        for key, n in other.rejected_by_reason.items():
+            rejected_by[key] = rejected_by.get(key, 0) + n
+        admits_by = dict(self.admits_by_method)
+        for key, n in other.admits_by_method.items():
+            admits_by[key] = admits_by.get(key, 0) + n
+        return RuntimeStats(
+            arrivals=self.arrivals + other.arrivals,
+            admitted=self.admitted + other.admitted,
+            rejected=self.rejected + other.rejected,
+            departures=self.departures + other.departures,
+            defrags=self.defrags + other.defrags,
+            defrag_moves=self.defrag_moves + other.defrag_moves,
+            probe_errors=self.probe_errors + other.probe_errors,
+            queued_admits=self.queued_admits + other.queued_admits,
+            rejected_by_reason=rejected_by,
+            admits_by_method=admits_by,
+            total_latency_s=self.total_latency_s + other.total_latency_s,
+            max_latency_s=max(self.max_latency_s, other.max_latency_s),
+            peak_occupied_cells=(
+                self.peak_occupied_cells + other.peak_occupied_cells
+            ),
+        )
 
 
 @dataclass
@@ -300,6 +343,12 @@ class RuntimePlacementManager:
         self._departures: List[Tuple[int, str]] = []  # heap
         self._pending: Deque[_Pending] = deque()
         self._last_defrag_clock: Optional[int] = None
+        #: live occupancy, maintained incrementally on commit/depart/defrag
+        #: (rebuilding it per probe was a per-request Python loop over
+        #: every live cell — measurable at service throughput)
+        self._occupancy = np.zeros(
+            (region.height, region.width), dtype=bool
+        )
         cfg = self.config
         #: one shared anchor-mask cache across every probe of every rung
         self._cache = cfg.cache or AnchorMaskCache()
@@ -325,17 +374,25 @@ class RuntimePlacementManager:
         return PlacementResult(self.region, self.placements)
 
     def occupancy_mask(self) -> np.ndarray:
-        mask = np.zeros((self.region.height, self.region.width), dtype=bool)
-        for p in self._placements.values():
-            for x, y, _ in p.absolute_cells():
-                mask[y, x] = True
-        return mask
+        return self._occupancy.copy()
 
     def residual_region(self) -> PartialRegion:
-        free = self.region.reconfigurable & ~self.occupancy_mask()
+        free = self.region.reconfigurable & ~self._occupancy
         return PartialRegion(
             self.region.grid, free, f"{self.region.name}-residual"
         )
+
+    # -- occupancy maintenance -----------------------------------------
+    def _imprint(self, placement: Placement, value: bool) -> None:
+        cells = placement.absolute_cells()
+        xs = np.fromiter((c[0] for c in cells), dtype=np.int64, count=len(cells))
+        ys = np.fromiter((c[1] for c in cells), dtype=np.int64, count=len(cells))
+        self._occupancy[ys, xs] = value
+
+    def _rebuild_occupancy(self) -> None:
+        self._occupancy[:] = False
+        for p in self._placements.values():
+            self._imprint(p, True)
 
     def fragmentation(self) -> float:
         return external_fragmentation(self.result())
@@ -360,14 +417,69 @@ class RuntimePlacementManager:
             return outcome
         if self._try_admit(request, outcome, allow_defrag=True):
             return outcome
-        # no rung fit right now: queue under backpressure rules
+        self._queue_or_reject(request, outcome)
+        return outcome
+
+    def offer(self, request: RuntimeRequest) -> Optional[RequestOutcome]:
+        """Spill probe (service hook): admit *now* or decline untraced.
+
+        Advances the clock and attempts the full admission chain, but —
+        unlike :meth:`submit` — a failure records nothing: no arrival, no
+        queueing, no rejection.  The sharded service probes spill-over
+        shards through this, so a declined probe does not distort the
+        shard's log.  On success the admitted outcome is recorded exactly
+        as a submitted arrival would be.
+        """
+        self.advance_to(request.arrival)
+        if self._is_duplicate(request.module.name):
+            return None
+        outcome = RequestOutcome(request)
+        if not self._try_admit(request, outcome, allow_defrag=True):
+            return None
+        self.stats.arrivals += 1
+        self._emit(
+            RUNTIME_ARRIVAL,
+            module=request.module.name,
+            clock=self.clock,
+            queue=len(self._pending),
+        )
+        self.outcomes.append(outcome)
+        return outcome
+
+    def park(self, request: RuntimeRequest) -> RequestOutcome:
+        """Record an arrival that failed its spill probes (service hook).
+
+        The request already failed :meth:`offer` on every candidate shard
+        — including this one — so the admission chain is *not* re-run;
+        the request goes straight under the backpressure rules (queue,
+        or reject honestly).
+        """
+        self.stats.arrivals += 1
+        self._emit(
+            RUNTIME_ARRIVAL,
+            module=request.module.name,
+            clock=self.clock,
+            queue=len(self._pending),
+        )
+        outcome = RequestOutcome(request)
+        self.outcomes.append(outcome)
+        if self._is_duplicate(request.module.name):
+            self._reject(outcome, RejectReason.DUPLICATE)
+            return outcome
+        self._queue_or_reject(request, outcome)
+        return outcome
+
+    def _queue_or_reject(
+        self, request: RuntimeRequest, outcome: RequestOutcome
+    ) -> None:
+        """No rung fit right now: queue under the backpressure rules."""
         if self.config.queue_capacity == 0:
             # queueing disabled: the honest reason is the failed placement
             self._reject(outcome, RejectReason.NO_FIT)
-            return outcome
+            return
         if self.config.queue_capacity <= len(self._pending):
             self._reject(outcome, RejectReason.QUEUE_FULL)
-            return outcome
+            return
         deadline = (
             request.deadline
             if request.deadline is not None
@@ -375,19 +487,24 @@ class RuntimePlacementManager:
         )
         if deadline <= self.clock:
             self._reject(outcome, RejectReason.DEADLINE)
-            return outcome
+            return
         outcome.status = "queued"
         self._pending.append(_Pending(request, outcome, deadline))
-        return outcome
 
     def depart(self, name: str) -> Optional[Placement]:
         """Explicitly remove a placed module (None if unknown)."""
         placement = self._placements.pop(name, None)
         if placement is not None:
+            self._imprint(placement, False)
             self.stats.departures += 1
             self._emit(RUNTIME_DEPART, module=name, clock=self.clock)
             self._after_space_freed()
         return placement
+
+    def next_departure(self) -> Optional[int]:
+        """Logical time of the next scheduled departure (external-clock
+        drivers — the sharded service — step shards through this)."""
+        return self._departures[0][0] if self._departures else None
 
     def advance_to(self, t: int) -> None:
         """Advance the logical clock: departures due, queue upkeep."""
@@ -398,7 +515,9 @@ class RuntimePlacementManager:
         while self._departures and self._departures[0][0] <= t:
             due, name = heapq.heappop(self._departures)
             self.clock = max(self.clock, due)
-            if self._placements.pop(name, None) is not None:
+            placement = self._placements.pop(name, None)
+            if placement is not None:
+                self._imprint(placement, False)
                 self.stats.departures += 1
                 self._emit(RUNTIME_DEPART, module=name, clock=self.clock)
                 self._expire_pending()
@@ -412,19 +531,29 @@ class RuntimePlacementManager:
         if self._departures:
             self.advance_to(max(t for t, _ in self._departures))
         # whatever is still pending can never be admitted: its module
-        # didn't fit an otherwise empty(er) fabric before its deadline
+        # didn't fit an otherwise empty(er) fabric.  Label honestly —
+        # only requests whose deadline actually passed are deadline
+        # rejections; the rest were cut off by the drain itself.
         while self._pending:
             item = self._pending.popleft()
-            self._reject(item.outcome, RejectReason.DEADLINE)
+            reason = (
+                RejectReason.DEADLINE
+                if item.deadline <= self.clock
+                else RejectReason.DRAINED
+            )
+            self._reject(item.outcome, reason)
 
     def run(self, trace: Sequence[RuntimeRequest]) -> RuntimeLog:
         """Consume a whole trace, then drain; returns the full log."""
+        sample = self.config.sample_timeline
         log = RuntimeLog(outcomes=self.outcomes, stats=self.stats)
         for request in sorted(trace, key=lambda r: r.arrival):
             self.submit(request)
-            log.timeline.append(self._sample())
+            if sample:
+                log.timeline.append(self._sample())
         self.drain()
-        log.timeline.append(self._sample())
+        if sample:
+            log.timeline.append(self._sample())
         self._record_profile()
         return log
 
@@ -462,6 +591,15 @@ class RuntimePlacementManager:
     ) -> Tuple[Optional[Placement], str]:
         """One sweep down the fallback chain; exceptions degrade a rung."""
         cfg = self.config
+        if cfg.solver is not None:
+            try:
+                solved = cfg.solver(module, self.residual_region())
+                # None is the solver's definitive no-fit — don't re-run
+                # the same chain in-process on top of it
+                return solved if solved is not None else (None, "none")
+            except Exception as exc:  # graceful: fall back to the chain
+                self.stats.probe_errors += 1
+                outcome.errors.append(f"solver: {exc}")
         for name, backend in self._chain:
             try:
                 request = PlacementRequest(
@@ -489,6 +627,7 @@ class RuntimePlacementManager:
         queued: bool,
     ) -> None:
         self._placements[placement.module.name] = placement
+        self._imprint(placement, True)
         heapq.heappush(
             self._departures,
             (self.clock + request.lifetime, placement.module.name),
@@ -565,13 +704,25 @@ class RuntimePlacementManager:
             and self.clock - self._last_defrag_clock < cfg.defrag_cooldown
         ):
             return
+        # a threshold of 1.0 can never be exceeded (external fragmentation
+        # is a ratio in [0, 1]) — skip the metric, a pure-Python
+        # maximal-rectangles pass that would otherwise run per event
+        if cfg.frag_threshold >= 1.0:
+            return
         if self.fragmentation() <= cfg.frag_threshold:
             return
-        if self._defrag(trigger=trigger):
-            self._retry_pending()
+        self._defrag(trigger=trigger)
 
     def _defrag(self, trigger: str) -> bool:
-        """One defrag pass over the live floorplan; True if it moved."""
+        """One defrag pass over the live floorplan; True if it moved.
+
+        Every pass that actually moved modules retries the pending queue:
+        compaction frees usable space exactly like a departure does.
+        Without this, a reject-triggered pass inside :meth:`submit` left
+        queued requests starving until the next departure even when they
+        fit the compacted floorplan (the retry lived only on the
+        departure path) — the regression is pinned in the tests.
+        """
         cfg = self.config
         if trigger == "reject" and not cfg.defrag_on_reject:
             return False
@@ -589,6 +740,7 @@ class RuntimePlacementManager:
         self._placements = {
             p.module.name: p for p in out.result.placements
         }
+        self._rebuild_occupancy()
         self.stats.defrags += 1
         self.stats.defrag_moves += len(out.moves)
         self._emit(
@@ -599,6 +751,7 @@ class RuntimePlacementManager:
             extent_before=out.initial_extent,
             extent_after=out.final_extent,
         )
+        self._retry_pending()
         return True
 
     # ------------------------------------------------------------------
@@ -617,12 +770,22 @@ class RuntimePlacementManager:
             external_fragmentation(res),
         )
 
-    def profile(self) -> SolveProfile:
-        """The manager's counters as a mergeable SolveProfile record."""
+    def profile(self, shard: Optional[str] = None) -> SolveProfile:
+        """The manager's counters as a mergeable SolveProfile record.
+
+        ``shard`` labels the record for service-level merges (the sharded
+        service passes its shard name so per-shard profiles stay
+        attributable after a ``+`` merge).
+        """
         s = self.stats
-        return SolveProfile(
+        cache = self._cache.stats()
+        profile = SolveProfile(
             elapsed=s.total_latency_s,
             stop_reason="runtime",
+            cache_hits=cache["hits"],
+            cache_misses=cache["misses"],
+            cache_narrowed=cache["narrowed"],
+            cache_evictions=cache["evictions"],
             meta={
                 "runtime.arrivals": s.arrivals,
                 "runtime.admitted": s.admitted,
@@ -637,6 +800,9 @@ class RuntimePlacementManager:
                 "runtime.peak_occupied_cells": s.peak_occupied_cells,
             },
         )
+        if shard is not None:
+            profile.meta["shard"] = shard
+        return profile
 
     def _record_profile(self) -> None:
         session = obs_context.current()

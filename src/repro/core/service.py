@@ -1,0 +1,613 @@
+"""Sharded multi-device placement service.
+
+The paper evaluates design alternatives on one device; its admission
+story only becomes interesting at *service* scale — a fleet of
+reconfigurable fabrics fed from one arrival stream.
+:class:`ShardedPlacementService` owns N fabric shards (each a
+:class:`~repro.core.runtime.RuntimePlacementManager` over its own
+:class:`~repro.fabric.region.PartialRegion`) and adds the three things a
+single manager cannot express:
+
+* **Routing** — a pluggable policy ranks the shards per arrival
+  (round-robin, least-loaded, least-fragmented, module-name affinity)
+  behind a small name-keyed registry mirroring the backend registry of
+  :mod:`repro.core.backend.registry`.  Routers return a *preference
+  order*, not a single pick, which is what makes spill (below) a policy
+  property rather than a hard-coded loop.  The least-fragmented policy
+  keeps admission coupled to per-shard fragmentation — the router
+  observes exactly the metric the defragmentation literature says
+  admission quality depends on.
+* **Spill** — a request declined by its routed shard is *offered* to the
+  next-best shards before it counts against anyone: only the shard that
+  finally admits records the arrival, and only the primary shard queues
+  or rejects it after every candidate declined
+  (:meth:`RuntimePlacementManager.offer` /
+  :meth:`~repro.core.runtime.RuntimePlacementManager.park`).
+* **Execution modes** — ``inline`` solves admissions in-process;
+  ``process`` dispatches them to a persistent worker pool through
+  :func:`repro.core.backend.worker.solve_in_worker`, with per-worker
+  process-resident :class:`~repro.fabric.cache.AnchorMaskCache`\\ s
+  (optionally warmed once and persisted via
+  :func:`~repro.core.backend.worker.warm_process_cache`).  The pool
+  plugs into each shard through the
+  :attr:`~repro.core.runtime.RuntimeConfig.solver` hook, so queueing,
+  deadlines, and defrag semantics stay in the one manager code path.
+
+With **one** shard the service delegates :meth:`submit` straight to the
+shard's own :meth:`~repro.core.runtime.RuntimePlacementManager.submit`,
+so single-shard mode is bit-identical to a bare manager — pinned by the
+determinism tests.
+
+Observability: routing decisions emit ``service.route``, spills
+``service.spill``, drains ``service.drain``; per-shard stats merge via
+``RuntimeStats.__add__`` and per-shard profiles (labelled with their
+shard name) via ``SolveProfile.__add__``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.backend.worker import solve_in_worker, warm_process_cache
+from repro.core.result import Placement
+from repro.core.runtime import (
+    RequestOutcome,
+    RuntimeConfig,
+    RuntimePlacementManager,
+    RuntimeRequest,
+    RuntimeStats,
+)
+from repro.fabric.cache import AnchorMaskCache
+from repro.fabric.grid import FabricGrid
+from repro.fabric.io import region_to_dict
+from repro.fabric.region import PartialRegion
+from repro.modules.module import Module
+from repro.modules.spec import module_to_dict
+from repro.obs.profile import SolveProfile
+from repro.obs.trace import (
+    SERVICE_DRAIN,
+    SERVICE_ROUTE,
+    SERVICE_SPILL,
+    Tracer,
+)
+
+
+# ----------------------------------------------------------------------
+# Routers: preference order over shards, behind a name-keyed registry
+# ----------------------------------------------------------------------
+class Router:
+    """Ranks shards for one arrival; index 0 is the primary shard.
+
+    Routers see the live managers (read-only) so load- and
+    fragmentation-aware policies can observe current state.  They must
+    be deterministic functions of (request, shard states, own internal
+    counters) — the service's determinism tests replay traces and expect
+    identical routes.
+    """
+
+    name = "router"
+
+    def order(
+        self,
+        request: RuntimeRequest,
+        shards: Sequence[RuntimePlacementManager],
+    ) -> List[int]:
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle the primary shard; spill order continues the rotation."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def order(self, request, shards) -> List[int]:
+        n = len(shards)
+        first = self._next % n
+        self._next = (self._next + 1) % n
+        return [(first + k) % n for k in range(n)]
+
+
+class LeastLoadedRouter(Router):
+    """Prefer the shard with the lowest occupied fraction.
+
+    Load is occupied cells over available area — O(live placements) per
+    shard, no geometry scan.  Ties break on shard index.
+    """
+
+    name = "least-loaded"
+
+    @staticmethod
+    def _load(shard: RuntimePlacementManager) -> float:
+        area = shard.region.available_area()
+        if area == 0:
+            return 1.0
+        occupied = sum(p.footprint.area for p in shard.placements)
+        return occupied / area
+
+    def order(self, request, shards) -> List[int]:
+        return sorted(
+            range(len(shards)), key=lambda i: (self._load(shards[i]), i)
+        )
+
+
+class LeastFragmentedRouter(Router):
+    """Prefer the shard whose free space is least shattered.
+
+    Runs the external-fragmentation metric per shard per arrival — a
+    pure-Python maximal-rectangles pass, the expensive policy.  Use it
+    when admission quality matters more than routing throughput.
+    """
+
+    name = "least-fragmented"
+
+    def order(self, request, shards) -> List[int]:
+        return sorted(
+            range(len(shards)),
+            key=lambda i: (shards[i].fragmentation(), i),
+        )
+
+
+class AffinityRouter(Router):
+    """Pin each module name to a shard via a stable content hash.
+
+    Uses CRC-32 of the module name — *not* Python's randomized
+    ``hash()`` — so the same trace routes identically across runs and
+    interpreter restarts.  Spill order continues round the ring.
+    """
+
+    name = "affinity"
+
+    def order(self, request, shards) -> List[int]:
+        n = len(shards)
+        first = zlib.crc32(request.module.name.encode("utf-8")) % n
+        return [(first + k) % n for k in range(n)]
+
+
+_ROUTERS: Dict[str, Callable[[], Router]] = {}
+
+
+def register_router(
+    name: str, factory: Callable[[], Router], replace: bool = False
+) -> None:
+    """Register a router factory under ``name`` (loud on duplicates)."""
+    if not replace and name in _ROUTERS:
+        raise ValueError(
+            f"router {name!r} is already registered "
+            f"(pass replace=True to override)"
+        )
+    _ROUTERS[name] = factory
+
+
+def available_routers() -> List[str]:
+    """Sorted names of every registered routing policy."""
+    return sorted(_ROUTERS)
+
+
+def create_router(name: str) -> Router:
+    """Instantiate the registered router ``name`` (loud when unknown)."""
+    try:
+        factory = _ROUTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown router {name!r}; registered: "
+            f"{', '.join(available_routers())}"
+        ) from None
+    return factory()
+
+
+for _cls in (
+    RoundRobinRouter,
+    LeastLoadedRouter,
+    LeastFragmentedRouter,
+    AffinityRouter,
+):
+    register_router(_cls.name, _cls)
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceConfig:
+    """Knobs of the sharded placement service."""
+
+    #: registered router name picking the shard preference order
+    router: str = "round-robin"
+    #: template for every shard's manager; each shard gets its own copy
+    #: (and, unless ``share_cache``, its own anchor-mask cache)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    #: may a declined request spill to the next-best shards?
+    spill: bool = True
+    #: one anchor-mask cache shared by all shards (structurally identical
+    #: shards then share entries, the fingerprint keying makes it safe)
+    share_cache: bool = True
+    #: "inline" solves admissions in-process; "process" dispatches each
+    #: admission to a persistent worker pool via ``solve_in_worker``
+    mode: str = "inline"
+    #: worker pool size for process mode (None = one per shard)
+    workers: Optional[int] = None
+    #: LRU capacity handed to per-worker caches in process mode (None =
+    #: unbounded; long-running services should bound this — see
+    #: :class:`~repro.fabric.cache.AnchorMaskCache`)
+    worker_cache_capacity: Optional[int] = None
+    #: event sink for ``service.*`` events (shards inherit
+    #: ``runtime.tracer`` for their ``runtime.*`` events)
+    tracer: Optional[Tracer] = None
+
+    def validate(self) -> None:
+        if self.router not in _ROUTERS:
+            raise ValueError(
+                f"unknown router {self.router!r}; registered: "
+                f"{', '.join(available_routers())}"
+            )
+        if self.mode not in ("inline", "process"):
+            raise ValueError(f"unknown service mode {self.mode!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None)")
+        self.runtime.validate()
+
+
+@dataclass
+class ServiceLog:
+    """Everything :meth:`ShardedPlacementService.run` observed."""
+
+    #: outcomes in submission order (the admitting/owning shard's record)
+    outcomes: List[RequestOutcome]
+    #: merged service-level stats (sum of the per-shard stats)
+    stats: RuntimeStats
+    #: per-shard stats keyed by shard name
+    per_shard: Dict[str, RuntimeStats]
+    #: admitted module name -> shard name that holds it
+    shard_of: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def admitted(self) -> int:
+        return self.stats.admitted
+
+    @property
+    def rejected(self) -> int:
+        return self.stats.rejected
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class ShardedPlacementService:
+    """Serves one arrival stream against a fleet of fabric shards."""
+
+    def __init__(
+        self,
+        regions: Sequence[PartialRegion],
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        if not regions:
+            raise ValueError("need at least one shard region")
+        self.config = config or ServiceConfig()
+        self.config.validate()
+        cfg = self.config
+        self._router = create_router(cfg.router)
+        shared_cache = (
+            (cfg.runtime.cache or AnchorMaskCache())
+            if cfg.share_cache
+            else None
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if cfg.mode == "process":
+            self._pool = ProcessPoolExecutor(
+                max_workers=cfg.workers or len(regions)
+            )
+        self.shards: List[RuntimePlacementManager] = []
+        for region in regions:
+            shard_cfg = replace(
+                cfg.runtime,
+                cache=shared_cache if cfg.share_cache else None,
+            )
+            if cfg.mode == "process":
+                shard_cfg.solver = self._make_worker_solver(
+                    region.name, shard_cfg
+                )
+            self.shards.append(RuntimePlacementManager(region, shard_cfg))
+        tracer = cfg.tracer
+        self._tracer = (
+            tracer if tracer is not None and tracer.enabled else None
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def replicated(
+        cls,
+        region: PartialRegion,
+        n: int,
+        config: Optional[ServiceConfig] = None,
+    ) -> "ShardedPlacementService":
+        """N structurally identical shards of one region (a device fleet).
+
+        Structural identity means a shared anchor-mask cache serves all
+        shards from the same entries (content-hash keys ignore names).
+        """
+        if n < 1:
+            raise ValueError("need at least one shard")
+        shards = [
+            PartialRegion(
+                region.grid,
+                region.reconfigurable.copy(),
+                name=f"{region.name}-s{k}",
+            )
+            for k in range(n)
+        ]
+        return cls(shards, config)
+
+    @staticmethod
+    def split(region: PartialRegion, n: int) -> List[PartialRegion]:
+        """Column-split one fabric into ``n`` near-equal vertical slabs.
+
+        Models one physical device partitioned into independently
+        reconfigurable shards (smaller regions also make every anchor
+        sweep proportionally cheaper).  Cut columns are not bridged:
+        a module must fit entirely inside one slab.
+        """
+        if n < 1:
+            raise ValueError("need at least one shard")
+        if n > region.width:
+            raise ValueError(
+                f"cannot split width {region.width} into {n} shards"
+            )
+        out: List[PartialRegion] = []
+        for k, cols in enumerate(np.array_split(np.arange(region.width), n)):
+            a, b = int(cols[0]), int(cols[-1]) + 1
+            out.append(
+                PartialRegion(
+                    FabricGrid(region.grid.cells[:, a:b].copy()),
+                    region.reconfigurable[:, a:b].copy(),
+                    name=f"{region.name}-cols{a}-{b}",
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # State views
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def clock(self) -> int:
+        return max(s.clock for s in self.shards)
+
+    @property
+    def stats(self) -> RuntimeStats:
+        merged = RuntimeStats()
+        for shard in self.shards:
+            merged = merged + shard.stats
+        return merged
+
+    def shard_stats(self) -> Dict[str, RuntimeStats]:
+        return {s.region.name: s.stats for s in self.shards}
+
+    def shard_of(self, name: str) -> Optional[str]:
+        """The shard currently holding module ``name`` (None if absent)."""
+        for shard in self.shards:
+            if any(p.module.name == name for p in shard.placements):
+                return shard.region.name
+        return None
+
+    def profiles(self) -> List[SolveProfile]:
+        """Per-shard profiles, each labelled with its shard name."""
+        return [s.profile(shard=s.region.name) for s in self.shards]
+
+    def profile(self) -> SolveProfile:
+        """The merged service-level record over all shards.
+
+        Built from the merged :class:`RuntimeStats` (profile ``meta``
+        entries do not sum under ``SolveProfile.__add__``), with cache
+        counters deduplicated by cache instance — under ``share_cache``
+        every shard reports the *same* cache, which must count once.
+        """
+        s = self.stats
+        caches = {id(sh._cache): sh._cache for sh in self.shards}
+        cache_totals = {"hits": 0, "misses": 0, "narrowed": 0, "evictions": 0}
+        for cache in caches.values():
+            for key, value in cache.stats().items():
+                if key in cache_totals:
+                    cache_totals[key] += value
+        return SolveProfile(
+            elapsed=s.total_latency_s,
+            stop_reason="service",
+            cache_hits=cache_totals["hits"],
+            cache_misses=cache_totals["misses"],
+            cache_narrowed=cache_totals["narrowed"],
+            cache_evictions=cache_totals["evictions"],
+            meta={
+                "shards": self.n_shards,
+                "router": self.config.router,
+                "runtime.arrivals": s.arrivals,
+                "runtime.admitted": s.admitted,
+                "runtime.rejected": s.rejected,
+                "runtime.departures": s.departures,
+                "runtime.defrags": s.defrags,
+                "runtime.defrag_moves": s.defrag_moves,
+                "runtime.probe_errors": s.probe_errors,
+                "runtime.queued_admits": s.queued_admits,
+                "runtime.mean_latency_s": round(s.mean_latency_s, 6),
+                "runtime.max_latency_s": round(s.max_latency_s, 6),
+                "runtime.peak_occupied_cells": s.peak_occupied_cells,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, request: RuntimeRequest) -> RequestOutcome:
+        """Route one arrival; spill across shards before rejecting.
+
+        Single-shard services delegate to the shard's own ``submit`` —
+        bit-identical to a bare manager by construction.
+        """
+        if self.n_shards == 1:
+            return self.shards[0].submit(request)
+        # every shard observes the clock advance (departures are played
+        # out) *before* routing, so load/fragmentation policies rank
+        # current state, not stale snapshots
+        for shard in self.shards:
+            shard.advance_to(request.arrival)
+        order = self._router.order(request, self.shards)
+        candidates = order if self.config.spill else order[:1]
+        prev = None
+        for rank, index in enumerate(candidates):
+            shard = self.shards[index]
+            if prev is not None:
+                self._emit(
+                    SERVICE_SPILL,
+                    module=request.module.name,
+                    from_shard=prev,
+                    to_shard=shard.region.name,
+                )
+            outcome = shard.offer(request)
+            if outcome is not None:
+                self._emit(
+                    SERVICE_ROUTE,
+                    module=request.module.name,
+                    shard=shard.region.name,
+                    policy=self.config.router,
+                    rank=rank,
+                )
+                return outcome
+            prev = shard.region.name
+        # nobody admitted: the request belongs to its primary shard,
+        # which queues or rejects it under the backpressure rules
+        primary = self.shards[order[0]]
+        self._emit(
+            SERVICE_ROUTE,
+            module=request.module.name,
+            shard=primary.region.name,
+            policy=self.config.router,
+            rank=0,
+        )
+        return primary.park(request)
+
+    def depart(self, name: str) -> Optional[Placement]:
+        """Explicitly remove a module from whichever shard holds it."""
+        for shard in self.shards:
+            placement = shard.depart(name)
+            if placement is not None:
+                return placement
+        return None
+
+    def advance_to(self, t: int) -> None:
+        for shard in self.shards:
+            shard.advance_to(t)
+
+    def drain(self) -> None:
+        """Drain every shard, then settle all clocks to the service max."""
+        for shard in self.shards:
+            shard.drain()
+        settle = self.clock
+        for shard in self.shards:
+            shard.advance_to(settle)
+        self._emit(SERVICE_DRAIN, shards=self.n_shards, clock=settle)
+
+    def run(self, trace: Sequence[RuntimeRequest]) -> ServiceLog:
+        """Consume a whole trace, then drain; returns the service log."""
+        outcomes: List[RequestOutcome] = []
+        for request in sorted(trace, key=lambda r: r.arrival):
+            outcomes.append(self.submit(request))
+        self.drain()
+        shard_of = {
+            o.placement.module.name: self.shard_of(o.placement.module.name)
+            for o in outcomes
+            if o.admitted and o.placement is not None
+        }
+        return ServiceLog(
+            outcomes=outcomes,
+            stats=self.stats,
+            per_shard=self.shard_stats(),
+            shard_of={k: v for k, v in shard_of.items() if v is not None},
+        )
+
+    # ------------------------------------------------------------------
+    # Process mode
+    # ------------------------------------------------------------------
+    def warm(self, modules: Sequence[Module]) -> int:
+        """Warm the caches for a module library; returns masks computed.
+
+        Inline mode warms the in-process caches directly; process mode
+        dispatches one warm task per shard so the pool's resident caches
+        start hot before serving.
+        """
+        total = 0
+        if self._pool is None:
+            for shard in self.shards:
+                total += shard._cache.warm(shard.region, modules)
+            return total
+        payloads = [module_to_dict(m) for m in modules]
+        futures = [
+            self._pool.submit(
+                warm_process_cache,
+                shard.region.name,
+                region_to_dict(shard.region),
+                payloads,
+                self.config.worker_cache_capacity,
+            )
+            for shard in self.shards
+        ]
+        for fut in futures:
+            total += fut.result()
+        return total
+
+    def _make_worker_solver(
+        self, shard_name: str, shard_cfg: RuntimeConfig
+    ) -> Callable[[Module, PartialRegion], Optional[Tuple[Placement, str]]]:
+        chain = shard_cfg.effective_chain()
+        time_limit = shard_cfg.probe_time_limit
+        capacity = self.config.worker_cache_capacity
+
+        def solver(
+            module: Module, region: PartialRegion
+        ) -> Optional[Tuple[Placement, str]]:
+            fut = self._pool.submit(
+                solve_in_worker,
+                region_to_dict(region),
+                module_to_dict(module),
+                chain,
+                time_limit,
+                0,
+                shard_name,
+                capacity,
+            )
+            solved = fut.result()
+            if solved is None:
+                return None
+            shape_index, x, y, backend = solved
+            return Placement(module, shape_index, x, y), f"worker:{backend}"
+
+        return solver
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (no-op in inline mode)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedPlacementService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _emit(self, kind: str, **data) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(kind, **data)

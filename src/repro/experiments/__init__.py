@@ -25,6 +25,12 @@ from repro.experiments.online import (
     generate_trace,
     online_comparison,
 )
+from repro.experiments.service_load import (
+    LoadReport,
+    format_report,
+    run_load,
+    serving_config,
+)
 
 __all__ = [
     "Table1Config",
@@ -43,4 +49,8 @@ __all__ = [
     "online_comparison",
     "generate_trace",
     "format_online",
+    "LoadReport",
+    "run_load",
+    "serving_config",
+    "format_report",
 ]

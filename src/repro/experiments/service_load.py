@@ -1,0 +1,188 @@
+"""Trace-replay load harness for the sharded placement service.
+
+Replays a seeded Table-I workload (:func:`repro.core.runtime.generate_workload`)
+through a :class:`~repro.core.service.ShardedPlacementService` and
+measures what a serving system is judged on: sustained request rate and
+the admission-latency distribution.  Latency here is the *wall-clock*
+time one ``submit`` call takes — routing, spill probes, chain solves and
+queue upkeep included — which is the figure an operator of the service
+would see, not the solver-internal probe time alone.
+
+The benchmark gate (``make bench-runtime``) runs :func:`run_load` on the
+committed configuration in ``BENCH_runtime.json`` and compares the
+measured throughput against the stored threshold, mirroring the
+``BENCH_geost.json`` flow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.runtime import RuntimeConfig, RuntimeRequest, generate_workload
+from repro.core.service import ServiceConfig, ShardedPlacementService
+from repro.experiments.config import default_fabric
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of pre-sorted data."""
+    if not sorted_values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]")
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """One load run's service-level measurements."""
+
+    n_requests: int
+    n_shards: int
+    router: str
+    elapsed_s: float
+    #: sustained request rate over the whole replay (drain excluded)
+    req_per_s: float
+    #: wall-clock per-submit admission latency percentiles (seconds)
+    p50_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    admitted: int
+    rejected: int
+    reject_rate: float
+    rejected_by_reason: Dict[str, int] = field(default_factory=dict)
+    per_shard_admitted: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_shards": self.n_shards,
+            "router": self.router,
+            "elapsed_s": round(self.elapsed_s, 4),
+            "req_per_s": round(self.req_per_s, 1),
+            "p50_latency_s": round(self.p50_latency_s, 6),
+            "p99_latency_s": round(self.p99_latency_s, 6),
+            "max_latency_s": round(self.max_latency_s, 6),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "reject_rate": round(self.reject_rate, 4),
+            "rejected_by_reason": dict(self.rejected_by_reason),
+            "per_shard_admitted": dict(self.per_shard_admitted),
+        }
+
+
+def serving_config(
+    router: str = "affinity",
+    chain: Sequence[str] = ("greedy",),
+    queue_capacity: int = 8,
+    spill: bool = True,
+) -> ServiceConfig:
+    """The high-throughput serving profile used by the benchmark gate.
+
+    Greedy-only chain (deterministic, no wall-clock solver budgets),
+    fragmentation-triggered defrag off (``frag_threshold=1.0`` is
+    short-circuited by the manager), timeline sampling off — the
+    configuration a latency-sensitive deployment would run.
+    """
+    return ServiceConfig(
+        router=router,
+        spill=spill,
+        runtime=RuntimeConfig(
+            chain=tuple(chain),
+            queue_capacity=queue_capacity,
+            frag_threshold=1.0,
+            defrag_on_reject=False,
+            sample_timeline=False,
+        ),
+    )
+
+
+def run_load(
+    n_requests: int = 500,
+    n_shards: int = 4,
+    seed: int = 0,
+    config: Optional[ServiceConfig] = None,
+    mean_interarrival: int = 2,
+    mean_lifetime: int = 24,
+) -> LoadReport:
+    """Replay one seeded Table-I trace; returns the measured report.
+
+    The fabric is the Table-I device (:func:`default_fabric`) column-split
+    into ``n_shards`` slabs, so the service serves the same silicon a
+    single manager would — just partitioned.
+    """
+    cfg = config or serving_config()
+    fabric = default_fabric()
+    regions = (
+        ShardedPlacementService.split(fabric, n_shards)
+        if n_shards > 1
+        else [fabric]
+    )
+    service = ShardedPlacementService(regions, cfg)
+    trace = generate_workload(
+        n_requests,
+        seed=seed,
+        mean_interarrival=mean_interarrival,
+        mean_lifetime=mean_lifetime,
+    )
+
+    latencies: List[float] = []
+    start = time.monotonic()
+    for request in sorted(trace, key=lambda r: r.arrival):
+        t0 = time.monotonic()
+        service.submit(request)
+        latencies.append(time.monotonic() - t0)
+    elapsed = time.monotonic() - start
+    service.drain()
+    service.close()
+
+    stats = service.stats
+    latencies.sort()
+    total = stats.admitted + stats.rejected
+    return LoadReport(
+        n_requests=n_requests,
+        n_shards=n_shards,
+        router=cfg.router,
+        elapsed_s=elapsed,
+        req_per_s=n_requests / elapsed if elapsed > 0 else float("inf"),
+        p50_latency_s=percentile(latencies, 50),
+        p99_latency_s=percentile(latencies, 99),
+        max_latency_s=latencies[-1] if latencies else 0.0,
+        admitted=stats.admitted,
+        rejected=stats.rejected,
+        reject_rate=stats.rejected / total if total else 0.0,
+        rejected_by_reason=dict(stats.rejected_by_reason),
+        per_shard_admitted={
+            name: s.admitted for name, s in service.shard_stats().items()
+        },
+    )
+
+
+def format_report(report: LoadReport) -> str:
+    """Human-readable one-block summary of one load run."""
+    lines = [
+        f"service load: {report.n_requests} requests, "
+        f"{report.n_shards} shard(s), router={report.router}",
+        f"  throughput : {report.req_per_s:,.0f} req/s "
+        f"({report.elapsed_s:.3f}s total)",
+        f"  latency    : p50={report.p50_latency_s * 1e3:.3f}ms "
+        f"p99={report.p99_latency_s * 1e3:.3f}ms "
+        f"max={report.max_latency_s * 1e3:.3f}ms",
+        f"  admission  : {report.admitted} admitted, "
+        f"{report.rejected} rejected "
+        f"(reject rate {report.reject_rate:.1%})",
+    ]
+    if report.rejected_by_reason:
+        reasons = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.rejected_by_reason.items())
+        )
+        lines.append(f"  reasons    : {reasons}")
+    if report.per_shard_admitted:
+        shards = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.per_shard_admitted.items())
+        )
+        lines.append(f"  per shard  : {shards}")
+    return "\n".join(lines)

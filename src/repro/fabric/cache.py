@@ -20,10 +20,26 @@ so this module memoizes it:
   same payload deserialized in two worker processes) share entries and the
   region's *name* never matters.
 
-The cache is deliberately unbounded: a placement service works against a
-handful of fabrics and a module library whose footprints number in the
-hundreds, so the working set is small and eviction would only add a way
-to lose the hits this layer exists to provide.
+The cache is unbounded *by default*: an offline placement run works
+against a handful of fabrics and a module library whose footprints number
+in the hundreds, so the working set is small and eviction would only add
+a way to lose the hits this layer exists to provide.  Long-running shard
+workers are different — the runtime manager probes every arrival against
+the current *residual* region, whose fingerprint changes with every
+admission and departure, so entries accumulate without bound over a long
+serving run.  For that consumer the cache takes an opt-in LRU
+``capacity``; evictions are counted (``evictions``) and surface in the
+``cache.masks`` trace event and the
+:class:`~repro.obs.profile.SolveProfile` so memory pressure is
+observable, and the default stays unbounded so existing pins are
+bit-identical.
+
+Warmed entries can be persisted (:meth:`AnchorMaskCache.save` /
+:meth:`AnchorMaskCache.load`) so pools of worker processes — the sharded
+placement service, the portfolio — deserialize finished masks instead of
+re-deriving every cross-correlation per process.  The file is a pickle of
+plain numpy arrays and cache keys: a local, trusted artifact (same trust
+model as a ``.npy`` file), not an interchange format.
 
 The *incremental* consumer of this cache is the kernel itself: for an LNS
 sub-region (:class:`~repro.fabric.region.NarrowedRegion`) the kernel
@@ -35,6 +51,8 @@ of recomputing every cross-correlation against the carved-up region.
 from __future__ import annotations
 
 import hashlib
+import pickle
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
 
 import numpy as np
@@ -82,14 +100,28 @@ class AnchorMaskCache:
     copy them into their own bank first, which :func:`numpy.stack` already
     does.
 
-    Counters (``hits``/``misses``/``narrowed``) are cumulative; consumers
-    snapshot them around a model construction to attribute deltas (see
-    :meth:`snapshot` / :meth:`delta`).
+    Counters (``hits``/``misses``/``narrowed``/``evictions``) are
+    cumulative; consumers snapshot them around a model construction to
+    attribute deltas (see :meth:`snapshot` / :meth:`delta`).
+
+    ``capacity`` (None = unbounded, the default) turns the mask store into
+    an LRU: a hit refreshes the entry, an insert past capacity evicts the
+    least recently used mask.  The per-region compatibility masks are
+    bounded by the same capacity (they are the larger entries for a
+    runtime shard worker, one dict of per-resource planes per residual
+    fingerprint); both kinds of eviction count into ``evictions``.
     """
 
-    def __init__(self) -> None:
-        self._masks: Dict[Tuple[RegionKey, FootprintKey], np.ndarray] = {}
-        self._compat: Dict[RegionKey, Dict[ResourceType, np.ndarray]] = {}
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self._masks: "OrderedDict[Tuple[RegionKey, FootprintKey], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._compat: "OrderedDict[RegionKey, Dict[ResourceType, np.ndarray]]" = (
+            OrderedDict()
+        )
         #: anchor-mask lookups served from the cache
         self.hits = 0
         #: anchor-mask lookups that had to run the cross-correlation
@@ -97,6 +129,8 @@ class AnchorMaskCache:
         #: mask rows derived incrementally from cached base-region masks
         #: (maintained by the kernel via :meth:`note_narrowed`)
         self.narrowed = 0
+        #: entries dropped by the LRU bound (0 while unbounded)
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Lookups
@@ -113,6 +147,12 @@ class AnchorMaskCache:
         if found is None:
             found = compatibility_masks(region)
             self._compat[key] = found
+            if self.capacity is not None:
+                while len(self._compat) > self.capacity:
+                    self._compat.popitem(last=False)
+                    self.evictions += 1
+        elif self.capacity is not None:
+            self._compat.move_to_end(key)
         return found
 
     def anchor_mask(
@@ -130,14 +170,25 @@ class AnchorMaskCache:
         mask = self._masks.get(entry)
         if mask is not None:
             self.hits += 1
+            if self.capacity is not None:
+                self._masks.move_to_end(entry)
             return mask
         self.misses += 1
         mask = valid_anchor_mask(
             region, sorted(footprint.cells), self.compat(region, key)
         )
         mask.setflags(write=False)
-        self._masks[entry] = mask
+        self._store(entry, mask)
         return mask
+
+    def _store(
+        self, entry: Tuple[RegionKey, FootprintKey], mask: np.ndarray
+    ) -> None:
+        self._masks[entry] = mask
+        if self.capacity is not None:
+            while len(self._masks) > self.capacity:
+                self._masks.popitem(last=False)
+                self.evictions += 1
 
     def warm(self, region: PartialRegion, modules: Iterable) -> int:
         """Precompute every shape's mask for one region; returns the count.
@@ -163,17 +214,19 @@ class AnchorMaskCache:
     def __len__(self) -> int:
         return len(self._masks)
 
-    def snapshot(self) -> Tuple[int, int, int]:
-        """Current (hits, misses, narrowed) counter values."""
-        return (self.hits, self.misses, self.narrowed)
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """Current (hits, misses, narrowed, evictions) counter values."""
+        return (self.hits, self.misses, self.narrowed, self.evictions)
 
-    def delta(self, snapshot: Tuple[int, int, int]) -> Dict[str, int]:
+    def delta(self, snapshot: Tuple[int, ...]) -> Dict[str, int]:
         """Counter increments since ``snapshot`` (from :meth:`snapshot`)."""
-        h0, m0, n0 = snapshot
+        h0, m0, n0 = snapshot[:3]
+        e0 = snapshot[3] if len(snapshot) > 3 else 0
         return {
             "hits": self.hits - h0,
             "misses": self.misses - m0,
             "narrowed": self.narrowed - n0,
+            "evictions": self.evictions - e0,
         }
 
     def stats(self) -> Dict[str, int]:
@@ -181,11 +234,66 @@ class AnchorMaskCache:
             "hits": self.hits,
             "misses": self.misses,
             "narrowed": self.narrowed,
+            "evictions": self.evictions,
             "entries": len(self._masks),
         }
+
+    # ------------------------------------------------------------------
+    # Persistence (warmed entries shared across worker processes)
+    # ------------------------------------------------------------------
+    SAVE_VERSION = 1
+
+    def save(self, path: str) -> int:
+        """Persist the finished masks; returns the entry count.
+
+        The artifact is a pickle of cache keys and numpy arrays — a local,
+        trusted file (load only what this process, or a sibling worker of
+        the same service, wrote).  Counters are *not* persisted: a loaded
+        cache starts with fresh accounting.
+        """
+        payload = {
+            "version": self.SAVE_VERSION,
+            "masks": [
+                (key, sorted(sig), np.asarray(mask))
+                for (key, sig), mask in self._masks.items()
+            ],
+            "compat": [
+                (key, {kind: np.asarray(m) for kind, m in compat.items()})
+                for key, compat in self._compat.items()
+            ],
+        }
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(self._masks)
+
+    @classmethod
+    def load(
+        cls, path: str, capacity: Optional[int] = None
+    ) -> "AnchorMaskCache":
+        """Rebuild a cache from :meth:`save` output (counters start at 0)."""
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        version = payload.get("version")
+        if version != cls.SAVE_VERSION:
+            raise ValueError(
+                f"unsupported cache file version {version!r} "
+                f"(expected {cls.SAVE_VERSION})"
+            )
+        cache = cls(capacity=capacity)
+        for key, compat in payload["compat"]:
+            cache._compat[key] = dict(compat)
+        for key, cells, mask in payload["masks"]:
+            mask = np.asarray(mask)
+            mask.setflags(write=False)
+            cache._store((key, frozenset(cells)), mask)
+        # a capacity smaller than the artifact truncates silently here;
+        # runtime accounting starts clean
+        cache.evictions = 0
+        return cache
 
     def __repr__(self) -> str:
         return (
             f"AnchorMaskCache(entries={len(self._masks)}, hits={self.hits}, "
-            f"misses={self.misses}, narrowed={self.narrowed})"
+            f"misses={self.misses}, narrowed={self.narrowed}, "
+            f"evictions={self.evictions})"
         )

@@ -80,10 +80,12 @@ class SolveProfile:
     propagations: int = 0
     domain_updates: int = 0
     failures: int = 0
-    # anchor-mask cache counters (0 when the solve ran uncached)
+    # anchor-mask cache counters (0 when the solve ran uncached);
+    # evictions stay 0 unless the cache runs with an LRU capacity
     cache_hits: int = 0
     cache_misses: int = 0
     cache_narrowed: int = 0
+    cache_evictions: int = 0
     # incremental-geost counters (0 when the kernel ran wholesale):
     # dirty objects filtered / cached results reused / objects rasterized
     # onto the occupancy bitboard
@@ -158,6 +160,7 @@ class SolveProfile:
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
             cache_narrowed=self.cache_narrowed + other.cache_narrowed,
+            cache_evictions=self.cache_evictions + other.cache_evictions,
             geost_dirty=self.geost_dirty + other.geost_dirty,
             geost_reused=self.geost_reused + other.geost_reused,
             geost_rasterized=self.geost_rasterized + other.geost_rasterized,
@@ -183,6 +186,7 @@ class SolveProfile:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_narrowed": self.cache_narrowed,
+            "cache_evictions": self.cache_evictions,
             "geost_dirty": self.geost_dirty,
             "geost_reused": self.geost_reused,
             "geost_rasterized": self.geost_rasterized,
@@ -228,6 +232,7 @@ class SolveProfile:
             cache_hits=d.get("cache_hits", 0),
             cache_misses=d.get("cache_misses", 0),
             cache_narrowed=d.get("cache_narrowed", 0),
+            cache_evictions=d.get("cache_evictions", 0),
             geost_dirty=d.get("geost_dirty", 0),
             geost_reused=d.get("geost_reused", 0),
             geost_rasterized=d.get("geost_rasterized", 0),
@@ -274,10 +279,11 @@ def profile_report(profile: SolveProfile) -> str:
         f"failures={p.failures} elapsed={p.elapsed:.3f}s"
         + (f" stop={p.stop_reason}" if p.stop_reason else ""),
     ]
-    if p.cache_hits or p.cache_misses or p.cache_narrowed:
+    if p.cache_hits or p.cache_misses or p.cache_narrowed or p.cache_evictions:
         head.append(
             f"anchor-mask cache: hits={p.cache_hits} "
-            f"misses={p.cache_misses} narrowed={p.cache_narrowed}"
+            f"misses={p.cache_misses} narrowed={p.cache_narrowed} "
+            f"evictions={p.cache_evictions}"
         )
     if p.geost_dirty or p.geost_reused or p.geost_rasterized:
         head.append(

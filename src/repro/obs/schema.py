@@ -71,13 +71,17 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "portfolio.result": ["seed", "extent", "solved"],
     "backend.start": ["backend", "modules"],
     "backend.result": ["backend", "status", "placed", "elapsed"],
-    "cache.masks": ["hits", "misses", "narrowed"],
+    "cache.masks": ["hits", "misses", "narrowed", "evictions"],
     "runtime.arrival": ["module", "clock", "queue"],
     "runtime.reject": ["module", "clock", "reason"],
     "runtime.defrag": [
         "clock", "trigger", "moves", "extent_before", "extent_after",
     ],
     "runtime.depart": ["module", "clock"],
+    # sharded placement service lifecycle (repro.core.service)
+    "service.route": ["module", "shard", "policy", "rank"],
+    "service.spill": ["module", "from_shard", "to_shard"],
+    "service.drain": ["shards", "clock"],
 }
 
 
@@ -115,7 +119,7 @@ def validate_profile(doc: Dict[str, Any]) -> List[str]:
     for key in (
         "nodes", "backtracks", "solutions", "max_depth", "restarts",
         "propagations", "domain_updates", "failures",
-        "cache_hits", "cache_misses", "cache_narrowed",
+        "cache_hits", "cache_misses", "cache_narrowed", "cache_evictions",
         "geost_dirty", "geost_reused", "geost_rasterized",
         "bitboard_rows_tested", "bitboard_fallbacks",
     ):

@@ -47,6 +47,12 @@ RUNTIME_ARRIVAL = "runtime.arrival"
 RUNTIME_REJECT = "runtime.reject"
 RUNTIME_DEFRAG = "runtime.defrag"
 RUNTIME_DEPART = "runtime.depart"
+#: sharded placement service lifecycle (repro.core.service) — one route
+#: event per request naming the shard that took (or parked) it, a spill
+#: event per cross-shard retry hop, one drain event per service drain
+SERVICE_ROUTE = "service.route"
+SERVICE_SPILL = "service.spill"
+SERVICE_DRAIN = "service.drain"
 
 # Event kinds (fine — gated on Tracer.fine)
 PROPAGATE = "engine.propagate"

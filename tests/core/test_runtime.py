@@ -181,6 +181,74 @@ class TestBackpressure:
         assert statuses[0] == "admitted" and "queued" not in statuses
 
 
+class TestQueueRegressions:
+    """Pinned queue bugs: both tests fail on the pre-fix manager."""
+
+    def test_reject_triggered_defrag_retries_the_pending_queue(self):
+        """Starvation regression: defrag frees space, queue must be retried.
+
+        8x2 fabric. a(3)|b(2)|c(2) leave col 7 free; q(3) queues. b
+        departs -> free cols {3,4,7}, still no 3-wide window, q stays
+        queued.  e(4) arrives, cannot fit, and its reject-triggered
+        defrag compacts a+c -> cols 5-7 free and contiguous.  q now
+        fits — but pre-fix only departures retried the queue, so q sat
+        starving until drain despite fitting the compacted floorplan.
+        """
+        mgr = RuntimePlacementManager(
+            region_w(8),
+            greedy_cfg(
+                queue_capacity=4,
+                max_queue_wait=100,
+                frag_threshold=1.0,  # never fragmentation-triggered
+                defrag_on_reject=True,
+                defrag_cooldown=0,
+            ),
+        )
+        assert mgr.submit(req(rect("a", 3), 1, lifetime=100)).admitted
+        assert mgr.submit(req(rect("b", 2), 1, lifetime=4)).admitted
+        assert mgr.submit(req(rect("c", 2), 2, lifetime=100)).admitted
+        q = mgr.submit(req(rect("q", 3), 3, lifetime=100))
+        assert q.status == "queued"
+        mgr.advance_to(6)  # b departed at t=5; {3,4,7} free, q still queued
+        assert q.status == "queued"
+        e = mgr.submit(req(rect("e", 4), 6, lifetime=100))
+        assert mgr.stats.defrags >= 1  # e's rejection triggered a pass
+        assert not e.admitted
+        # the defrag pass freed a 3-wide window: q must be admitted NOW,
+        # not at the next departure (pre-fix: still "queued" here)
+        assert q.admitted
+        assert q.admitted_at == 6
+        assert mgr.stats.queued_admits == 1
+        mgr.result().verify()
+
+    def test_drain_labels_unexpired_pending_as_drained(self):
+        """Drain regression: an unexpired queued request is not a
+        deadline miss — pre-fix it was reported as DEADLINE even though
+        its deadline lay far in the future."""
+        mgr = RuntimePlacementManager(
+            region_w(2), greedy_cfg(queue_capacity=4)
+        )
+        # 3-wide on a 2-wide fabric: can never fit, queues forever
+        never = mgr.submit(req(rect("never", 3), 1, deadline=1000))
+        assert never.status == "queued"
+        mgr.drain()
+        assert never.status == "rejected"
+        assert never.reason == RejectReason.DRAINED  # pre-fix: DEADLINE
+        assert mgr.clock < 1000  # its deadline genuinely had not passed
+
+    def test_drain_still_reports_real_deadline_misses(self):
+        """The honest counterpart: a queued request whose deadline passes
+        while drain plays out departures is still a DEADLINE reject."""
+        mgr = RuntimePlacementManager(
+            region_w(2), greedy_cfg(queue_capacity=4)
+        )
+        assert mgr.submit(req(rect("a", 2), 1, lifetime=10)).admitted
+        expired = mgr.submit(req(rect("late", 3), 2, deadline=6))
+        assert expired.status == "queued"
+        mgr.drain()  # advances to a's departure at t=11, past deadline 6
+        assert expired.reason == RejectReason.DEADLINE
+
+
 class TestCrashInjection:
     """No exception escapes the manager's serving path."""
 

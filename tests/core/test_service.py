@@ -1,0 +1,548 @@
+"""The sharded placement service: routing, spill, determinism, modes.
+
+The load-bearing guarantees:
+
+* **Single-shard bit-identity** — a 1-shard service must behave exactly
+  like a bare :class:`RuntimePlacementManager` on the same trace
+  (submit delegates directly, so there is nothing to drift).
+* **Shard determinism** — the same seeded Table-I trace through N shards
+  under affinity routing yields the same merged outcome multiset run to
+  run (stable content-hash routing, greedy chain: no wall-clock budgets
+  anywhere on the path).
+* **Modes agree** — the process-pool mode must admit/reject exactly like
+  inline mode on the same trace (the worker runs the same chain on the
+  same residual payloads).
+
+Scenario tests run greedy-only so every admission decision is forced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import (
+    RuntimeConfig,
+    RuntimePlacementManager,
+    RuntimeRequest,
+    generate_workload,
+)
+from repro.core.service import (
+    AffinityRouter,
+    LeastFragmentedRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    ServiceConfig,
+    ShardedPlacementService,
+    available_routers,
+    create_router,
+    register_router,
+)
+from repro.experiments.config import default_fabric
+from repro.fabric.devices import homogeneous_device
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.module import Module
+from repro.obs import RecordingTracer, validate_event
+
+
+def region_w(width: int, height: int = 2, name: str = "pr") -> PartialRegion:
+    return PartialRegion.whole_device(homogeneous_device(width, height), name)
+
+
+def rect(name: str, w: int, h: int = 2) -> Module:
+    return Module(name, [Footprint.rectangle(w, h)])
+
+
+def req(module: Module, arrival: int, lifetime: int = 100, deadline=None):
+    return RuntimeRequest(module, arrival, lifetime, deadline)
+
+
+def greedy_service_cfg(**kw) -> ServiceConfig:
+    runtime_kw = kw.pop("runtime_kw", {})
+    runtime_kw.setdefault("probe", "greedy")
+    runtime_kw.setdefault("frag_threshold", 1.0)
+    runtime_kw.setdefault("sample_timeline", False)
+    return ServiceConfig(runtime=RuntimeConfig(**runtime_kw), **kw)
+
+
+def outcome_key(o):
+    """Order-independent fingerprint of one outcome."""
+    placed = (
+        (o.placement.module.name, o.placement.shape_index,
+         o.placement.x, o.placement.y)
+        if o.placement is not None
+        else None
+    )
+    return (
+        o.request.module.name, o.status, o.method,
+        str(o.reason) if o.reason else None, o.admitted_at, placed,
+    )
+
+
+def outcome_multiset(outcomes):
+    return sorted(outcome_key(o) for o in outcomes)
+
+
+# ----------------------------------------------------------------------
+# Router registry + policies
+# ----------------------------------------------------------------------
+class TestRouterRegistry:
+    def test_default_policies_registered(self):
+        assert {"round-robin", "least-loaded", "least-fragmented",
+                "affinity"} <= set(available_routers())
+
+    def test_create_unknown_router_is_loud(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            create_router("definitely-not-registered")
+
+    def test_duplicate_registration_is_loud_unless_replaced(self):
+        register_router("test-dup", RoundRobinRouter, replace=True)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_router("test-dup", RoundRobinRouter)
+            register_router("test-dup", AffinityRouter, replace=True)
+            assert isinstance(create_router("test-dup"), AffinityRouter)
+        finally:
+            from repro.core import service
+
+            service._ROUTERS.pop("test-dup", None)
+
+    def test_config_validates_router_name(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            ShardedPlacementService(
+                [region_w(4)], ServiceConfig(router="nope")
+            )
+
+
+class TestRouterPolicies:
+    def _shards(self, n=3, width=8):
+        return [
+            RuntimePlacementManager(
+                region_w(width, name=f"s{k}"),
+                RuntimeConfig(probe="greedy", frag_threshold=1.0),
+            )
+            for k in range(n)
+        ]
+
+    def test_round_robin_cycles_and_spills_in_rotation(self):
+        router = RoundRobinRouter()
+        shards = self._shards(3)
+        r = req(rect("m", 2), 1)
+        assert router.order(r, shards) == [0, 1, 2]
+        assert router.order(r, shards) == [1, 2, 0]
+        assert router.order(r, shards) == [2, 0, 1]
+        assert router.order(r, shards) == [0, 1, 2]
+
+    def test_least_loaded_prefers_emptier_shard(self):
+        shards = self._shards(3)
+        shards[0].submit(req(rect("a", 6), 1))
+        shards[2].submit(req(rect("b", 2), 1))
+        order = LeastLoadedRouter().order(req(rect("m", 2), 2), shards)
+        assert order == [1, 2, 0]  # empty < lightly loaded < heavy
+
+    def test_least_fragmented_prefers_compact_shard(self):
+        shards = self._shards(2, width=8)
+        # shard 0: two modules with a gap between them (fragmented free
+        # space); shard 1: one compact block at the left edge
+        shards[0].submit(req(rect("a", 2), 1))
+        shards[0].submit(req(rect("gap", 2), 1))
+        shards[0].submit(req(rect("c", 2), 1))
+        shards[0].depart("gap")
+        shards[1].submit(req(rect("d", 2), 1))
+        frag0 = shards[0].fragmentation()
+        frag1 = shards[1].fragmentation()
+        assert frag0 > frag1
+        order = LeastFragmentedRouter().order(req(rect("m", 2), 2), shards)
+        assert order == [1, 0]
+
+    def test_affinity_is_stable_and_name_driven(self):
+        shards = self._shards(4)
+        router = AffinityRouter()
+        orders = {
+            name: router.order(req(rect(name, 2), 1), shards)
+            for name in ("mod-a", "mod-b", "mod-c", "mod-d", "mod-e")
+        }
+        # same name -> same order, every time (stable content hash)
+        again = AffinityRouter()
+        for name, order in orders.items():
+            assert again.order(req(rect(name, 2), 1), shards) == order
+            # spill continues round the ring from the primary
+            first = order[0]
+            assert order == [(first + k) % 4 for k in range(4)]
+        # distinct names actually spread (not all pinned to one shard)
+        assert len({o[0] for o in orders.values()}) > 1
+
+
+# ----------------------------------------------------------------------
+# Construction helpers
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_replicated_shards_are_independent(self):
+        svc = ShardedPlacementService.replicated(
+            region_w(6, name="dev"), 3, greedy_service_cfg()
+        )
+        assert svc.n_shards == 3
+        names = [s.region.name for s in svc.shards]
+        assert names == ["dev-s0", "dev-s1", "dev-s2"]
+        svc.shards[0].submit(req(rect("a", 2), 1))
+        assert svc.shards[1].placements == []
+
+    def test_split_partitions_columns_exactly(self):
+        fabric = default_fabric(40, 8)
+        shards = ShardedPlacementService.split(fabric, 4)
+        assert [s.width for s in shards] == [10, 10, 10, 10]
+        assert all(s.height == fabric.height for s in shards)
+        # cells are partitioned, never duplicated or dropped
+        total = sum(s.available_area() for s in shards)
+        assert total == fabric.available_area()
+
+    def test_split_rejects_impossible_counts(self):
+        with pytest.raises(ValueError):
+            ShardedPlacementService.split(region_w(4), 0)
+        with pytest.raises(ValueError):
+            ShardedPlacementService.split(region_w(4), 5)
+
+    def test_empty_region_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedPlacementService([], greedy_service_cfg())
+
+
+# ----------------------------------------------------------------------
+# Spill semantics
+# ----------------------------------------------------------------------
+class TestSpill:
+    def test_request_spills_to_next_best_shard(self):
+        tracer = RecordingTracer()
+        svc = ShardedPlacementService(
+            [region_w(2, name="s0"), region_w(4, name="s1")],
+            greedy_service_cfg(router="round-robin", tracer=tracer),
+        )
+        # round-robin: fill -> s0 (now full), b -> s1; the third request
+        # rotates back to s0 first, which must spill to s1, not queue
+        assert svc.submit(req(rect("fill", 2), 1)).admitted
+        assert svc.submit(req(rect("b", 2), 1)).admitted
+        out = svc.submit(req(rect("spilled", 2), 2))
+        assert out.admitted
+        assert svc.shard_of("spilled") == "s1"
+        spills = [e.data for e in tracer.by_kind("service.spill")]
+        assert {"module": "spilled", "from_shard": "s0",
+                "to_shard": "s1"} in spills
+        # the route event names the shard that actually admitted
+        routes = [e.data for e in tracer.by_kind("service.route")]
+        assert {"module": "spilled", "shard": "s1",
+                "policy": "round-robin", "rank": 1} in routes
+
+    def test_spill_failure_parks_on_primary_only(self):
+        tracer = RecordingTracer()
+        svc = ShardedPlacementService(
+            [region_w(2, name="s0"), region_w(2, name="s1")],
+            greedy_service_cfg(
+                router="round-robin", tracer=tracer,
+                runtime_kw={"probe": "greedy", "frag_threshold": 1.0,
+                            "queue_capacity": 4},
+            ),
+        )
+        assert svc.submit(req(rect("a", 2), 1)).admitted
+        assert svc.submit(req(rect("b", 2), 1)).admitted
+        out = svc.submit(req(rect("c", 2), 2))
+        assert out.status == "queued"
+        # exactly one shard recorded the arrival (the primary); the
+        # declined offer on the other shard left no trace in its stats
+        arrivals = [s.stats.arrivals for s in svc.shards]
+        assert sorted(arrivals) == [1, 2]
+        assert svc.stats.arrivals == 3
+
+    def test_spill_disabled_never_crosses_shards(self):
+        svc = ShardedPlacementService(
+            [region_w(2, name="s0"), region_w(4, name="s1")],
+            greedy_service_cfg(
+                router="round-robin", spill=False,
+                runtime_kw={"probe": "greedy", "frag_threshold": 1.0,
+                            "queue_capacity": 4},
+            ),
+        )
+        # rotation: fill -> s0 (full), b -> s1; "stuck" routes to s0
+        assert svc.submit(req(rect("fill", 2), 1)).admitted
+        assert svc.submit(req(rect("b", 2), 1)).admitted
+        out = svc.submit(req(rect("stuck", 2), 2))
+        assert out.status == "queued"  # parked on full s0...
+        assert svc.shards[1].stats.arrivals == 1  # ...s1 saw only b
+        assert len(svc.shards[1].placements) == 1  # though it had room
+
+    def test_depart_finds_module_across_shards(self):
+        svc = ShardedPlacementService(
+            [region_w(2, name="s0"), region_w(2, name="s1")],
+            greedy_service_cfg(router="round-robin"),
+        )
+        svc.submit(req(rect("a", 2), 1))
+        svc.submit(req(rect("b", 2), 1))  # round-robin -> s1
+        assert svc.shard_of("b") == "s1"
+        assert svc.depart("b") is not None
+        assert svc.shard_of("b") is None
+        assert svc.depart("b") is None
+
+
+# ----------------------------------------------------------------------
+# Determinism (the satellite pins)
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def _table1_trace(self, n=80, seed=11):
+        return generate_workload(n, seed=seed)
+
+    def test_single_shard_is_bit_identical_to_bare_manager(self):
+        trace = self._table1_trace()
+        bare = RuntimePlacementManager(
+            default_fabric(60, 12),
+            RuntimeConfig(probe="greedy", frag_threshold=1.0,
+                          sample_timeline=False),
+        )
+        bare_log = bare.run(trace)
+        svc = ShardedPlacementService(
+            [default_fabric(60, 12)], greedy_service_cfg(router="affinity")
+        )
+        svc_log = svc.run(trace)
+        # same outcomes in the same order, placement for placement
+        assert [outcome_key(o) for o in svc_log.outcomes] == [
+            outcome_key(o) for o in bare_log.outcomes
+        ]
+        # every logical counter matches (wall-clock latency sums differ
+        # between two runs by nature)
+        for fieldname in (
+            "arrivals", "admitted", "rejected", "departures", "defrags",
+            "defrag_moves", "probe_errors", "queued_admits",
+            "rejected_by_reason", "admits_by_method",
+            "peak_occupied_cells",
+        ):
+            assert getattr(svc_log.stats, fieldname) == getattr(
+                bare.stats, fieldname
+            ), fieldname
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_affinity_replay_is_reproducible_run_to_run(self, n_shards):
+        trace = self._table1_trace()
+
+        def replay():
+            svc = ShardedPlacementService(
+                ShardedPlacementService.split(
+                    default_fabric(80, 12), n_shards
+                ),
+                greedy_service_cfg(router="affinity"),
+            )
+            log = svc.run(trace)
+            return outcome_multiset(log.outcomes), {
+                name: (s.admitted, s.rejected)
+                for name, s in log.per_shard.items()
+            }
+
+        first_outcomes, first_shards = replay()
+        second_outcomes, second_shards = replay()
+        assert first_outcomes == second_outcomes
+        assert first_shards == second_shards
+        # and the merged multiset covers every submitted request
+        assert len(first_outcomes) == len(trace)
+
+    def test_one_vs_many_shards_serve_the_same_stream(self):
+        """1 shard and N shards replay the same trace: arrivals conserved
+        and every admitted module lands somewhere exactly once."""
+        trace = self._table1_trace(60)
+        one = ShardedPlacementService(
+            [default_fabric(80, 12)], greedy_service_cfg(router="affinity")
+        ).run(trace)
+        four = ShardedPlacementService(
+            ShardedPlacementService.split(default_fabric(80, 12), 4),
+            greedy_service_cfg(router="affinity"),
+        ).run(trace)
+        assert one.stats.arrivals == four.stats.arrivals == len(trace)
+        assert one.admitted + one.rejected == len(trace)
+        assert four.admitted + four.rejected == len(trace)
+        admitted_names = [
+            o.request.module.name for o in four.outcomes if o.admitted
+        ]
+        assert len(admitted_names) == len(set(admitted_names))
+
+
+# ----------------------------------------------------------------------
+# Execution modes
+# ----------------------------------------------------------------------
+class TestProcessMode:
+    def test_process_mode_matches_inline_admissions(self):
+        trace = generate_workload(16, seed=7)
+        inline_svc = ShardedPlacementService(
+            ShardedPlacementService.split(default_fabric(40, 12), 2),
+            greedy_service_cfg(router="round-robin"),
+        )
+        inline_log = inline_svc.run(trace)
+        with ShardedPlacementService(
+            ShardedPlacementService.split(default_fabric(40, 12), 2),
+            greedy_service_cfg(router="round-robin", mode="process",
+                               workers=2),
+        ) as proc_svc:
+            proc_svc.warm([r.module for r in trace])
+            proc_log = proc_svc.run(trace)
+        # placements bit-identical; only the method label differs
+        # ("greedy" vs "worker:greedy")
+        def placements(log):
+            return sorted(
+                (o.placement.module.name, o.placement.shape_index,
+                 o.placement.x, o.placement.y)
+                for o in log.outcomes
+                if o.admitted
+            )
+
+        assert placements(proc_log) == placements(inline_log)
+        assert proc_log.stats.admitted == inline_log.stats.admitted
+        assert proc_log.stats.rejected == inline_log.stats.rejected
+        assert all(
+            m.startswith("worker:")
+            for m in proc_svc.stats.admits_by_method
+        )
+
+    def test_close_is_idempotent_and_inline_close_is_noop(self):
+        svc = ShardedPlacementService([region_w(4)], greedy_service_cfg())
+        svc.close()
+        svc.close()
+
+    def test_validate_rejects_bad_mode_and_workers(self):
+        with pytest.raises(ValueError, match="unknown service mode"):
+            ShardedPlacementService(
+                [region_w(4)], greedy_service_cfg(mode="threads")
+            )
+        with pytest.raises(ValueError, match="workers"):
+            ShardedPlacementService(
+                [region_w(4)], greedy_service_cfg(workers=0)
+            )
+
+
+# ----------------------------------------------------------------------
+# Process-resident workers (core.backend.worker)
+# ----------------------------------------------------------------------
+class TestWorkerHelpers:
+    @pytest.fixture(autouse=True)
+    def _fresh_caches(self):
+        from repro.core.backend import reset_process_caches
+
+        reset_process_caches()
+        yield
+        reset_process_caches()
+
+    def test_process_cache_is_named_and_persistent(self):
+        from repro.core.backend import process_cache
+
+        a = process_cache("shard-a")
+        assert process_cache("shard-a") is a  # same process, same cache
+        assert process_cache("shard-b") is not a
+
+    def test_solve_in_worker_round_trips_a_placement(self):
+        from repro.core.backend import process_cache, solve_in_worker
+        from repro.fabric.io import region_to_dict
+        from repro.modules.spec import module_to_dict
+
+        region = region_w(6, name="w")
+        module = rect("m", 2)
+        solved = solve_in_worker(
+            region_to_dict(region), module_to_dict(module),
+            chain=("greedy",), time_limit=0.1, cache_key="w",
+        )
+        assert solved is not None
+        sid, x, y, backend = solved
+        assert backend == "greedy" and sid == 0
+        # the lookup went through the named process cache
+        assert process_cache("w").misses > 0
+        # definitive no-fit returns None, not an exception
+        assert solve_in_worker(
+            region_to_dict(region), module_to_dict(rect("big", 8)),
+            chain=("greedy",), time_limit=0.1, cache_key="w",
+        ) is None
+
+    def test_warm_save_load_round_trip(self, tmp_path):
+        from repro.core.backend import process_cache, warm_process_cache
+        from repro.fabric.io import region_to_dict
+        from repro.modules.spec import module_to_dict
+
+        region = region_w(8, name="w2")
+        modules = [rect("a", 2), rect("b", 3)]
+        path = str(tmp_path / "warm.pkl")
+        n = warm_process_cache(
+            "w2", region_to_dict(region),
+            [module_to_dict(m) for m in modules], save_path=path,
+        )
+        assert n == 2
+        fresh = process_cache("other", load_path=path)
+        fresh.warm(region, modules)  # all hits: entries came from disk
+        assert fresh.misses == 0 and fresh.hits == 2
+
+    def test_portfolio_inline_reuses_the_process_cache(self):
+        """The portfolio's n_workers==1 path runs in-process: a second
+        ``place`` over the same region must be served from the resident
+        cache, not recompute every mask (the worker-reuse refactor)."""
+        from repro.core.backend import process_cache
+        from repro.core.portfolio import PortfolioConfig, PortfolioPlacer
+        from repro.modules.generator import ModuleGenerator
+
+        region = default_fabric(40, 8)
+        modules = ModuleGenerator(seed=5).generate_set(3)
+        placer = PortfolioPlacer(
+            PortfolioConfig(n_workers=1, time_limit=2.0, members=["greedy"])
+        )
+        placer.place(region, modules)
+        cache = process_cache("portfolio")
+        misses_after_first = cache.misses
+        assert misses_after_first > 0
+        placer.place(region, modules)
+        assert cache.misses == misses_after_first  # second run: all hits
+        assert cache.hits > 0
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_service_events_validate_against_schema(self):
+        tracer = RecordingTracer()
+        svc = ShardedPlacementService(
+            [region_w(2, name="s0"), region_w(4, name="s1")],
+            greedy_service_cfg(router="round-robin", tracer=tracer),
+        )
+        svc.submit(req(rect("fill", 2), 1))
+        svc.submit(req(rect("b", 2), 1))
+        svc.submit(req(rect("spilled", 2), 2))  # s0 full -> spills to s1
+        svc.drain()
+        kinds = tracer.kinds()
+        assert kinds.get("service.route", 0) >= 3
+        assert kinds.get("service.spill", 0) >= 1
+        assert kinds.get("service.drain") == 1
+        for event in tracer.events:
+            assert validate_event(event.to_dict()) == []
+
+    def test_merged_profile_sums_shards_and_keeps_labels(self):
+        svc = ShardedPlacementService(
+            ShardedPlacementService.split(default_fabric(40, 8), 2),
+            greedy_service_cfg(router="round-robin"),
+        )
+        svc.run(generate_workload(12, seed=2))
+        per_shard = svc.profiles()
+        assert [p.meta["shard"] for p in per_shard] == [
+            s.region.name for s in svc.shards
+        ]
+        merged = svc.profile()
+        assert merged.meta["shards"] == 2
+        assert merged.meta["runtime.arrivals"] == sum(
+            p.meta["runtime.arrivals"] for p in per_shard
+        ) == 12
+        # with share_cache every shard reports the *same* cache; the
+        # merged record counts it once, not once per shard
+        assert per_shard[0].cache_hits == per_shard[1].cache_hits
+        assert merged.cache_hits == per_shard[0].cache_hits
+
+    def test_shard_stats_merge_matches_service_stats(self):
+        svc = ShardedPlacementService(
+            ShardedPlacementService.split(default_fabric(40, 8), 2),
+            greedy_service_cfg(router="least-loaded"),
+        )
+        log = svc.run(generate_workload(15, seed=4))
+        merged = svc.stats
+        assert merged.arrivals == sum(
+            s.arrivals for s in log.per_shard.values()
+        )
+        assert merged.admitted == log.admitted
+        assert merged.rejected == log.rejected

@@ -119,7 +119,8 @@ class TestCacheLookups:
         cache.anchor_mask(r1, fp)
         cache.anchor_mask(r2, fp)
         assert cache.stats() == {
-            "hits": 1, "misses": 1, "narrowed": 0, "entries": 1,
+            "hits": 1, "misses": 1, "narrowed": 0, "evictions": 0,
+            "entries": 1,
         }
 
     def test_warm_precomputes_every_shape(self):
@@ -186,6 +187,139 @@ class TestDifferential:
         assert incremental.cache_stats["hits"] == 0
         assert incremental.cache_stats["misses"] > 0
         assert np.array_equal(incremental.bank, reference.bank)
+
+
+class TestLRUCapacity:
+    """Opt-in bounded mode: eviction order, counters, unbounded default."""
+
+    def _regions(self, n):
+        # distinct widths: structurally distinct fingerprints guaranteed
+        # (same-size irregular devices can collide across seeds)
+        return [
+            PartialRegion.whole_device(irregular_device(16 + 4 * s, 8, seed=s))
+            for s in range(n)
+        ]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnchorMaskCache(capacity=0)
+        with pytest.raises(ValueError):
+            AnchorMaskCache(capacity=-3)
+        AnchorMaskCache(capacity=1)  # fine
+        AnchorMaskCache(capacity=None)  # fine (unbounded default)
+
+    def test_mask_store_evicts_least_recently_used(self):
+        region = PartialRegion.whole_device(irregular_device(24, 8, seed=7))
+        cache = AnchorMaskCache(capacity=2)
+        a, b, c = (Footprint.rectangle(w, 2) for w in (2, 3, 4))
+        cache.anchor_mask(region, a)
+        cache.anchor_mask(region, b)
+        cache.anchor_mask(region, a)  # refresh a: b is now the LRU entry
+        cache.anchor_mask(region, c)  # evicts b
+        assert cache.evictions >= 1
+        misses = cache.misses
+        cache.anchor_mask(region, a)  # survived — a hit
+        assert cache.misses == misses
+        cache.anchor_mask(region, b)  # evicted — recomputed
+        assert cache.misses == misses + 1
+
+    def test_evicted_mask_recomputes_bit_identically(self):
+        region = PartialRegion.whole_device(irregular_device(24, 8, seed=8))
+        fp = Footprint.rectangle(3, 2)
+        cache = AnchorMaskCache(capacity=1)
+        first = cache.anchor_mask(region, fp).copy()
+        cache.anchor_mask(region, Footprint.rectangle(5, 2))  # evicts fp
+        again = cache.anchor_mask(region, fp)
+        assert np.array_equal(first, again)
+
+    def test_compat_store_is_bounded_too(self):
+        regions = self._regions(4)
+        cache = AnchorMaskCache(capacity=2)
+        for r in regions:
+            cache.compat(r)
+        assert len(cache._compat) == 2
+        assert cache.evictions >= 2
+
+    def test_unbounded_default_never_evicts(self):
+        regions = self._regions(5)
+        cache = AnchorMaskCache()
+        for r in regions:
+            for w in (2, 3, 4):
+                cache.anchor_mask(r, Footprint.rectangle(w, 2))
+        assert cache.evictions == 0
+        assert len(cache) == 15
+
+    def test_eviction_counter_flows_through_delta_and_stats(self):
+        region = PartialRegion.whole_device(irregular_device(24, 8, seed=9))
+        cache = AnchorMaskCache(capacity=1)
+        snap = cache.snapshot()
+        cache.anchor_mask(region, Footprint.rectangle(2, 2))
+        cache.anchor_mask(region, Footprint.rectangle(3, 2))
+        d = cache.delta(snap)
+        assert d["evictions"] == cache.evictions > 0
+        assert cache.stats()["evictions"] == cache.evictions
+        # old 3-tuple snapshots (pre-eviction consumers) still work
+        assert cache.delta((0, 0, 0))["misses"] == 2
+
+
+class TestPersistence:
+    """save()/load() round-trips warmed entries across processes."""
+
+    def test_round_trip_is_bit_identical_and_all_hits(self, tmp_path):
+        region = PartialRegion.whole_device(irregular_device(24, 8, seed=11))
+        modules = ModuleGenerator(seed=4).generate_set(3)
+        cache = AnchorMaskCache()
+        n = cache.warm(region, modules)
+        path = tmp_path / "masks.pkl"
+        assert cache.save(str(path)) == len(cache)
+
+        loaded = AnchorMaskCache.load(str(path))
+        assert len(loaded) == len(cache)
+        # counters start fresh in the loaded copy
+        assert loaded.stats() == {
+            "hits": 0, "misses": 0, "narrowed": 0, "evictions": 0,
+            "entries": len(cache),
+        }
+        loaded.warm(region, modules)  # every lookup served from disk state
+        assert loaded.misses == 0
+        assert loaded.hits == n
+        for fp in (s for m in modules for s in m.shapes):
+            assert np.array_equal(
+                loaded.anchor_mask(region, fp),
+                cache.anchor_mask(region, fp),
+            )
+
+    def test_loaded_masks_stay_write_protected(self, tmp_path):
+        region = PartialRegion.whole_device(irregular_device(16, 8, seed=12))
+        cache = AnchorMaskCache()
+        cache.anchor_mask(region, Footprint.rectangle(2, 2))
+        path = tmp_path / "masks.pkl"
+        cache.save(str(path))
+        loaded = AnchorMaskCache.load(str(path))
+        mask = loaded.anchor_mask(region, Footprint.rectangle(2, 2))
+        with pytest.raises(ValueError):
+            mask[0, 0] = False
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.pkl"
+        path.write_bytes(
+            pickle.dumps({"version": 999, "masks": [], "compat": []})
+        )
+        with pytest.raises(ValueError, match="version"):
+            AnchorMaskCache.load(str(path))
+
+    def test_load_with_capacity_bounds_and_resets_evictions(self, tmp_path):
+        region = PartialRegion.whole_device(irregular_device(24, 8, seed=13))
+        cache = AnchorMaskCache()
+        for w in (2, 3, 4, 5):
+            cache.anchor_mask(region, Footprint.rectangle(w, 2))
+        path = tmp_path / "masks.pkl"
+        cache.save(str(path))
+        loaded = AnchorMaskCache.load(str(path), capacity=2)
+        assert len(loaded) == 2
+        assert loaded.evictions == 0  # accounting starts clean post-load
 
 
 class TestNarrowedRegion:
