@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-oracle bench bench-fast bench-geost bench-runtime profile-smoke runtime-smoke backends-smoke
+.PHONY: test test-fast test-oracle bench bench-fast bench-geost bench-runtime profile-smoke runtime-smoke backends-smoke defrag-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -57,3 +57,9 @@ runtime-smoke:
 ## placements, trace events and the honesty of the result flags
 backends-smoke:
 	$(PY) scripts/backends_smoke.py
+
+## both registered defrag strategies on the 60-event demo trace with
+## full move-transition verification; validates plans, step events,
+## move accounting and the profile counters
+defrag-smoke:
+	$(PY) scripts/defrag_smoke.py

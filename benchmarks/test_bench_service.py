@@ -80,6 +80,72 @@ class TestServiceThroughputGate:
         # the replay must exercise real admission decisions end to end
         assert report.admitted + report.rejected == workload["n_requests"]
 
+    def test_no_break_defrag_keeps_throughput_floor(self, spec, latest):
+        """No-break defrag at the default cadence (reject-triggered
+        passes on, fragmentation trigger off) must keep the same req/s
+        floor on the 4-shard replay — planning move sequences instead of
+        teleporting may not price defragmentation out of the serving
+        path."""
+        workload = spec["workload"]
+        gates = spec["gates"]
+        report = run_load(
+            n_requests=workload["n_requests"],
+            n_shards=workload["n_shards"],
+            seed=workload["seed"],
+            config=serving_config(
+                router=workload["router"],
+                chain=workload["chain"],
+                defrag="no-break",
+            ),
+            mean_interarrival=workload["mean_interarrival"],
+            mean_lifetime=workload["mean_lifetime"],
+        )
+        latest["no_break"] = {
+            "req_per_s": round(report.req_per_s, 1),
+            "p99_latency_s": round(report.p99_latency_s, 6),
+            "reject_rate": round(report.reject_rate, 4),
+            "defrags": report.defrags,
+            "defrag_executed_moves": report.defrag_executed_moves,
+            "defrag_aborted_moves": report.defrag_aborted_moves,
+        }
+        floor = gates.get("no_break_req_per_s_min", gates["req_per_s_min"])
+        assert report.req_per_s >= floor, (
+            f"no-break defrag sustained {report.req_per_s:.0f} req/s, "
+            f"floor is {floor:.0f} (see {GATES_PATH.name})"
+        )
+
+    def test_three_way_defrag_comparison_recorded(self, spec, latest):
+        """The trajectory artifact records the instant / no-break /
+        disabled comparison on the same replay, so defrag strategy cost
+        stays visible next to the throughput gates."""
+        workload = spec["workload"]
+        comparison = {}
+        for strategy in ("greedy-compaction", "no-break", "disabled"):
+            report = run_load(
+                n_requests=workload["n_requests"],
+                n_shards=workload["n_shards"],
+                seed=workload["seed"],
+                config=serving_config(
+                    router=workload["router"],
+                    chain=workload["chain"],
+                    defrag=strategy,
+                ),
+                mean_interarrival=workload["mean_interarrival"],
+                mean_lifetime=workload["mean_lifetime"],
+            )
+            comparison[strategy] = {
+                "req_per_s": round(report.req_per_s, 1),
+                "p99_latency_s": round(report.p99_latency_s, 6),
+                "reject_rate": round(report.reject_rate, 4),
+                "defrags": report.defrags,
+                "defrag_executed_moves": report.defrag_executed_moves,
+                "defrag_time_s": round(report.defrag_time_s, 6),
+            }
+        latest["defrag_comparison"] = comparison
+        assert set(comparison) == {
+            "greedy-compaction", "no-break", "disabled",
+        }
+
     def test_sharding_beats_the_single_manager_pin(self, spec):
         """Sanity anchor: one shard alone clears the old 50 req/s pin,
         so the 10x service gate is sharding + serving-path work, not a

@@ -21,7 +21,20 @@ from repro.core.relocation import (
     relocatability_report,
     relocation_sites,
 )
-from repro.core.defrag import DefragResult, defragment
+from repro.core.defrag import (
+    DefragPlan,
+    DefragResult,
+    Defragmenter,
+    GreedyCompactionDefragmenter,
+    NoBreakDefragmenter,
+    PlannedMove,
+    available_defragmenters,
+    create_defragmenter,
+    defragment,
+    plan_states,
+    register_defragmenter,
+    unregister_defragmenter,
+)
 from repro.core.comm import CommAwarePlacer, CommConfig, CommResult
 from repro.core.portfolio import PortfolioConfig, PortfolioPlacer
 from repro.core.region_alloc import (
@@ -75,8 +88,18 @@ __all__ = [
     "RelocationSite",
     "relocation_sites",
     "relocatability_report",
+    "DefragPlan",
     "DefragResult",
+    "Defragmenter",
+    "GreedyCompactionDefragmenter",
+    "NoBreakDefragmenter",
+    "PlannedMove",
+    "available_defragmenters",
+    "create_defragmenter",
     "defragment",
+    "plan_states",
+    "register_defragmenter",
+    "unregister_defragmenter",
     "CommAwarePlacer",
     "CommConfig",
     "CommResult",

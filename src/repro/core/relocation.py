@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.result import Placement, PlacementResult
+from repro.fabric.cache import AnchorMaskCache
 from repro.fabric.masks import compatibility_masks, valid_anchor_mask
 from repro.fabric.region import PartialRegion
 
@@ -60,24 +61,44 @@ def relocation_sites(
     result: PlacementResult,
     placement: Placement,
     consider_alternatives: bool = True,
+    cache: Optional[AnchorMaskCache] = None,
 ) -> List[RelocationSite]:
     """All anchors ``placement``'s module could occupy instead.
 
     The module itself is lifted first (its own cells count as free), so
     the current position is always among the sites of its current shape.
+
+    ``cache`` routes the mask computation through a shared
+    :class:`~repro.fabric.cache.AnchorMaskCache`, keyed on the content
+    fingerprint of the lifted-module free mask — defrag passes probe the
+    same residual floorplan for every candidate module/shape, so the
+    per-region compatibility planes and repeated (region, footprint)
+    lookups are served from cache instead of re-derived per call.  The
+    cached and uncached paths are bit-identical (pinned by the
+    differential suite).
     """
     region = result.region
     free = _free_mask_excluding(result, placement)
     sub_region = PartialRegion(region.grid, free & region.reconfigurable)
-    compat = compatibility_masks(sub_region)
     shapes = (
         list(enumerate(placement.module.shapes))
         if consider_alternatives
         else [(placement.shape_index, placement.footprint)]
     )
+    if cache is not None:
+        region_key = cache.region_key(sub_region)
+        masks = [
+            (sid, cache.anchor_mask(sub_region, fp, region_key=region_key))
+            for sid, fp in shapes
+        ]
+    else:
+        compat = compatibility_masks(sub_region)
+        masks = [
+            (sid, valid_anchor_mask(sub_region, sorted(fp.cells), compat))
+            for sid, fp in shapes
+        ]
     sites: List[RelocationSite] = []
-    for sid, fp in shapes:
-        mask = valid_anchor_mask(sub_region, sorted(fp.cells), compat)
+    for sid, mask in masks:
         ys, xs = np.nonzero(mask)
         sites.extend(
             RelocationSite(sid, int(x), int(y))

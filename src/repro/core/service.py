@@ -294,8 +294,14 @@ class ShardedPlacementService:
         self.config.validate()
         cfg = self.config
         self._router = create_router(cfg.router)
+        # explicit None test: AnchorMaskCache has __len__, so an *empty*
+        # user-provided cache is falsy — `or` would silently replace it
         shared_cache = (
-            (cfg.runtime.cache or AnchorMaskCache())
+            (
+                cfg.runtime.cache
+                if cfg.runtime.cache is not None
+                else AnchorMaskCache()
+            )
             if cfg.share_cache
             else None
         )
@@ -431,12 +437,17 @@ class ShardedPlacementService:
             meta={
                 "shards": self.n_shards,
                 "router": self.config.router,
+                "defragmenter": self.config.runtime.defragmenter,
                 "runtime.arrivals": s.arrivals,
                 "runtime.admitted": s.admitted,
                 "runtime.rejected": s.rejected,
                 "runtime.departures": s.departures,
                 "runtime.defrags": s.defrags,
                 "runtime.defrag_moves": s.defrag_moves,
+                "runtime.defrag_planned": s.defrag_planned_moves,
+                "runtime.defrag_executed": s.defrag_executed_moves,
+                "runtime.defrag_aborted": s.defrag_aborted_moves,
+                "runtime.defrag_time_s": round(s.defrag_time_s, 6),
                 "runtime.probe_errors": s.probe_errors,
                 "runtime.queued_admits": s.queued_admits,
                 "runtime.mean_latency_s": round(s.mean_latency_s, 6),

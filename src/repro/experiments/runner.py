@@ -114,9 +114,18 @@ def _a5() -> str:
 
 
 def _a6() -> str:
-    from repro.experiments.runtime_exp import format_runtime, runtime_comparison
+    from repro.experiments.runtime_exp import (
+        defrag_comparison,
+        format_defrag,
+        format_runtime,
+        runtime_comparison,
+    )
 
-    return format_runtime(runtime_comparison())
+    return (
+        format_runtime(runtime_comparison())
+        + "\n\n"
+        + format_defrag(defrag_comparison())
+    )
 
 
 #: backend names selected with --backend (None = every registered backend);

@@ -8,6 +8,14 @@ once with the full alternative sets and once restricted to the primary
 shape; the comparison reports rejection counts, time-weighted mean
 utilization and defragmentation activity.
 
+The defrag extension (:func:`defrag_comparison`) serves one seeded
+*heavy-traffic* trace three ways — instant teleporting defrag
+(``greedy-compaction``), the no-break engine, and defrag disabled — and
+reports reject counts, p99 admission latency and move accounting.  The
+no-break run verifies every move transition against the full floorplan
+invariants (``verify_moves=True``), so a passing run is also a proof
+that no intermediate state ever overlapped a running module.
+
 The greedy probe is used so both runs are deterministic (no wall-clock
 budget in the admission decision); the CP probe variant is exercised by
 ``benchmarks/test_bench_runtime.py``.
@@ -72,6 +80,23 @@ def default_runtime_trace(
     )
 
 
+def heavy_runtime_trace(
+    n_requests: int = 90, seed: int = 5
+) -> List[RuntimeRequest]:
+    """The heavy-traffic trace: arrivals every tick, so the floorplan
+    never empties and fragmentation compounds — the regime where
+    defragmentation strategy actually changes admission outcomes."""
+    return generate_workload(
+        n_requests,
+        seed=seed,
+        mean_interarrival=1,
+        mean_lifetime=24,
+        generator_config=GeneratorConfig(
+            clb_min=12, clb_max=48, bram_max=2, height_min=3, height_max=6
+        ),
+    )
+
+
 def serve_trace(
     region: PartialRegion,
     trace: Sequence[RuntimeRequest],
@@ -121,6 +146,111 @@ def runtime_comparison(
             )
         )
     return rows
+
+
+@dataclass
+class DefragRow:
+    """One defrag-strategy serving run, summarized."""
+
+    label: str
+    admitted: int
+    rejected: int
+    p99_latency_ms: float
+    defrags: int
+    planned_moves: int
+    executed_moves: int
+    aborted_moves: int
+    defrag_time_ms: float
+
+    @property
+    def total(self) -> int:
+        return self.admitted + self.rejected
+
+    @property
+    def rejection_ratio(self) -> float:
+        return self.rejected / self.total if self.total else 0.0
+
+
+def _p99_ms(log: RuntimeLog) -> float:
+    """p99 per-request admission latency, in milliseconds."""
+    lat = sorted(o.latency_s for o in log.outcomes)
+    if not lat:
+        return 0.0
+    return 1e3 * lat[min(len(lat) - 1, int(0.99 * len(lat)))]
+
+
+def defrag_strategy_config(strategy: str) -> RuntimeConfig:
+    """The per-strategy serving knobs of the defrag comparison.
+
+    ``strategy`` is a registered defragmenter name, or ``"disabled"``
+    (no reject-triggered pass, fragmentation trigger off).  The
+    no-break run additionally verifies every move transition.
+    """
+    if strategy == "disabled":
+        return RuntimeConfig(
+            probe="greedy",
+            defrag_on_reject=False,
+            frag_threshold=1.0,
+            sample_timeline=False,
+        )
+    return RuntimeConfig(
+        probe="greedy",
+        defragmenter=strategy,
+        verify_moves=(strategy == "no-break"),
+        sample_timeline=False,
+    )
+
+
+def defrag_comparison(
+    n_requests: int = 90,
+    seed: int = 5,
+    region: Optional[PartialRegion] = None,
+) -> List[DefragRow]:
+    """Instant vs no-break vs disabled defrag on one heavy trace."""
+    region = region or default_runtime_region()
+    trace = heavy_runtime_trace(n_requests, seed)
+    rows = []
+    for strategy, label in (
+        ("greedy-compaction", "defrag: instant (oracle)"),
+        ("no-break", "defrag: no-break"),
+        ("disabled", "defrag: disabled"),
+    ):
+        manager = RuntimePlacementManager(
+            region, defrag_strategy_config(strategy)
+        )
+        log = manager.run(trace)
+        s = manager.stats
+        rows.append(
+            DefragRow(
+                label=label,
+                admitted=s.admitted,
+                rejected=s.rejected,
+                p99_latency_ms=_p99_ms(log),
+                defrags=s.defrags,
+                planned_moves=s.defrag_planned_moves,
+                executed_moves=s.defrag_executed_moves,
+                aborted_moves=s.defrag_aborted_moves,
+                defrag_time_ms=1e3 * s.defrag_time_s,
+            )
+        )
+    return rows
+
+
+def format_defrag(rows: Sequence[DefragRow]) -> str:
+    """Tabular rendering of the defrag-strategy comparison."""
+    header = (
+        f"{'strategy':<26} {'admit':>6} {'reject':>7} {'p99(ms)':>8} "
+        f"{'passes':>7} {'moves p/e/a':>12} {'dft(ms)':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        moves = f"{r.planned_moves}/{r.executed_moves}/{r.aborted_moves}"
+        lines.append(
+            f"{r.label:<26} {r.admitted:>6} {r.rejected:>7} "
+            f"{r.p99_latency_ms:>8.2f} {r.defrags:>7} {moves:>12} "
+            f"{r.defrag_time_ms:>8.1f}"
+        )
+    return "\n".join(lines)
 
 
 def format_runtime(rows: Sequence[RuntimeRow]) -> str:

@@ -53,6 +53,14 @@ class LoadReport:
     admitted: int
     rejected: int
     reject_rate: float
+    #: defrag strategy the run served with ("disabled" when off)
+    defrag: str = "disabled"
+    defrags: int = 0
+    defrag_planned_moves: int = 0
+    defrag_executed_moves: int = 0
+    defrag_aborted_moves: int = 0
+    #: wall-clock spent in defrag passes (excluded from request latency)
+    defrag_time_s: float = 0.0
     rejected_by_reason: Dict[str, int] = field(default_factory=dict)
     per_shard_admitted: Dict[str, int] = field(default_factory=dict)
 
@@ -69,6 +77,12 @@ class LoadReport:
             "admitted": self.admitted,
             "rejected": self.rejected,
             "reject_rate": round(self.reject_rate, 4),
+            "defrag": self.defrag,
+            "defrags": self.defrags,
+            "defrag_planned_moves": self.defrag_planned_moves,
+            "defrag_executed_moves": self.defrag_executed_moves,
+            "defrag_aborted_moves": self.defrag_aborted_moves,
+            "defrag_time_s": round(self.defrag_time_s, 6),
             "rejected_by_reason": dict(self.rejected_by_reason),
             "per_shard_admitted": dict(self.per_shard_admitted),
         }
@@ -79,24 +93,32 @@ def serving_config(
     chain: Sequence[str] = ("greedy",),
     queue_capacity: int = 8,
     spill: bool = True,
+    defrag: str = "disabled",
 ) -> ServiceConfig:
     """The high-throughput serving profile used by the benchmark gate.
 
     Greedy-only chain (deterministic, no wall-clock solver budgets),
-    fragmentation-triggered defrag off (``frag_threshold=1.0`` is
-    short-circuited by the manager), timeline sampling off — the
-    configuration a latency-sensitive deployment would run.
+    timeline sampling off — the configuration a latency-sensitive
+    deployment would run.  ``defrag`` selects the strategy: "disabled"
+    (the historical gate configuration: no reject-triggered pass), or a
+    registered defragmenter name served at the *default cadence* —
+    reject-triggered passes on, fragmentation-triggered passes off
+    (``frag_threshold=1.0`` is short-circuited by the manager, keeping
+    the pure-Python fragmentation metric off the hot path).
     """
+    runtime = RuntimeConfig(
+        chain=tuple(chain),
+        queue_capacity=queue_capacity,
+        frag_threshold=1.0,
+        defrag_on_reject=defrag != "disabled",
+        sample_timeline=False,
+    )
+    if defrag != "disabled":
+        runtime.defragmenter = defrag
     return ServiceConfig(
         router=router,
         spill=spill,
-        runtime=RuntimeConfig(
-            chain=tuple(chain),
-            queue_capacity=queue_capacity,
-            frag_threshold=1.0,
-            defrag_on_reject=False,
-            sample_timeline=False,
-        ),
+        runtime=runtime,
     )
 
 
@@ -142,6 +164,11 @@ def run_load(
     stats = service.stats
     latencies.sort()
     total = stats.admitted + stats.rejected
+    defrag_label = (
+        cfg.runtime.defragmenter
+        if cfg.runtime.defrag_on_reject or cfg.runtime.frag_threshold < 1.0
+        else "disabled"
+    )
     return LoadReport(
         n_requests=n_requests,
         n_shards=n_shards,
@@ -154,6 +181,12 @@ def run_load(
         admitted=stats.admitted,
         rejected=stats.rejected,
         reject_rate=stats.rejected / total if total else 0.0,
+        defrag=defrag_label,
+        defrags=stats.defrags,
+        defrag_planned_moves=stats.defrag_planned_moves,
+        defrag_executed_moves=stats.defrag_executed_moves,
+        defrag_aborted_moves=stats.defrag_aborted_moves,
+        defrag_time_s=stats.defrag_time_s,
         rejected_by_reason=dict(stats.rejected_by_reason),
         per_shard_admitted={
             name: s.admitted for name, s in service.shard_stats().items()
@@ -175,6 +208,14 @@ def format_report(report: LoadReport) -> str:
         f"{report.rejected} rejected "
         f"(reject rate {report.reject_rate:.1%})",
     ]
+    if report.defrag != "disabled" or report.defrags:
+        lines.append(
+            f"  defrag     : {report.defrag} — {report.defrags} passes, "
+            f"moves {report.defrag_planned_moves} planned / "
+            f"{report.defrag_executed_moves} executed / "
+            f"{report.defrag_aborted_moves} aborted "
+            f"({report.defrag_time_s * 1e3:.1f}ms)"
+        )
     if report.rejected_by_reason:
         reasons = ", ".join(
             f"{k}={v}" for k, v in sorted(report.rejected_by_reason.items())

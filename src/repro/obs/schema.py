@@ -77,6 +77,13 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "runtime.defrag": [
         "clock", "trigger", "moves", "extent_before", "extent_after",
     ],
+    # one event per no-break move lifecycle transition; status is
+    # "started" | "completed" | "aborted", move_kind "slide" | "copy"
+    # (named move_kind, not kind: the serialized event already has a
+    # top-level "kind" — the event kind itself)
+    "runtime.defrag.step": [
+        "module", "clock", "status", "move_kind", "frames",
+    ],
     "runtime.depart": ["module", "clock"],
     # sharded placement service lifecycle (repro.core.service)
     "service.route": ["module", "shard", "policy", "rank"],

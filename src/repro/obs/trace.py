@@ -46,6 +46,8 @@ CACHE_MASKS = "cache.masks"
 RUNTIME_ARRIVAL = "runtime.arrival"
 RUNTIME_REJECT = "runtime.reject"
 RUNTIME_DEFRAG = "runtime.defrag"
+#: one no-break move lifecycle step (started / completed / aborted)
+RUNTIME_DEFRAG_STEP = "runtime.defrag.step"
 RUNTIME_DEPART = "runtime.depart"
 #: sharded placement service lifecycle (repro.core.service) — one route
 #: event per request naming the shard that took (or parked) it, a spill
@@ -96,7 +98,9 @@ class Tracer:
         self._t0 = time.monotonic()
 
     # ------------------------------------------------------------------
-    def emit(self, kind: str, **data: Any) -> None:
+    def emit(self, kind: str, /, **data: Any) -> None:
+        # positional-only: payloads may carry a field literally named
+        # "kind" (runtime.defrag.step does)
         self.record(TraceEvent(kind, time.monotonic() - self._t0, data))
 
     def record(self, event: TraceEvent) -> None:  # pragma: no cover - abstract

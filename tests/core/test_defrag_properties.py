@@ -7,16 +7,25 @@ return a *valid* placement whose extent never grew, whatever it does.
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.defrag import defragment
+from repro.core.defrag import (
+    NoBreakDefragmenter,
+    defragment,
+    plan_states,
+)
 from repro.core.placer import CPPlacer, PlacerConfig
 from repro.core.relocation import relocation_sites
-from repro.core.result import PlacementResult
+from repro.core.result import Placement, PlacementResult
 from repro.fabric.devices import irregular_device
+from repro.fabric.grid import FabricGrid
 from repro.fabric.region import PartialRegion
+from repro.fabric.resource import ResourceType
+from repro.modules.footprint import Footprint
 from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
 
 
 def fragmented_state(seed: int, evict_mask: int):
@@ -92,6 +101,77 @@ class TestDefragProperties:
         out = defragment(state, allow_shape_change=True)
         assert len(out.moves) <= 4 * max(1, len(state.placements))
         out.result.verify()
+
+    def test_squeeze_shape_change_cannot_grow_extent(self):
+        """Regression: the squeeze phase picked lexicographically-smaller
+        anchors ignoring the new shape's width, so with
+        ``allow_shape_change=True`` a wider design alternative at a
+        smaller x could *grow* the extent — and the frontier/squeeze
+        oscillation then burned the whole move budget in the worse
+        state.  Pre-fix this floorplan finished at extent 7 from an
+        initial 4."""
+        CLB, BRAM = ResourceType.CLB, ResourceType.BRAM
+        grid = FabricGrid.from_rows(["...B........", "............"])
+        region = PartialRegion(grid, np.ones((2, 12), dtype=bool))
+        # primary shape is anchored by the single BRAM at (3,1); the
+        # 5x1 all-CLB alternative fits lex-smaller anchors but is wider
+        m = Module(
+            "m",
+            [
+                Footprint([(0, 0, CLB), (0, 1, BRAM)]),
+                Footprint.rectangle(5, 1),
+            ],
+        )
+        blockers = [
+            Module(f"b{i}", [Footprint.rectangle(1, 1)]) for i in range(3)
+        ]
+        placements = [Placement(m, 0, 3, 0)] + [
+            Placement(blockers[i], 0, i, 1) for i in range(3)
+        ]
+        state = PlacementResult(region, placements)
+        state.verify()
+        out = defragment(state, allow_shape_change=True)
+        out.result.verify()
+        assert out.final_extent <= out.initial_extent == 4
+
+    @given(st.integers(0, 25), st.integers(1, 31), st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_no_break_plan_never_overlaps_at_any_step(
+        self, seed, evict_mask, allow_shape_change
+    ):
+        """Every intermediate state of a no-break plan — each slide
+        anchor, each copy's double-occupancy window — must verify: the
+        whole point of the engine is that running modules are never
+        broken."""
+        state = fragmented_state(seed, evict_mask)
+        if state is None:
+            return
+        plan = NoBreakDefragmenter().plan(
+            state, allow_shape_change=allow_shape_change
+        )
+        for intermediate in plan_states(state, plan):
+            intermediate.verify()
+        plan.result.verify()
+        assert plan.final_extent <= plan.initial_extent
+        assert len(plan.moves) <= 4 * max(1, len(state.placements))
+
+    @given(st.integers(0, 25), st.integers(1, 31), st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_no_break_max_moves_edge_cases(
+        self, seed, evict_mask, allow_shape_change
+    ):
+        state = fragmented_state(seed, evict_mask)
+        if state is None:
+            return
+        zero = NoBreakDefragmenter().plan(
+            state, allow_shape_change=allow_shape_change, max_moves=0
+        )
+        assert zero.moves == []
+        assert zero.final_extent == zero.initial_extent
+        unbounded = NoBreakDefragmenter().plan(
+            state, allow_shape_change=allow_shape_change, max_moves=None
+        )
+        assert len(unbounded.moves) <= 4 * max(1, len(state.placements))
 
     @given(st.integers(0, 25), st.integers(1, 31))
     @settings(max_examples=15, deadline=None)

@@ -156,3 +156,69 @@ class TestDefrag:
         out = defragment(res, allow_shape_change=True)
         out.result.verify()
         assert out.final_extent <= out.initial_extent
+
+
+class TestRelocationSitesCache:
+    """S3: relocation_sites routed through the shared AnchorMaskCache
+    must be bit-identical to the uncached path."""
+
+    def _states(self):
+        from repro.core.placer import place
+        from repro.modules.generator import GeneratorConfig, ModuleGenerator
+
+        cfg = GeneratorConfig(
+            clb_min=4, clb_max=12, bram_max=1,
+            height_min=2, height_max=3, max_width=4,
+        )
+        for seed in (3, 6, 11):
+            region = PartialRegion.whole_device(
+                irregular_device(40, 10, seed=seed, bram_stride=6, jitter=1)
+            )
+            mods = ModuleGenerator(seed=seed, config=cfg).generate_set(5)
+            res = place(region, mods, time_limit=3.0, first_solution_only=True)
+            if res.placements:
+                yield res
+
+    def test_cached_sites_bit_identical(self):
+        from repro.fabric.cache import AnchorMaskCache
+
+        cache = AnchorMaskCache()
+        checked = 0
+        for result in self._states():
+            for p in result.placements:
+                for alts in (True, False):
+                    plain = relocation_sites(
+                        result, p, consider_alternatives=alts
+                    )
+                    cached = relocation_sites(
+                        result, p, consider_alternatives=alts, cache=cache
+                    )
+                    assert plain == cached
+                    checked += 1
+        assert checked > 0
+        # the whole point: repeated probes of the same residual
+        # floorplan are served from cache
+        assert cache.hits > 0
+
+    def test_defragment_cached_oracle_identical(self):
+        """The instant pass with a cache must replay the uncached pass
+        move for move (the cache changes cost, never answers)."""
+        from repro.fabric.cache import AnchorMaskCache
+
+        for result in self._states():
+            for allow in (False, True):
+                plain = defragment(result, allow_shape_change=allow)
+                cached = defragment(
+                    result,
+                    allow_shape_change=allow,
+                    cache=AnchorMaskCache(),
+                )
+                assert plain.moves == cached.moves
+                assert plain.final_extent == cached.final_extent
+                assert [
+                    (p.module.name, p.shape_index, p.x, p.y)
+                    for p in plain.result.placements
+                ] == [
+                    (p.module.name, p.shape_index, p.x, p.y)
+                    for p in cached.result.placements
+                ]
