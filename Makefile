@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-oracle bench bench-fast bench-geost bench-runtime profile-smoke runtime-smoke backends-smoke defrag-smoke
+.PHONY: test test-fast test-oracle bench bench-fast bench-geost bench-runtime profile-smoke runtime-smoke backends-smoke defrag-smoke temporal-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -63,3 +63,9 @@ backends-smoke:
 ## move accounting and the profile counters
 defrag-smoke:
 	$(PY) scripts/defrag_smoke.py
+
+## the temporal surface end to end: reference-vs-production scheduler
+## agreement, the temporal-cp registry path, and a reservation-mode
+## serving replay with full event/profile validation
+temporal-smoke:
+	$(PY) scripts/temporal_smoke.py

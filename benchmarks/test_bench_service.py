@@ -114,6 +114,49 @@ class TestServiceThroughputGate:
             f"floor is {floor:.0f} (see {GATES_PATH.name})"
         )
 
+    def test_reservation_mode_keeps_throughput_floor(self, spec, latest):
+        """Book-ahead admission on the committed slack-heavy replay must
+        keep the req/s floor — the horizon probe (projected occupancy,
+        anchor masks, candidate ticks) only runs when direct placement
+        fails, so turning reservations on may not price the serving
+        path out.  The replay is also required to actually exercise the
+        reserve path (bookings > 0) and to honour every booking it
+        makes (booked = commits + expired after drain)."""
+        workload = spec["reservation_workload"]
+        gates = spec["gates"]
+        report = run_load(
+            n_requests=workload["n_requests"],
+            n_shards=workload["n_shards"],
+            seed=workload["seed"],
+            config=serving_config(
+                router=workload["router"],
+                chain=workload["chain"],
+                queue_capacity=workload["queue_capacity"],
+                reservation_horizon=workload["reservation_horizon"],
+            ),
+            mean_interarrival=workload["mean_interarrival"],
+            mean_lifetime=workload["mean_lifetime"],
+            profile=workload["profile"],
+        )
+        latest["reservation"] = {
+            "req_per_s": round(report.req_per_s, 1),
+            "p99_latency_s": round(report.p99_latency_s, 6),
+            "reject_rate": round(report.reject_rate, 4),
+            "reservations_booked": report.reservations_booked,
+            "reservation_admits": report.reservation_admits,
+            "reservations_expired": report.reservations_expired,
+        }
+        floor = gates.get("reservation_req_per_s_min", gates["req_per_s_min"])
+        assert report.req_per_s >= floor, (
+            f"reservation mode sustained {report.req_per_s:.0f} req/s, "
+            f"floor is {floor:.0f} (see {GATES_PATH.name})"
+        )
+        assert report.reservations_booked > 0
+        assert report.reservations_booked == (
+            report.reservation_admits + report.reservations_expired
+        )
+        assert report.admitted + report.rejected == workload["n_requests"]
+
     def test_three_way_defrag_comparison_recorded(self, spec, latest):
         """The trajectory artifact records the instant / no-break /
         disabled comparison on the same replay, so defrag strategy cost

@@ -43,13 +43,17 @@ from repro.core.region_alloc import (
     minimal_region_width,
 )
 from repro.core.temporal import (
+    ScheduledTask,
+    TemporalCPPlacer,
     TemporalPlacer,
     TemporalResult,
     TemporalTask,
+    render_timeline,
 )
 from repro.core.runtime import (
     RejectReason,
     RequestOutcome,
+    Reservation,
     RuntimeConfig,
     RuntimeLog,
     RuntimePlacementManager,
@@ -109,8 +113,11 @@ __all__ = [
     "allocate_regions",
     "minimal_region_width",
     "TemporalPlacer",
+    "TemporalCPPlacer",
     "TemporalResult",
     "TemporalTask",
+    "ScheduledTask",
+    "render_timeline",
     "placement_report",
     "render_placement",
     "RuntimePlacementManager",
@@ -118,6 +125,7 @@ __all__ = [
     "RuntimeRequest",
     "RequestOutcome",
     "RejectReason",
+    "Reservation",
     "RuntimeLog",
     "RuntimeStats",
     "generate_workload",

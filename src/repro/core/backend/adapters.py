@@ -15,6 +15,9 @@ registers the default fleet:
 ``kamer``      Bazargan-style maximal-empty-rectangle placement
 ``annealing``  simulated annealing over (order, alternative) encodings
 ``1d-slots``   historical fixed-slot model (not relocatable)
+``temporal-cp``  joint place-and-schedule over a bounded horizon
+                 (``schedules=True``; spatial requests degrade to a
+                 one-tick horizon)
 =============  ===========================================================
 """
 
@@ -164,6 +167,116 @@ class PortfolioBackend(PlacementBackend):
         return PortfolioPlacer(cfg).place(request.region, list(request.modules))
 
 
+class TemporalCPBackend(PlacementBackend):
+    """Joint place-and-schedule: ``(anchor, start_time)`` per module.
+
+    Wraps :class:`~repro.core.temporal.TemporalCPPlacer` (the production
+    anchor-mask kernel with a time axis).  ``request.horizon`` /
+    ``durations`` / ``precedences`` select the scheduling window; a
+    request without them is served as the degenerate one-tick schedule —
+    plain spatial packing through the same temporal code path — so the
+    backend composes with every spatial caller, including the
+    cross-backend differential suite.
+
+    The schedule rides in ``stats["schedule"]`` as ``(module, shape,
+    x, y, start, duration)`` rows next to ``stats["makespan"]`` and
+    ``stats["horizon"]``.  Status never claims ``"optimal"``: what the
+    branch-and-bound proves optimal is the *makespan*, not the spatial
+    extent the rest of the registry optimizes (``supports_objective`` is
+    False); makespan optimality is reported honestly in
+    ``stats["makespan_optimal"]``.
+
+    Note that with ``horizon > 1`` two placements may legitimately share
+    fabric cells — they run at different ticks.  Such results satisfy
+    :meth:`~repro.core.temporal.TemporalResult.verify` (time-aware), not
+    the purely spatial ``PlacementResult.verify``; only degenerate
+    one-tick results are spatially disjoint.
+    """
+
+    name = "temporal-cp"
+    capabilities = BackendCapabilities(
+        supports_alternatives=True,
+        supports_objective=False,
+        anytime=False,
+        relocatable=True,
+        schedules=True,
+    )
+    session_self_recording = False
+
+    #: horizon used when the request carries none (spatial degenerate mode)
+    DEFAULT_HORIZON = 1
+
+    def __init__(self, config: Optional[int] = None) -> None:
+        #: optional construction-time default horizon (an int, kept as
+        #: simple as the registry's config pass-through allows)
+        self.default_horizon = config
+
+    def _solve(self, request, tracer, profiling):
+        from repro.core.result import Placement
+        from repro.core.temporal import TemporalCPPlacer, TemporalTask
+
+        modules = list(request.modules)
+        horizon = (
+            request.horizon
+            if request.horizon is not None
+            else (self.default_horizon or self.DEFAULT_HORIZON)
+        )
+        durations = (
+            list(request.durations)
+            if request.durations is not None
+            else [1] * len(modules)
+        )
+        if len(durations) != len(modules):
+            raise ValueError("durations must align with modules")
+        placer = TemporalCPPlacer(horizon=horizon)
+        if request.seed is not None:
+            placer.seed = request.seed
+        if request.time_limit is not None:
+            placer.time_limit = request.time_limit
+        if request.incremental is not None:
+            placer.incremental = request.incremental
+        if request.bitboard is not None:
+            placer.bitboard = request.bitboard
+        tasks = [
+            TemporalTask(module, d) for module, d in zip(modules, durations)
+        ]
+        tres = placer.place(
+            request.region,
+            tasks,
+            list(request.precedences),
+            cache=request.cache,
+        )
+        placements = [
+            Placement(s.task.module, s.shape_index, s.x, s.y)
+            for s in tres.schedule
+        ]
+        status = "feasible" if tres.status == "optimal" else tres.status
+        return PlacementResult(
+            request.region,
+            placements,
+            unplaced=[] if tres.schedule else modules,
+            status=status,
+            elapsed=tres.elapsed,
+            stats={
+                "method": self.name,
+                "horizon": horizon,
+                "makespan": tres.makespan,
+                "makespan_optimal": tres.status == "optimal",
+                "schedule": [
+                    (
+                        s.task.module.name,
+                        s.shape_index,
+                        s.x,
+                        s.y,
+                        s.start,
+                        s.task.duration,
+                    )
+                    for s in tres.schedule
+                ],
+            },
+        )
+
+
 class BaselineBackend(PlacementBackend):
     """Adapter running one :class:`BasePlacer` heuristic per request.
 
@@ -235,6 +348,7 @@ def register_default_backends() -> None:
     register_backend("cp", CPBackend, replace=True)
     register_backend("lns", LNSBackend, replace=True)
     register_backend("portfolio", PortfolioBackend, replace=True)
+    register_backend("temporal-cp", TemporalCPBackend, replace=True)
     for name, cls, caps in _BASELINES:
         register_backend(name, _baseline_factory(cls, name, caps), replace=True)
 

@@ -51,6 +51,10 @@ class BackendCapabilities:
     #: so the backend can serve incremental residual-region requests (the
     #: runtime admission chain requires this)
     relocatable: bool = True
+    #: places *and* schedules: honors ``PlacementRequest.horizon`` /
+    #: ``durations`` and returns per-module start ticks (the schedule in
+    #: ``stats["schedule"]``) instead of place-now-or-fail
+    schedules: bool = False
 
 
 @dataclass
@@ -79,6 +83,15 @@ class PlacementRequest:
     #: bitboard-first vectorized sweep override (None = backend default,
     #: False = the per-shape scalar oracle path)
     bitboard: Optional[bool] = None
+    #: scheduling horizon in ticks for backends with ``schedules=True``
+    #: (None = degenerate single-tick horizon: a purely spatial request)
+    horizon: Optional[int] = None
+    #: per-module execution durations, aligned with ``modules`` (None =
+    #: every module runs for one tick); requires ``horizon``
+    durations: Optional[Sequence[int]] = None
+    #: precedence edges ``(a, b)`` — module a must finish before module b
+    #: starts; only honored by scheduling backends
+    precedences: Sequence = ()
 
 
 class PlacementBackend:

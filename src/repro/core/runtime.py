@@ -22,6 +22,15 @@ repo's existing parts under such a load:
   and defrag pass, expired or overflowing requests are rejected
   *gracefully* with machine-readable :class:`RejectReason` codes — no
   exception escapes the manager on the serving path.
+* **Reservations** — with ``RuntimeConfig.reservation_horizon > 0`` an
+  arrival that cannot run *now* is probed against the departures due
+  within the horizon and booked at the first tick where its anchor
+  masks fit the projected floorplan (:class:`Reservation`); the booked
+  cells are promised (subtracted from the residual region) until the
+  reservation commits, replans, or expires with
+  :attr:`RejectReason.RESERVATION_EXPIRED`.  At ``horizon == 0`` every
+  reservation path is dormant and the manager replays bit-identically
+  to the pre-reservation code — pinned by the differential tests.
 * **Observability** — every lifecycle step emits a structured trace event
   (``runtime.arrival`` / ``runtime.reject`` / ``runtime.defrag`` /
   ``runtime.depart``) and the per-request latency / occupancy counters
@@ -70,6 +79,9 @@ from repro.obs.trace import (
     RUNTIME_DEFRAG_STEP,
     RUNTIME_DEPART,
     RUNTIME_REJECT,
+    RUNTIME_RESERVATION_COMMIT,
+    RUNTIME_RESERVATION_EXPIRE,
+    RUNTIME_RESERVE,
     Tracer,
 )
 
@@ -89,10 +101,18 @@ class RuntimeRequest:
     #: latest logical time admission is still useful (None = arrival +
     #: the manager's ``max_queue_wait``)
     deadline: Optional[int] = None
+    #: execution ticks for scheduling backends (None = untimed; the
+    #: admission path ignores it, ``temporal-cp`` requests honor it)
+    duration: Optional[int] = None
+    #: name of a module that must finish before this one starts — a
+    #: precedence edge for scheduling backends (None = unconstrained)
+    after: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.lifetime <= 0:
             raise ValueError("request lifetime must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("request duration must be positive")
 
 
 class RejectReason(str, Enum):
@@ -110,6 +130,9 @@ class RejectReason(str, Enum):
     #: had *not* passed; the serving run simply ended (reject-rate
     #: experiments must not conflate this with a real deadline miss)
     DRAINED = "drained"
+    #: the request held a reservation whose planned cells never became
+    #: usable before the deadline (reservation mode only)
+    RESERVATION_EXPIRED = "reservation_expired"
 
     def __str__(self) -> str:  # "no_fit", not "RejectReason.NO_FIT"
         return self.value
@@ -121,7 +144,7 @@ class RequestOutcome:
     request is later admitted or expires)."""
 
     request: RuntimeRequest
-    #: "admitted" | "queued" | "rejected"
+    #: "admitted" | "queued" | "reserved" | "rejected"
     status: str = "rejected"
     #: fallback rung that produced the placement ("cp", "greedy",
     #: "cp+defrag", "greedy+defrag"); None when rejected
@@ -159,6 +182,13 @@ class RuntimeConfig:
     queue_capacity: int = 8
     #: default per-request deadline: arrival + this many logical ticks
     max_queue_wait: int = 16
+    #: reservation lookahead in logical ticks: when an arrival cannot be
+    #: admitted now, probe the departures due within this horizon and
+    #: book the request at the first tick where it fits (0 = disabled —
+    #: the manager behaves bit-identically to the pre-reservation code)
+    reservation_horizon: int = 0
+    #: bound on simultaneously outstanding reservations
+    reservation_capacity: int = 8
     #: trigger a defrag pass when external fragmentation exceeds this
     frag_threshold: float = 0.6
     #: also defrag (once) when an arrival cannot be placed
@@ -229,6 +259,10 @@ class RuntimeConfig:
             raise ValueError("queue_capacity must be >= 0")
         if self.max_queue_wait < 0:
             raise ValueError("max_queue_wait must be >= 0")
+        if self.reservation_horizon < 0:
+            raise ValueError("reservation_horizon must be >= 0")
+        if self.reservation_capacity < 0:
+            raise ValueError("reservation_capacity must be >= 0")
         if not 0.0 <= self.frag_threshold <= 1.0:
             raise ValueError("frag_threshold must be within [0, 1]")
         if self.defragmenter not in available_defragmenters():
@@ -264,6 +298,11 @@ class RuntimeStats:
     defrag_time_s: float = 0.0
     probe_errors: int = 0
     queued_admits: int = 0
+    #: reservation accounting: bookings made, bookings that committed
+    #: (directly or replanned), bookings that expired past their deadline
+    reservations_booked: int = 0
+    reservation_admits: int = 0
+    reservations_expired: int = 0
     rejected_by_reason: Dict[str, int] = field(default_factory=dict)
     admits_by_method: Dict[str, int] = field(default_factory=dict)
     total_latency_s: float = 0.0
@@ -318,6 +357,15 @@ class RuntimeStats:
             defrag_time_s=self.defrag_time_s + other.defrag_time_s,
             probe_errors=self.probe_errors + other.probe_errors,
             queued_admits=self.queued_admits + other.queued_admits,
+            reservations_booked=(
+                self.reservations_booked + other.reservations_booked
+            ),
+            reservation_admits=(
+                self.reservation_admits + other.reservation_admits
+            ),
+            reservations_expired=(
+                self.reservations_expired + other.reservations_expired
+            ),
             rejected_by_reason=rejected_by,
             admits_by_method=admits_by,
             total_latency_s=self.total_latency_s + other.total_latency_s,
@@ -370,6 +418,31 @@ class _Pending:
 
 
 @dataclass
+class Reservation:
+    """Capacity booked ahead of time for a request that cannot run *now*.
+
+    A reservation pins a concrete planned placement to a future start
+    tick (a departure the admission probe identified inside the
+    reservation horizon).  When the clock reaches ``start`` the manager
+    commits the planned placement if its cells are actually free,
+    replans on the then-current floorplan if they are not, and expires
+    the reservation honestly (:attr:`RejectReason.RESERVATION_EXPIRED`)
+    once ``deadline`` passes without either succeeding.
+    """
+
+    request: RuntimeRequest
+    outcome: RequestOutcome
+    #: the planned placement (cells to hold free until ``start``)
+    placement: Placement
+    #: logical tick the reservation becomes due
+    start: int
+    #: latest logical tick a commit is still useful
+    deadline: int
+    #: logical tick the reservation was booked (== arrival clock)
+    booked_at: int
+
+
+@dataclass
 class _ActiveMove:
     """A no-break move in flight: its window ends at logical ``ends``."""
 
@@ -397,6 +470,8 @@ class RuntimePlacementManager:
         self._placements: Dict[str, Placement] = {}
         self._departures: List[Tuple[int, str]] = []  # heap
         self._pending: Deque[_Pending] = deque()
+        #: outstanding reservations, kept sorted by start tick
+        self._reservations: List[Reservation] = []
         self._last_defrag_clock: Optional[int] = None
         #: live occupancy, maintained incrementally on commit/depart/defrag
         #: (rebuilding it per probe was a per-request Python loop over
@@ -436,6 +511,11 @@ class RuntimePlacementManager:
         return len(self._pending)
 
     @property
+    def reservations(self) -> List[Reservation]:
+        """Outstanding reservations (sorted by start tick)."""
+        return list(self._reservations)
+
+    @property
     def moves_in_flight(self) -> int:
         """Planned moves not yet completed (active + queued)."""
         return (self._active_move is not None) + len(self._move_queue)
@@ -448,11 +528,46 @@ class RuntimePlacementManager:
 
     def residual_region(self) -> PartialRegion:
         free = self.region.reconfigurable & ~self._occupancy
+        if self._reservations:
+            # booked cells are promised to their reservations: admitting
+            # a new module onto them would force a replan at commit time
+            free = free & ~self._reserved_mask()
+        return PartialRegion(
+            self.region.grid, free, f"{self.region.name}-residual"
+        )
+
+    def _reserved_mask(
+        self, exclude: Optional[Reservation] = None
+    ) -> np.ndarray:
+        """Cells promised to outstanding reservations (H, W bool)."""
+        mask = np.zeros_like(self._occupancy)
+        for r in self._reservations:
+            if r is exclude:
+                continue
+            for x, y, _ in r.placement.absolute_cells():
+                mask[y, x] = True
+        return mask
+
+    def _residual_excluding(self, reservation: Reservation) -> PartialRegion:
+        """Residual region for replanning one reservation: its own booked
+        cells are fair game, the other reservations' cells stay promised."""
+        free = self.region.reconfigurable & ~self._occupancy
+        if len(self._reservations) > 1:
+            free = free & ~self._reserved_mask(exclude=reservation)
         return PartialRegion(
             self.region.grid, free, f"{self.region.name}-residual"
         )
 
     # -- occupancy maintenance -----------------------------------------
+    @staticmethod
+    def _imprint_into(occ: np.ndarray, placement: Placement) -> None:
+        """Mark one placement's cells in an arbitrary occupancy array
+        (the reservation probe projects onto scratch floorplans)."""
+        cells = placement.absolute_cells()
+        xs = np.fromiter((c[0] for c in cells), dtype=np.int64, count=len(cells))
+        ys = np.fromiter((c[1] for c in cells), dtype=np.int64, count=len(cells))
+        occ[ys, xs] = True
+
     def _imprint(self, placement: Placement, value: bool) -> None:
         cells = placement.absolute_cells()
         xs = np.fromiter((c[0] for c in cells), dtype=np.int64, count=len(cells))
@@ -466,6 +581,22 @@ class RuntimePlacementManager:
 
     def fragmentation(self) -> float:
         return external_fragmentation(self.result())
+
+    def planning_fragmentation(self) -> float:
+        """External fragmentation of the *plannable* floorplan: live
+        placements plus the cells promised to outstanding reservations.
+        This is the free-space picture an admission router should rank
+        by — booked cells shatter usable space exactly like placed ones.
+        Equals :meth:`fragmentation` when no reservations are
+        outstanding."""
+        if not self._reservations:
+            return self.fragmentation()
+        placements = self.placements + [
+            r.placement for r in self._reservations
+        ]
+        return external_fragmentation(
+            PlacementResult(self.region, placements)
+        )
 
     # ------------------------------------------------------------------
     # Event intake
@@ -542,7 +673,12 @@ class RuntimePlacementManager:
     def _queue_or_reject(
         self, request: RuntimeRequest, outcome: RequestOutcome
     ) -> None:
-        """No rung fit right now: queue under the backpressure rules."""
+        """No rung fit right now: reserve ahead if the horizon allows,
+        else queue under the backpressure rules."""
+        if self.config.reservation_horizon > 0 and self._try_reserve(
+            request, outcome
+        ):
+            return
         if self.config.queue_capacity == 0:
             # queueing disabled: the honest reason is the failed placement
             self._reject(outcome, RejectReason.NO_FIT)
@@ -572,28 +708,53 @@ class RuntimePlacementManager:
         return placement
 
     def next_departure(self) -> Optional[int]:
-        """Logical time of the next scheduled departure (external-clock
-        drivers — the sharded service — step shards through this)."""
-        return self._departures[0][0] if self._departures else None
+        """Logical time of the next scheduled event — a departure or a
+        reservation becoming due (external-clock drivers — the sharded
+        service — step shards through this)."""
+        times = []
+        if self._departures:
+            times.append(self._departures[0][0])
+        if self._reservations:
+            times.append(min(r.start for r in self._reservations))
+        return min(times) if times else None
 
     def advance_to(self, t: int) -> None:
-        """Advance the logical clock: move completions and departures in
-        time order (a completion due at the same tick lands first, so
-        the freed source cells are visible to that tick's departures'
-        retry pass), then queue upkeep."""
+        """Advance the logical clock: move completions, departures and
+        due reservations in time order (a completion due at the same
+        tick lands first, so the freed source cells are visible to that
+        tick's departures' retry pass; a departure lands before a
+        same-tick reservation so the booked cells are actually free at
+        commit), then queue upkeep."""
         if t < self.clock:
             raise ValueError(
                 f"clock may not go backwards ({t} < {self.clock})"
             )
+        # a due reservation that fails to commit (and has not expired)
+        # stays booked — attempt each at most once per advance, or the
+        # event loop would spin on it
+        attempted: set = set()
         while True:
             dep = self._departures[0][0] if self._departures else None
             active = self._active_move
             fin = active.ends if active is not None else None
-            if fin is not None and fin <= t and (dep is None or fin <= dep):
+            resv = min(
+                (
+                    r.start
+                    for r in self._reservations
+                    if id(r) not in attempted
+                ),
+                default=None,
+            )
+            if (
+                fin is not None
+                and fin <= t
+                and (dep is None or fin <= dep)
+                and (resv is None or fin <= resv)
+            ):
                 self.clock = max(self.clock, fin)
                 self._complete_active_move()
                 continue
-            if dep is not None and dep <= t:
+            if dep is not None and dep <= t and (resv is None or dep <= resv):
                 due, name = heapq.heappop(self._departures)
                 self.clock = max(self.clock, due)
                 placement = self._placements.pop(name, None)
@@ -604,9 +765,18 @@ class RuntimePlacementManager:
                     self._expire_pending()
                     self._after_space_freed()
                 continue
+            if resv is not None and resv <= t:
+                self.clock = max(self.clock, resv)
+                for r in self._reservations:
+                    if r.start <= self.clock:
+                        attempted.add(id(r))
+                self._commit_due_reservations()
+                continue
             break
         self.clock = max(self.clock, t)
         self._expire_pending()
+        if self._reservations:
+            self._commit_due_reservations()
         self._maybe_defrag(trigger="fragmentation")
 
     def drain(self) -> None:
@@ -617,6 +787,29 @@ class RuntimePlacementManager:
         # final floorplan reflects every move that could complete
         while self._active_move is not None:
             self.advance_to(self._active_move.ends)
+        # settle every outstanding reservation: step to each remaining
+        # start (commits add new departures — re-drain those), then to
+        # the deadlines so blocked bookings expire honestly rather than
+        # dangle.  Terminates: every step removes at least the earliest
+        # due reservation (commit or expiry) or strictly advances the
+        # clock toward one.
+        while self._reservations:
+            future = [
+                r.start for r in self._reservations if r.start > self.clock
+            ]
+            if future:
+                self.advance_to(min(future))
+            else:
+                self.advance_to(
+                    min(
+                        max(r.deadline, self.clock)
+                        for r in self._reservations
+                    )
+                )
+            if self._departures:
+                self.advance_to(max(t for t, _ in self._departures))
+            while self._active_move is not None:
+                self.advance_to(self._active_move.ends)
         # whatever is still pending can never be admitted: its module
         # didn't fit an otherwise empty(er) fabric.  Label honestly —
         # only requests whose deadline actually passed are deadline
@@ -682,13 +875,22 @@ class RuntimePlacementManager:
         return True
 
     def _place_once(
-        self, module: Module, outcome: RequestOutcome
+        self,
+        module: Module,
+        outcome: RequestOutcome,
+        region: Optional[PartialRegion] = None,
     ) -> Tuple[Optional[Placement], str]:
-        """One sweep down the fallback chain; exceptions degrade a rung."""
+        """One sweep down the fallback chain; exceptions degrade a rung.
+
+        ``region`` overrides the residual region (reservation replanning
+        carves its own residual that keeps sibling bookings protected).
+        """
         cfg = self.config
+        if region is None:
+            region = self.residual_region()
         if cfg.solver is not None:
             try:
-                solved = cfg.solver(module, self.residual_region())
+                solved = cfg.solver(module, region)
                 # None is the solver's definitive no-fit — don't re-run
                 # the same chain in-process on top of it
                 return solved if solved is not None else (None, "none")
@@ -698,7 +900,7 @@ class RuntimePlacementManager:
         for name, backend in self._chain:
             try:
                 request = PlacementRequest(
-                    region=self.residual_region(),
+                    region=region,
                     modules=[module],
                     time_limit=cfg.probe_time_limit,
                     first_solution_only=True,
@@ -755,9 +957,206 @@ class RuntimePlacementManager:
         )
 
     def _is_duplicate(self, name: str) -> bool:
-        return name in self._placements or any(
-            item.request.module.name == name for item in self._pending
+        return (
+            name in self._placements
+            or any(
+                item.request.module.name == name for item in self._pending
+            )
+            or any(
+                r.request.module.name == name for r in self._reservations
+            )
         )
+
+    # ------------------------------------------------------------------
+    # Reservations (horizon-bounded book-ahead admission)
+    # ------------------------------------------------------------------
+    def _try_reserve(
+        self, request: RuntimeRequest, outcome: RequestOutcome
+    ) -> bool:
+        """Book the request at a future departure tick inside the horizon.
+
+        The probe walks the departure ticks due within
+        ``reservation_horizon`` in time order; at each candidate tick it
+        projects the floorplan forward (modules still resident then, an
+        in-flight move window, sibling reservations whose run window
+        overlaps the request's) and gathers the request's static anchor
+        masks over that projection — the same vectorized check the
+        greedy baselines use.  The first tick with a feasible anchor
+        books a concrete planned placement at its bottom-left-most
+        anchor.
+        """
+        cfg = self.config
+        if len(self._reservations) >= cfg.reservation_capacity:
+            return False
+        module = (
+            request.module
+            if cfg.with_alternatives
+            else request.module.restricted(1)
+        )
+        deadline = (
+            request.deadline
+            if request.deadline is not None
+            else request.arrival + cfg.max_queue_wait
+        )
+        # earliest scheduled departure per live module (the heap may hold
+        # stale entries for explicitly departed names)
+        dep_of: Dict[str, int] = {}
+        for due, name in self._departures:
+            if name in self._placements:
+                prev = dep_of.get(name)
+                dep_of[name] = due if prev is None else min(prev, due)
+        ticks = sorted(
+            {
+                due
+                for due in dep_of.values()
+                if self.clock < due <= self.clock + cfg.reservation_horizon
+                and due <= deadline
+            }
+        )
+        if not ticks:
+            return False
+        cache = self._cache
+        key = cache.region_key(self.region)
+        shapes = [
+            (
+                si,
+                cache.anchor_mask(self.region, fp, region_key=key),
+                np.array(
+                    [(dy, dx) for dx, dy, _ in sorted(fp.cells)],
+                    dtype=np.int64,
+                ),
+            )
+            for si, fp in enumerate(module.shapes)
+        ]
+        for start in ticks:
+            future = self._projected_occupancy(
+                start, request.lifetime, dep_of
+            )
+            best: Optional[Tuple[int, int, int]] = None
+            for si, static, off in shapes:
+                ys, xs = np.nonzero(static)
+                if ys.size == 0:
+                    continue
+                cy = ys[:, None] + off[None, :, 0]
+                cx = xs[:, None] + off[None, :, 1]
+                free = ~future[cy, cx].any(axis=1)
+                if not free.any():
+                    continue
+                fy, fx = ys[free], xs[free]
+                i = np.lexsort((fy, fx))[0]  # bottom-left: min (x, y)
+                cand = (int(fx[i]), int(fy[i]), si)
+                if best is None or cand < best:
+                    best = cand
+            if best is None:
+                continue
+            x, y, si = best
+            reservation = Reservation(
+                request=request,
+                outcome=outcome,
+                placement=Placement(module, si, x, y),
+                start=start,
+                deadline=deadline,
+                booked_at=self.clock,
+            )
+            self._reservations.append(reservation)
+            self._reservations.sort(key=lambda r: r.start)
+            outcome.status = "reserved"
+            self.stats.reservations_booked += 1
+            self._emit(
+                RUNTIME_RESERVE,
+                module=request.module.name,
+                clock=self.clock,
+                start=start,
+            )
+            return True
+        return False
+
+    def _projected_occupancy(
+        self, tick: int, lifetime: int, dep_of: Dict[str, int]
+    ) -> np.ndarray:
+        """The floorplan projected to ``tick``: modules still resident
+        then (a module with no scheduled departure counts as resident
+        forever), an in-flight move window, and sibling reservations
+        whose run window overlaps ``[tick, tick + lifetime)``."""
+        occ = np.zeros_like(self._occupancy)
+        for name, placement in self._placements.items():
+            due = dep_of.get(name)
+            if due is None or due > tick:
+                self._imprint_into(occ, placement)
+        active = self._active_move
+        if active is not None:
+            for x, y in active.move.window_cells:
+                occ[y, x] = True
+        end = tick + lifetime
+        for r in self._reservations:
+            if r.start < end and tick < r.start + r.request.lifetime:
+                self._imprint_into(occ, r.placement)
+        return occ
+
+    def _commit_due_reservations(self) -> None:
+        """Land every due reservation (``start <= clock``): commit the
+        planned placement when its cells are free, replan on the live
+        floorplan when they are not, expire past the deadline."""
+        for r in list(self._reservations):
+            if r.start > self.clock:
+                break  # sorted by start
+            if self._commit_reservation(r):
+                self._reservations.remove(r)
+            elif r.deadline <= self.clock:
+                self._reservations.remove(r)
+                self.stats.reservations_expired += 1
+                self._emit(
+                    RUNTIME_RESERVATION_EXPIRE,
+                    module=r.request.module.name,
+                    clock=self.clock,
+                    deadline=r.deadline,
+                )
+                self._reject(r.outcome, RejectReason.RESERVATION_EXPIRED)
+
+    def _commit_reservation(self, r: Reservation) -> bool:
+        """One commit attempt; True when the request landed (either on
+        its planned cells or replanned on the current floorplan)."""
+        cells = r.placement.absolute_cells()
+        if not any(self._occupancy[y, x] for x, y, _ in cells):
+            self._commit(
+                r.request, r.outcome, r.placement, "reservation", queued=False
+            )
+            self.stats.reservation_admits += 1
+            self._emit(
+                RUNTIME_RESERVATION_COMMIT,
+                module=r.request.module.name,
+                clock=self.clock,
+                start=r.start,
+            )
+            return True
+        # the planned cells were claimed since booking (a defrag window,
+        # an instant pass teleporting a module onto them): replan on the
+        # live floorplan with the sibling bookings still protected
+        module = (
+            r.request.module
+            if self.config.with_alternatives
+            else r.request.module.restricted(1)
+        )
+        placement, method = self._place_once(
+            module, r.outcome, region=self._residual_excluding(r)
+        )
+        if placement is None:
+            return False
+        self._commit(
+            r.request,
+            r.outcome,
+            placement,
+            f"reservation+{method}",
+            queued=False,
+        )
+        self.stats.reservation_admits += 1
+        self._emit(
+            RUNTIME_RESERVATION_COMMIT,
+            module=r.request.module.name,
+            clock=self.clock,
+            start=r.start,
+        )
+        return True
 
     # ------------------------------------------------------------------
     # Queue upkeep and defragmentation
@@ -787,6 +1186,10 @@ class RuntimePlacementManager:
         self._pending = remaining
 
     def _after_space_freed(self) -> None:
+        # due reservations hold seniority over the pending queue: they
+        # were booked against exactly this kind of departure
+        if self._reservations:
+            self._commit_due_reservations()
         self._retry_pending()
         self._maybe_defrag(trigger="fragmentation")
 
@@ -1063,6 +1466,9 @@ class RuntimePlacementManager:
                 "runtime.defrag_time_s": round(s.defrag_time_s, 6),
                 "runtime.probe_errors": s.probe_errors,
                 "runtime.queued_admits": s.queued_admits,
+                "runtime.reservations_booked": s.reservations_booked,
+                "runtime.reservation_admits": s.reservation_admits,
+                "runtime.reservations_expired": s.reservations_expired,
                 "runtime.mean_latency_s": round(s.mean_latency_s, 6),
                 "runtime.max_latency_s": round(s.max_latency_s, 6),
                 "runtime.peak_occupied_cells": s.peak_occupied_cells,
@@ -1088,6 +1494,9 @@ def generate_workload(
     mean_lifetime: int = 24,
     deadline_slack: Optional[int] = None,
     generator_config: Optional[GeneratorConfig] = None,
+    duration_range: Optional[Tuple[int, int]] = None,
+    precedence_p: float = 0.0,
+    profile: str = "uniform",
 ) -> List[RuntimeRequest]:
     """A seeded arrival/lifetime trace over the Table-I distribution.
 
@@ -1096,24 +1505,84 @@ def generate_workload(
     from :class:`~repro.modules.generator.ModuleGenerator` — by default
     the paper's Table-I workload (20–100 CLBs, 0–4 BRAMs, four design
     alternatives per module).
+
+    ``profile`` selects the arrival process:
+
+    * ``"uniform"`` (default) — the historical uniform-gap trace.  With
+      the scheduling extensions off this path draws from the primary RNG
+      in exactly the historical order, so existing ``(seed, kwargs)``
+      combinations reproduce byte-identical traces — pinned by the
+      workload fingerprints in the tests.
+    * ``"slack-heavy"`` — bursty arrivals (bursts of ~4 requests sharing
+      one tick separated by long gaps), short lifetimes and generous
+      deadlines (``deadline_slack`` defaults to ``2 * mean_lifetime``).
+      The trace reservation-based admission is built for: admit-now
+      managers reject burst overflow that a horizon probe can book onto
+      the imminent departures.
+
+    The scheduling fields ride on a *derived* RNG (seeded from ``seed``)
+    so enabling them never perturbs the primary draws: ``duration_range
+    = (lo, hi)`` stamps a uniform per-request ``duration``;
+    ``precedence_p`` chains each request to its predecessor (``after``)
+    with that probability.
     """
     import random
 
     if n_requests < 0:
         raise ValueError("n_requests must be >= 0")
+    if profile not in ("uniform", "slack-heavy"):
+        raise ValueError(f"unknown workload profile {profile!r}")
+    if not 0.0 <= precedence_p <= 1.0:
+        raise ValueError("precedence_p must be within [0, 1]")
+    if duration_range is not None:
+        lo, hi = duration_range
+        if lo < 1 or hi < lo:
+            raise ValueError("duration_range must satisfy 1 <= lo <= hi")
     rng = random.Random(seed)
     gen = ModuleGenerator(seed=seed, config=generator_config)
+    # scheduling fields draw from a derived stream so that turning them
+    # on cannot shift the primary stream's historical draw order
+    aux = random.Random(seed ^ 0x7E3A)
     t = 0
     out: List[RuntimeRequest] = []
-    for _ in range(n_requests):
-        t += rng.randint(1, max(1, 2 * mean_interarrival - 1))
-        lifetime = rng.randint(2, max(2, 2 * mean_lifetime - 2))
+    prev_name: Optional[str] = None
+    for i in range(n_requests):
+        if profile == "slack-heavy":
+            if i % 4 == 0:  # burst boundary: one long gap, then pile up
+                t += max(1, 4 * mean_interarrival)
+            lifetime = rng.randint(2, max(2, mean_lifetime))
+            slack = (
+                deadline_slack
+                if deadline_slack is not None
+                else 2 * mean_lifetime
+            )
+            deadline: Optional[int] = t + slack
+        else:
+            t += rng.randint(1, max(1, 2 * mean_interarrival - 1))
+            lifetime = rng.randint(2, max(2, 2 * mean_lifetime - 2))
+            deadline = None if deadline_slack is None else t + deadline_slack
+        module = gen.generate()
+        duration = (
+            aux.randint(duration_range[0], duration_range[1])
+            if duration_range is not None
+            else None
+        )
+        after = None
+        if (
+            precedence_p > 0.0
+            and prev_name is not None
+            and aux.random() < precedence_p
+        ):
+            after = prev_name
         out.append(
             RuntimeRequest(
-                module=gen.generate(),
+                module=module,
                 arrival=t,
                 lifetime=lifetime,
-                deadline=None if deadline_slack is None else t + deadline_slack,
+                deadline=deadline,
+                duration=duration,
+                after=after,
             )
         )
+        prev_name = module.name
     return out

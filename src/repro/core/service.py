@@ -119,7 +119,10 @@ class LeastLoadedRouter(Router):
     """Prefer the shard with the lowest occupied fraction.
 
     Load is occupied cells over available area — O(live placements) per
-    shard, no geometry scan.  Ties break on shard index.
+    shard, no geometry scan.  Outstanding reservations count at their
+    planned footprint: booked cells are promised capacity the shard
+    cannot offer a new arrival, exactly like placed cells.  Ties break
+    on shard index.
     """
 
     name = "least-loaded"
@@ -130,6 +133,9 @@ class LeastLoadedRouter(Router):
         if area == 0:
             return 1.0
         occupied = sum(p.footprint.area for p in shard.placements)
+        occupied += sum(
+            r.placement.footprint.area for r in shard.reservations
+        )
         return occupied / area
 
     def order(self, request, shards) -> List[int]:
@@ -143,7 +149,10 @@ class LeastFragmentedRouter(Router):
 
     Runs the external-fragmentation metric per shard per arrival — a
     pure-Python maximal-rectangles pass, the expensive policy.  Use it
-    when admission quality matters more than routing throughput.
+    when admission quality matters more than routing throughput.  Ranks
+    by :meth:`RuntimePlacementManager.planning_fragmentation`, so booked
+    reservation cells shatter a shard's free space exactly like placed
+    cells do.
     """
 
     name = "least-fragmented"
@@ -151,7 +160,7 @@ class LeastFragmentedRouter(Router):
     def order(self, request, shards) -> List[int]:
         return sorted(
             range(len(shards)),
-            key=lambda i: (shards[i].fragmentation(), i),
+            key=lambda i: (shards[i].planning_fragmentation(), i),
         )
 
 
@@ -450,6 +459,9 @@ class ShardedPlacementService:
                 "runtime.defrag_time_s": round(s.defrag_time_s, 6),
                 "runtime.probe_errors": s.probe_errors,
                 "runtime.queued_admits": s.queued_admits,
+                "runtime.reservations_booked": s.reservations_booked,
+                "runtime.reservation_admits": s.reservation_admits,
+                "runtime.reservations_expired": s.reservations_expired,
                 "runtime.mean_latency_s": round(s.mean_latency_s, 6),
                 "runtime.max_latency_s": round(s.max_latency_s, 6),
                 "runtime.peak_occupied_cells": s.peak_occupied_cells,

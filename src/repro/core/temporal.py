@@ -15,10 +15,23 @@ k-dimensional and resource-typed, so this drops out naturally:
   ``t_a + d_a <= t_b``,
 * the makespan ``max(t_i + d_i)`` is minimized by branch-and-bound.
 
-This is exact and deliberately runs on the *reference* kernel (interval
-sweeps), so keep instances small — it exists to demonstrate the model's
-generality, mirroring how [6] is positioned against the paper's purely
-spatial setting.
+Two placers share the model:
+
+* :class:`TemporalPlacer` runs on the *reference* kernel (interval
+  sweeps) — exact but slow, the differential oracle.  Keep instances
+  small.
+* :class:`TemporalCPPlacer` runs on the production
+  :class:`~repro.geost.placement.PlacementKernel` with a time axis —
+  the vectorized anchor-mask bank extruded over the horizon, static
+  masks served from the shared :class:`~repro.fabric.cache.AnchorMaskCache`.
+  This is what the ``temporal-cp`` backend and the runtime reservation
+  probe use; it is pinned against :class:`TemporalPlacer` on small
+  instances.
+
+Both follow :class:`~repro.placer.base.BasePlacer`'s uniform knob
+conventions (class-level ``seed`` / ``time_limit``, a cache threaded
+through ``place``) so the backend adapter drives them like any other
+engine.
 """
 
 from __future__ import annotations
@@ -32,12 +45,14 @@ from repro.cp.branching import min_value, smallest_domain
 from repro.cp.engine import Inconsistent
 from repro.cp.model import Model
 from repro.cp.search import SearchLimit
+from repro.fabric.cache import AnchorMaskCache, footprint_signature
 from repro.fabric.region import PartialRegion
 from repro.fabric.resource import ResourceType
 from repro.geost.boxes import Box, ShiftedBox
 from repro.geost.forbidden import ForbiddenRegion
 from repro.geost.kernel import Geost
 from repro.geost.objects import GeostObject
+from repro.geost.placement import PlacementKernel
 from repro.geost.shapes import GeostShape, ShapeTable
 from repro.modules.footprint import Footprint
 from repro.modules.module import Module
@@ -190,30 +205,94 @@ def _fabric_regions(
     return out
 
 
+def _validate_temporal(
+    tasks: Sequence[TemporalTask], precedences: Sequence[Tuple[int, int]]
+) -> None:
+    if not tasks:
+        raise ValueError("nothing to schedule")
+    for a, b in precedences:
+        if not (0 <= a < len(tasks) and 0 <= b < len(tasks)) or a == b:
+            raise ValueError(f"invalid precedence ({a}, {b})")
+
+
 class TemporalPlacer:
-    """Exact spatio-temporal placement, minimizing the makespan."""
+    """Exact spatio-temporal placement, minimizing the makespan.
+
+    Runs on the reference geost kernel — the differential oracle the
+    production :class:`TemporalCPPlacer` is pinned against.  Follows
+    :class:`~repro.placer.base.BasePlacer`'s knob conventions: ``seed``
+    and ``time_limit`` are uniform attributes the backend adapter
+    overrides per request, and an
+    :class:`~repro.fabric.cache.AnchorMaskCache` handed to ``place`` (or
+    the constructor) memoizes the fabric-content-derived model pieces —
+    the per-(region, horizon) forbidden-region list and the
+    per-(footprint, duration) shape extrusions — via
+    :meth:`~repro.fabric.cache.AnchorMaskCache.memo`.  Cached and
+    uncached runs are bit-identical (the memo returns the same objects
+    a fresh construction would build), pinned by the counter tests.
+    """
+
+    name = "temporal"
+    #: uniform knobs (BasePlacer conventions); the reference search is
+    #: deterministic, so ``seed`` only exists for the shared surface
+    seed: int = 0
+    time_limit: Optional[float] = 30.0
 
     def __init__(
         self,
         horizon: int,
         time_limit: Optional[float] = 30.0,
+        seed: int = 0,
+        cache: Optional[AnchorMaskCache] = None,
     ) -> None:
         if horizon <= 0:
             raise ValueError("horizon must be positive")
         self.horizon = horizon
         self.time_limit = time_limit
+        self.seed = seed
+        self.cache = cache
+
+    @staticmethod
+    def _extrusion(
+        cache: Optional[AnchorMaskCache], fp: Footprint, duration: int
+    ) -> GeostShape:
+        """The task's 3-D shape, memoized per (footprint, duration)."""
+        if cache is None:
+            return _extrude(fp, duration)
+        return cache.memo(
+            ("temporal-extrude", footprint_signature(fp), duration),
+            lambda: _extrude(fp, duration),
+        )
+
+    def _forbidden(
+        self,
+        cache: Optional[AnchorMaskCache],
+        region: PartialRegion,
+        kinds: Sequence[ResourceType],
+    ) -> List[ForbiddenRegion]:
+        """The fabric's forbidden regions, memoized per (region, horizon)."""
+        if cache is None:
+            return _fabric_regions(region, kinds, self.horizon)
+        return cache.memo(
+            (
+                "temporal-fabric",
+                cache.region_key(region),
+                tuple(kinds),
+                self.horizon,
+            ),
+            lambda: _fabric_regions(region, kinds, self.horizon),
+        )
 
     def place(
         self,
         region: PartialRegion,
         tasks: Sequence[TemporalTask],
         precedences: Sequence[Tuple[int, int]] = (),
+        *,
+        cache: Optional[AnchorMaskCache] = None,
     ) -> TemporalResult:
-        if not tasks:
-            raise ValueError("nothing to schedule")
-        for a, b in precedences:
-            if not (0 <= a < len(tasks) and 0 <= b < len(tasks)) or a == b:
-                raise ValueError(f"invalid precedence ({a}, {b})")
+        _validate_temporal(tasks, precedences)
+        cache = cache if cache is not None else self.cache
         start_time = time.monotonic()
         m = Model()
         # deduping table: tasks sharing a module (same footprints, same
@@ -237,7 +316,7 @@ class TemporalPlacer:
         try:
             for i, task in enumerate(tasks):
                 sids = [
-                    table.add(_extrude(fp, task.duration))
+                    table.add(self._extrusion(cache, fp, task.duration))
                     for fp in task.module.shapes
                 ]
                 task_sids.append(sids)
@@ -258,9 +337,7 @@ class TemporalPlacer:
                 # t_a + d_a <= t_b
                 m.add_le(objects[a].origin[2], objects[b].origin[2],
                          tasks[a].duration)
-            m.post(
-                Geost(objects, _fabric_regions(region, kinds, self.horizon))
-            )
+            m.post(Geost(objects, self._forbidden(cache, region, kinds)))
             makespan = m.int_var(0, self.horizon, "makespan")
             m.add_max(makespan, ends)
         except Inconsistent:
@@ -296,6 +373,132 @@ class TemporalPlacer:
                     start=sol[f"t{i}"],
                 )
             )
+        return TemporalResult(
+            region,
+            schedule=schedule,
+            makespan=res.objective,
+            status="optimal" if res.proved_optimal else "feasible",
+            elapsed=elapsed,
+        )
+
+
+class TemporalCPPlacer:
+    """Spatio-temporal placement on the production anchor-mask kernel.
+
+    The same (x, y, t) model as :class:`TemporalPlacer` — extruded
+    footprints, precedence offsets, makespan branch-and-bound with the
+    same heuristics — propagated by
+    :class:`~repro.geost.placement.PlacementKernel` running with a time
+    axis: the vectorized bank algebra instead of the reference interval
+    sweeps, with the static spatial masks served from the shared
+    :class:`~repro.fabric.cache.AnchorMaskCache`.  Differentially pinned
+    against :class:`TemporalPlacer` on small instances (equal optimal
+    makespans, schedules that ``verify``).
+    """
+
+    name = "temporal-cp"
+    seed: int = 0
+    time_limit: Optional[float] = 30.0
+
+    def __init__(
+        self,
+        horizon: int,
+        time_limit: Optional[float] = 30.0,
+        seed: int = 0,
+        cache: Optional[AnchorMaskCache] = None,
+        incremental: bool = True,
+        bitboard: bool = True,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = horizon
+        self.time_limit = time_limit
+        self.seed = seed
+        self.cache = cache
+        self.incremental = incremental
+        self.bitboard = bitboard
+
+    def place(
+        self,
+        region: PartialRegion,
+        tasks: Sequence[TemporalTask],
+        precedences: Sequence[Tuple[int, int]] = (),
+        *,
+        cache: Optional[AnchorMaskCache] = None,
+    ) -> TemporalResult:
+        _validate_temporal(tasks, precedences)
+        cache = cache if cache is not None else self.cache
+        start_time = time.monotonic()
+        m = Model()
+        n = len(tasks)
+        durations = [task.duration for task in tasks]
+        xs = [m.int_var(0, max(0, region.width - 1), f"x{i}") for i in range(n)]
+        ys = [m.int_var(0, max(0, region.height - 1), f"y{i}") for i in range(n)]
+        ss = [
+            m.int_var(0, len(task.module.shapes) - 1, f"s{i}")
+            for i, task in enumerate(tasks)
+        ]
+        ts = [
+            m.int_var(0, self.horizon - task.duration, f"t{i}")
+            for i, task in enumerate(tasks)
+        ]
+        ends = []
+        dv: List = []
+        try:
+            for i, task in enumerate(tasks):
+                end = m.int_var(task.duration, self.horizon, f"end{i}")
+                m.add_eq(end, ts[i], task.duration)  # end == t + duration
+                ends.append(end)
+                dv.extend([ts[i], xs[i], ys[i], ss[i]])
+            for a, b in precedences:
+                m.add_le(ts[a], ts[b], durations[a])  # t_a + d_a <= t_b
+            m.post(
+                PlacementKernel(
+                    region,
+                    [task.module for task in tasks],
+                    xs,
+                    ys,
+                    ss,
+                    cache=cache,
+                    incremental=self.incremental,
+                    bitboard=self.bitboard,
+                    horizon=self.horizon,
+                    durations=durations,
+                    ts=ts,
+                )
+            )
+            makespan = m.int_var(0, self.horizon, "makespan")
+            m.add_max(makespan, ends)
+        except Inconsistent:
+            return TemporalResult(
+                region, status="infeasible",
+                elapsed=time.monotonic() - start_time,
+            )
+
+        bnb = BranchAndBound(
+            m.engine,
+            Objective.minimize(makespan),
+            dv,
+            var_select=smallest_domain,
+            val_select=min_value,
+            limit=SearchLimit(time_seconds=self.time_limit),
+        )
+        res = bnb.run()
+        elapsed = time.monotonic() - start_time
+        if res.best is None:
+            status = "infeasible" if res.proved_optimal else "unknown"
+            return TemporalResult(region, status=status, elapsed=elapsed)
+        sol = res.best
+        schedule = [
+            ScheduledTask(
+                task=task,
+                shape_index=sol[f"s{i}"],
+                x=sol[f"x{i}"],
+                y=sol[f"y{i}"],
+                start=sol[f"t{i}"],
+            )
+            for i, task in enumerate(tasks)
+        ]
         return TemporalResult(
             region,
             schedule=schedule,

@@ -142,6 +142,15 @@ def _a9() -> str:
     )
 
 
+def _a10() -> str:
+    from repro.experiments.runtime_exp import (
+        format_reservations,
+        reservation_comparison,
+    )
+
+    return format_reservations(reservation_comparison())
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "table1": _table1,
     "fig1": _fig1,
@@ -157,6 +166,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "a7": _a7,
     "a8": _a8,
     "a9": _a9,
+    "a10": _a10,
 }
 
 

@@ -61,6 +61,10 @@ class LoadReport:
     defrag_aborted_moves: int = 0
     #: wall-clock spent in defrag passes (excluded from request latency)
     defrag_time_s: float = 0.0
+    #: book-ahead admission accounting (zero when the horizon is off)
+    reservations_booked: int = 0
+    reservation_admits: int = 0
+    reservations_expired: int = 0
     rejected_by_reason: Dict[str, int] = field(default_factory=dict)
     per_shard_admitted: Dict[str, int] = field(default_factory=dict)
 
@@ -83,6 +87,9 @@ class LoadReport:
             "defrag_executed_moves": self.defrag_executed_moves,
             "defrag_aborted_moves": self.defrag_aborted_moves,
             "defrag_time_s": round(self.defrag_time_s, 6),
+            "reservations_booked": self.reservations_booked,
+            "reservation_admits": self.reservation_admits,
+            "reservations_expired": self.reservations_expired,
             "rejected_by_reason": dict(self.rejected_by_reason),
             "per_shard_admitted": dict(self.per_shard_admitted),
         }
@@ -94,6 +101,7 @@ def serving_config(
     queue_capacity: int = 8,
     spill: bool = True,
     defrag: str = "disabled",
+    reservation_horizon: int = 0,
 ) -> ServiceConfig:
     """The high-throughput serving profile used by the benchmark gate.
 
@@ -112,6 +120,7 @@ def serving_config(
         frag_threshold=1.0,
         defrag_on_reject=defrag != "disabled",
         sample_timeline=False,
+        reservation_horizon=reservation_horizon,
     )
     if defrag != "disabled":
         runtime.defragmenter = defrag
@@ -129,6 +138,7 @@ def run_load(
     config: Optional[ServiceConfig] = None,
     mean_interarrival: int = 2,
     mean_lifetime: int = 24,
+    profile: str = "uniform",
 ) -> LoadReport:
     """Replay one seeded Table-I trace; returns the measured report.
 
@@ -149,6 +159,7 @@ def run_load(
         seed=seed,
         mean_interarrival=mean_interarrival,
         mean_lifetime=mean_lifetime,
+        profile=profile,
     )
 
     latencies: List[float] = []
@@ -187,6 +198,9 @@ def run_load(
         defrag_executed_moves=stats.defrag_executed_moves,
         defrag_aborted_moves=stats.defrag_aborted_moves,
         defrag_time_s=stats.defrag_time_s,
+        reservations_booked=stats.reservations_booked,
+        reservation_admits=stats.reservation_admits,
+        reservations_expired=stats.reservations_expired,
         rejected_by_reason=dict(stats.rejected_by_reason),
         per_shard_admitted={
             name: s.admitted for name, s in service.shard_stats().items()

@@ -53,7 +53,7 @@ from __future__ import annotations
 import hashlib
 import pickle
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Dict, Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -122,6 +122,8 @@ class AnchorMaskCache:
         self._compat: "OrderedDict[RegionKey, Dict[ResourceType, np.ndarray]]" = (
             OrderedDict()
         )
+        #: derived-artifact memo (see :meth:`memo`); not persisted by save
+        self._aux: "OrderedDict[Tuple, object]" = OrderedDict()
         #: anchor-mask lookups served from the cache
         self.hits = 0
         #: anchor-mask lookups that had to run the cross-correlation
@@ -189,6 +191,34 @@ class AnchorMaskCache:
             while len(self._masks) > self.capacity:
                 self._masks.popitem(last=False)
                 self.evictions += 1
+
+    def memo(self, key: Tuple, build: "Callable[[], object]") -> object:
+        """Cached derived artifact keyed by an arbitrary hashable tuple.
+
+        The temporal placement path memoizes objects that, like the anchor
+        masks, depend only on fabric content — the per-(region, horizon)
+        forbidden-region list and per-(footprint, duration) shape
+        extrusions — without this module having to know their types (which
+        live in ``repro.geost``; importing them here would cycle).  Lookups
+        count into the same ``hits``/``misses`` counters the masks use and
+        the store honors the same LRU ``capacity``.  Entries are returned
+        by reference: consumers must treat them as immutable, exactly like
+        the read-only mask arrays.
+        """
+        found = self._aux.get(key)
+        if found is not None:
+            self.hits += 1
+            if self.capacity is not None:
+                self._aux.move_to_end(key)
+            return found
+        self.misses += 1
+        found = build()
+        self._aux[key] = found
+        if self.capacity is not None:
+            while len(self._aux) > self.capacity:
+                self._aux.popitem(last=False)
+                self.evictions += 1
+        return found
 
     def warm(self, region: PartialRegion, modules: Iterable) -> int:
         """Precompute every shape's mask for one region; returns the count.

@@ -55,12 +55,17 @@ from repro.obs.trace import GEOST_BITBOARD, GEOST_INCREMENTAL, KERNEL_IMPRINT
 
 @dataclass(frozen=True)
 class PlacedModule:
-    """A concrete placement decision: module, chosen shape, anchor."""
+    """A concrete placement decision: module, chosen shape, anchor.
+
+    ``start`` is the scheduled start tick when the kernel ran with a time
+    axis (``horizon`` given), ``None`` for purely spatial placements.
+    """
 
     module: Module
     shape_index: int
     x: int
     y: int
+    start: Optional[int] = None
 
     @property
     def footprint(self) -> Footprint:
@@ -73,16 +78,29 @@ class PlacedModule:
 class _Item:
     """Internal per-module record."""
 
-    __slots__ = ("index", "module", "x", "y", "s", "cells", "placed")
+    __slots__ = (
+        "index", "module", "x", "y", "s", "t", "duration", "cells", "placed"
+    )
 
     def __init__(
-        self, index: int, module: Module, x: IntVar, y: IntVar, s: IntVar
+        self,
+        index: int,
+        module: Module,
+        x: IntVar,
+        y: IntVar,
+        s: IntVar,
+        t: Optional[IntVar] = None,
+        duration: int = 1,
     ) -> None:
         self.index = index
         self.module = module
         self.x = x
         self.y = y
         self.s = s
+        #: start-tick variable (None when the kernel runs without a time
+        #: axis) and execution duration in ticks
+        self.t = t
+        self.duration = duration
         #: per-shape (n, 2) arrays of (dy, dx) cell offsets
         self.cells: List[np.ndarray] = [
             np.array(
@@ -93,7 +111,10 @@ class _Item:
         self.placed = False
 
     def is_fixed(self) -> bool:
-        return self.x.is_fixed() and self.y.is_fixed() and self.s.is_fixed()
+        fixed = self.x.is_fixed() and self.y.is_fixed() and self.s.is_fixed()
+        if self.t is not None:
+            fixed = fixed and self.t.is_fixed()
+        return fixed
 
 
 class PlacementKernel(Propagator):
@@ -117,6 +138,20 @@ class PlacementKernel(Propagator):
     vectorization of the same boolean algebra — identical prunes, counts
     and cache behavior — so ``bitboard=False`` is the per-shape scalar
     oracle of the differential suite.
+
+    ``horizon`` (optional) adds a bounded time axis: every module gets a
+    start variable ``ts[i]`` and a ``durations[i]``-tick extrusion, the
+    anchor bank grows to per-shape (T, H, W) stacks (the static spatial
+    mask tiled over the horizon with start ticks past ``T - duration``
+    cleared), occupancy becomes a (T, H, W) volume, and non-overlap means
+    no two modules share a cell *while both are resident* — exactly the
+    ``core.temporal._extrude`` model, evaluated through the same
+    vectorized mask algebra.  The temporal narrowing after an imprint
+    reuses the spatial difference-of-coordinates kernel and expands each
+    colliding spatial anchor over its time window
+    ``[t0 - d_other + 1, t0 + d0 - 1]`` — the start ticks at which the
+    other shape would be resident simultaneously.  ``horizon=None``
+    leaves every code path byte-identical to the purely spatial kernel.
     """
 
     priority = Priority.EXPENSIVE
@@ -135,14 +170,36 @@ class PlacementKernel(Propagator):
         cache: Optional[AnchorMaskCache] = None,
         incremental: bool = True,
         bitboard: bool = True,
+        horizon: Optional[int] = None,
+        durations: Optional[Sequence[int]] = None,
+        ts: Optional[Sequence[IntVar]] = None,
     ) -> None:
         super().__init__("placement-kernel")
         if not (len(modules) == len(xs) == len(ys) == len(ss)):
             raise ValueError("modules and variable sequences must align")
         if not modules:
             raise ValueError("at least one module is required")
+        if horizon is not None:
+            if horizon <= 0:
+                raise ValueError("horizon must be positive")
+            if durations is None or ts is None:
+                raise ValueError("horizon requires durations and ts")
+            if not (len(durations) == len(ts) == len(modules)):
+                raise ValueError("durations and ts must align with modules")
+            for m, d in zip(modules, durations):
+                if d <= 0:
+                    raise ValueError(f"{m.name}: duration must be positive")
+                if d > horizon:
+                    raise ValueError(
+                        f"{m.name}: duration {d} exceeds horizon {horizon}"
+                    )
+        elif durations is not None or ts is not None:
+            raise ValueError("durations/ts require a horizon")
         self.region = region
         self.H, self.W = region.height, region.width
+        #: time-axis extent (None — the purely spatial kernel)
+        self.T = horizon
+        self._hw = self.H * self.W
         self.incremental = incremental
         self.bitboard = bitboard
         self.inc_stats = IncStats()
@@ -150,10 +207,18 @@ class PlacementKernel(Propagator):
         #: keys the anchor-count cache
         self._rev = Revision()
         self._count_cache: Dict[int, Tuple] = {}
-        self.items = [
-            _Item(i, m, x, y, s)
-            for i, (m, x, y, s) in enumerate(zip(modules, xs, ys, ss))
-        ]
+        if horizon is not None:
+            self.items = [
+                _Item(i, m, x, y, s, t, int(d))
+                for i, (m, x, y, s, t, d) in enumerate(
+                    zip(modules, xs, ys, ss, ts, durations)
+                )
+            ]
+        else:
+            self.items = [
+                _Item(i, m, x, y, s)
+                for i, (m, x, y, s) in enumerate(zip(modules, xs, ys, ss))
+            ]
         # three mask sources, cheapest first: a NarrowedRegion with a cache
         # reuses the *base* region's memoized masks and fixes them up below
         # (the incremental LNS path); a cache alone memoizes per (region,
@@ -253,24 +318,47 @@ class PlacementKernel(Propagator):
         self.cache_stats: Optional[Dict[str, int]] = (
             cache.delta(snap) if cache is not None else None
         )
+        if self.T is not None:
+            # extrude the spatial bank over the horizon: tile each row T
+            # times and clear the start ticks at which the shape would
+            # outlive the horizon (t > T - duration) — the temporal M_a
+            self._row_duration = np.concatenate(
+                [
+                    np.full(len(it.module.shapes), it.duration, dtype=np.int64)
+                    for it in self.items
+                ]
+            )
+            time_valid = (
+                np.arange(self.T)[None, :]
+                <= (self.T - self._row_duration)[:, None]
+            )
+            self.bank = (
+                self.bank[:, None, :] & time_valid[:, :, None]
+            ).reshape(len(self.bank), self.T * self._hw)
         #: static M_a & M_b anchors: per item, per shape, a bank-row view
         self.valid: List[List[np.ndarray]] = [
             [self.bank[r] for r in row_ids] for row_ids in self._row_of
         ]
-        self.occupancy = np.zeros(self.H * self.W, dtype=bool)
+        self.occupancy = np.zeros(
+            self.H * self.W if self.T is None else self.T * self._hw,
+            dtype=bool,
+        )
         #: total cells available to modules, for the area argument
-        self._capacity = int(region.allowed_mask().sum())
+        #: (cell-ticks when a time axis is present)
+        self._capacity = int(region.allowed_mask().sum()) * (self.T or 1)
         #: items needing re-filtering (indices); maintained via on_event
         self._dirty: set = set(range(len(self.items)))
         self._var_to_item = {}
         for it in self.items:
-            for v in (it.x, it.y, it.s):
+            for v in (it.x, it.y, it.s) + ((it.t,) if it.t is not None else ()):
                 self._var_to_item[id(v)] = it.index
 
     def variables(self):
         out = []
         for it in self.items:
             out.extend((it.x, it.y, it.s))
+            if it.t is not None:
+                out.append(it.t)
         return out
 
     def on_event(self, var, event) -> bool:
@@ -288,6 +376,10 @@ class PlacementKernel(Propagator):
             )
             item.x.set_domain(item.x.domain.clamp(0, self.W - 1), cause=None)
             item.y.set_domain(item.y.domain.clamp(0, self.H - 1), cause=None)
+            if item.t is not None:
+                item.t.set_domain(
+                    item.t.domain.clamp(0, self.T - item.duration), cause=None
+                )
         super().post(engine)
 
     # ------------------------------------------------------------------
@@ -301,10 +393,17 @@ class PlacementKernel(Propagator):
         )
 
     def _shape_allowed(self, item: _Item, sid: int) -> np.ndarray:
-        """(H, W) anchors of shape ``sid`` compatible with current domains."""
-        mask = self.valid[item.index][sid].reshape(self.H, self.W)
+        """Anchors of shape ``sid`` compatible with current domains.
+
+        (H, W) for the spatial kernel, (T, H, W) with a time axis.
+        """
         col, row = self._axis_masks(item)
-        return mask & row[:, None] & col[None, :]
+        if item.t is None:
+            mask = self.valid[item.index][sid].reshape(self.H, self.W)
+            return mask & row[:, None] & col[None, :]
+        mask = self.valid[item.index][sid].reshape(self.T, self.H, self.W)
+        tmask = item.t.domain.to_bool_array(self.T)
+        return mask & tmask[:, None, None] & row[None, :, None] & col[None, None, :]
 
     def _collisions(
         self, cells_yx: np.ndarray, keep: Optional[np.ndarray] = None
@@ -350,8 +449,10 @@ class PlacementKernel(Propagator):
             else:
                 self._prune(item)
         # area argument: the remaining modules must fit the remaining cells
+        # (cell-ticks when a time axis is present: area × duration)
         demand = int(self.occupancy.sum()) + sum(
             min(it.module.shapes[sid].area for sid in it.s.domain)
+            * it.duration
             for it in self.items
             if not it.placed
         )
@@ -374,14 +475,24 @@ class PlacementKernel(Propagator):
         """Commit a fixed module: occupy cells, narrow other modules' masks."""
         sid = item.s.value()
         x0, y0 = item.x.value(), item.y.value()
+        t0 = item.t.value() if item.t is not None else 0
         flat_valid = self.valid[item.index][sid]
-        if not flat_valid[y0 * self.W + x0]:
+        anchor_flat = y0 * self.W + x0
+        if item.t is not None:
+            anchor_flat += t0 * self._hw
+        if not flat_valid[anchor_flat]:
             raise Inconsistent(
                 f"placement-kernel: {item.module.name} anchored on an "
                 f"incompatible or out-of-region tile"
             )
         cells = item.cells[sid]  # (n, 2) of (dy, dx)
         idx = (y0 + cells[:, 0]) * self.W + (x0 + cells[:, 1])
+        if item.t is not None:
+            # occupy the cells for every resident tick [t0, t0 + duration)
+            idx = (
+                (t0 + np.arange(item.duration))[:, None] * self._hw
+                + idx[None, :]
+            ).reshape(-1)
         if self.occupancy[idx].any():
             raise Inconsistent(
                 f"placement-kernel: {item.module.name} overlaps placed material"
@@ -390,9 +501,15 @@ class PlacementKernel(Propagator):
         item.placed = True
         self.inc_stats.rasterized += 1
         if engine.tracer is not None:
-            engine.tracer.emit(
-                KERNEL_IMPRINT, module=item.module.name, shape=sid, x=x0, y=y0
-            )
+            if item.t is not None:
+                engine.tracer.emit(
+                    KERNEL_IMPRINT,
+                    module=item.module.name, shape=sid, x=x0, y=y0, t=t0,
+                )
+            else:
+                engine.tracer.emit(
+                    KERNEL_IMPRINT, module=item.module.name, shape=sid, x=x0, y=y0
+                )
 
         occ = self.occupancy
         active = self._active_offsets
@@ -415,6 +532,22 @@ class PlacementKernel(Propagator):
         keep = np.nonzero(active)[0]
         cells_yx = np.stack([y0 + cells[:, 0], x0 + cells[:, 1]], axis=1)
         rows, flat = self._collisions(cells_yx, keep)
+        if item.t is not None and rows.size:
+            # expand each colliding *spatial* anchor over the start ticks
+            # at which the other shape would be resident together with
+            # this one: [t0 - d_other + 1, t0 + d0 - 1], clamped to the
+            # horizon (a ragged range per collision, flattened via repeat)
+            d_other = self._row_duration[rows]
+            t_lo = np.maximum(0, t0 - d_other + 1)
+            t_hi = min(self.T - 1, t0 + item.duration - 1)
+            counts = t_hi - t_lo + 1
+            total = int(counts.sum())
+            steps = np.arange(total) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            ticks = np.repeat(t_lo, counts) + steps
+            flat = ticks * self._hw + np.repeat(flat, counts)
+            rows = np.repeat(rows, counts)
         bank = self.bank
         was_valid = bank[rows, flat]
         rows_hit = rows[was_valid]
@@ -446,18 +579,32 @@ class PlacementKernel(Propagator):
                 f"placement-kernel: {item.module.name} has no feasible anchor"
             )
         changed = item.s.set_domain(Domain(keep_shapes), cause=self)
-        cols = Domain.from_bool_array(union.any(axis=0))
-        rows = Domain.from_bool_array(union.any(axis=1))
-        changed |= item.x.set_domain(
+        changed |= self._narrow_axes(item, union)
+        # our own updates re-enter the dirty set through on_event (the
+        # engine notifies self-caused events precisely so dirty-set
+        # propagators see their own prunings), so a collapse to a full
+        # placement is picked up by the same run and imprinted
+        return changed
+
+    def _narrow_axes(self, item: _Item, union: np.ndarray) -> bool:
+        """Project the anchor union onto each axis domain (x, y and t)."""
+        if item.t is None:
+            cols = Domain.from_bool_array(union.any(axis=0))
+            rows = Domain.from_bool_array(union.any(axis=1))
+        else:
+            cols = Domain.from_bool_array(union.any(axis=(0, 1)))
+            rows = Domain.from_bool_array(union.any(axis=(0, 2)))
+        changed = item.x.set_domain(
             item.x.domain.intersect(cols), cause=self
         )
         changed |= item.y.set_domain(
             item.y.domain.intersect(rows), cause=self
         )
-        # our own updates re-enter the dirty set through on_event (the
-        # engine notifies self-caused events precisely so dirty-set
-        # propagators see their own prunings), so a collapse to a full
-        # placement is picked up by the same run and imprinted
+        if item.t is not None:
+            ticks = Domain.from_bool_array(union.any(axis=(1, 2)))
+            changed |= item.t.set_domain(
+                item.t.domain.intersect(ticks), cause=self
+            )
         return changed
 
     def _prune_batched(self, item: _Item) -> bool:
@@ -472,6 +619,13 @@ class PlacementKernel(Propagator):
         row_ids = [self._row_of[item.index][sid] for sid in sids]
         col, row = self._axis_masks(item)
         axes = (row[:, None] & col[None, :]).reshape(-1)
+        if item.t is not None:
+            tmask = item.t.domain.to_bool_array(self.T)
+            axes = (
+                tmask[:, None, None]
+                & row[None, :, None]
+                & col[None, None, :]
+            ).reshape(-1)
         sub = self.bank[row_ids] & axes[None, :]
         self.inc_stats.rows_tested += len(sids)
         feasible = sub.any(axis=1)
@@ -480,16 +634,14 @@ class PlacementKernel(Propagator):
             raise Inconsistent(
                 f"placement-kernel: {item.module.name} has no feasible anchor"
             )
-        union = sub[feasible].any(axis=0).reshape(self.H, self.W)
+        shape = (
+            (self.H, self.W)
+            if item.t is None
+            else (self.T, self.H, self.W)
+        )
+        union = sub[feasible].any(axis=0).reshape(shape)
         changed = item.s.set_domain(Domain(keep_shapes), cause=self)
-        cols = Domain.from_bool_array(union.any(axis=0))
-        rows = Domain.from_bool_array(union.any(axis=1))
-        changed |= item.x.set_domain(
-            item.x.domain.intersect(cols), cause=self
-        )
-        changed |= item.y.set_domain(
-            item.y.domain.intersect(rows), cause=self
-        )
+        changed |= self._narrow_axes(item, union)
         return changed
 
     # ------------------------------------------------------------------
@@ -502,6 +654,17 @@ class PlacementKernel(Propagator):
         the min-extent objective fastest (Eq. 6 minimizes the x extent).
         """
         item = self.items[index]
+        if item.t is not None:
+            # temporal kernel: (shape, x, y, t) quadruples, earliest first
+            quads: List[Tuple[int, int, int, int]] = []
+            for sid in item.s.domain:
+                ts_, ys, xs = np.nonzero(self._shape_allowed(item, sid))
+                quads.extend(
+                    (sid, int(x), int(y), int(t))
+                    for x, y, t in zip(xs.tolist(), ys.tolist(), ts_.tolist())
+                )
+            quads.sort(key=lambda q: (q[3], q[1], q[2], q[0]))
+            return quads
         out: List[Tuple[int, int, int]] = []
         for sid in item.s.domain:
             allowed = self._shape_allowed(item, sid)
@@ -524,6 +687,7 @@ class PlacementKernel(Propagator):
         """
         item = self.items[index]
         xd, yd, sd = item.x.domain, item.y.domain, item.s.domain
+        td = item.t.domain if item.t is not None else None
         if self.incremental:
             entry = self._count_cache.get(index)
             if (
@@ -532,11 +696,23 @@ class PlacementKernel(Propagator):
                 and entry[1] is xd
                 and entry[2] is yd
                 and entry[3] is sd
+                and entry[5] is td
             ):
                 self.inc_stats.reused += 1
                 return entry[4]
         col, row = self._axis_masks(item)
-        if self.bitboard:
+        if item.t is not None:
+            # temporal kernel: same boolean algebra as the batched prune,
+            # summed instead of unioned (count_anchors is 2-D-specific)
+            row_ids = [self._row_of[item.index][sid] for sid in sd]
+            axes = (
+                item.t.domain.to_bool_array(self.T)[:, None, None]
+                & row[None, :, None]
+                & col[None, None, :]
+            ).reshape(-1)
+            count = int((self.bank[row_ids] & axes[None, :]).sum())
+            self.inc_stats.rows_tested += 1
+        elif self.bitboard:
             row_ids = [self._row_of[item.index][sid] for sid in sd]
             stack = self.bank[row_ids].reshape(-1, self.H, self.W)
             count = int(count_anchors_batch(stack, col, row).sum())
@@ -550,10 +726,15 @@ class PlacementKernel(Propagator):
                 for sid in sd
             )
         if self.incremental:
-            self._count_cache[index] = (self._rev.current, xd, yd, sd, count)
+            self._count_cache[index] = (
+                self._rev.current, xd, yd, sd, count, td,
+            )
         return count
 
     def occupied_mask(self) -> np.ndarray:
+        """(H, W) occupancy, or the (T, H, W) volume for temporal runs."""
+        if self.T is not None:
+            return self.occupancy.reshape(self.T, self.H, self.W).copy()
         return self.occupancy.reshape(self.H, self.W).copy()
 
     def placements(self) -> List[PlacedModule]:
@@ -563,7 +744,11 @@ class PlacementKernel(Propagator):
             if item.is_fixed():
                 out.append(
                     PlacedModule(
-                        item.module, item.s.value(), item.x.value(), item.y.value()
+                        item.module,
+                        item.s.value(),
+                        item.x.value(),
+                        item.y.value(),
+                        item.t.value() if item.t is not None else None,
                     )
                 )
         return out

@@ -85,6 +85,12 @@ EVENT_KINDS: Dict[str, List[str]] = {
         "module", "clock", "status", "move_kind", "frames",
     ],
     "runtime.depart": ["module", "clock"],
+    # reservation lifecycle: the temporal probe books a future tick,
+    # the manager commits it when the tick arrives (or expires it at
+    # the deadline with RejectReason.RESERVATION_EXPIRED)
+    "runtime.reserve": ["module", "clock", "start"],
+    "runtime.reservation.commit": ["module", "clock", "start"],
+    "runtime.reservation.expire": ["module", "clock", "deadline"],
     # sharded placement service lifecycle (repro.core.service)
     "service.route": ["module", "shard", "policy", "rank"],
     "service.spill": ["module", "from_shard", "to_shard"],

@@ -49,6 +49,11 @@ RUNTIME_DEFRAG = "runtime.defrag"
 #: one no-break move lifecycle step (started / completed / aborted)
 RUNTIME_DEFRAG_STEP = "runtime.defrag.step"
 RUNTIME_DEPART = "runtime.depart"
+#: reservation lifecycle (repro.core.runtime) — a booking made by the
+#: temporal probe, its commit at the booked tick, or its expiry
+RUNTIME_RESERVE = "runtime.reserve"
+RUNTIME_RESERVATION_COMMIT = "runtime.reservation.commit"
+RUNTIME_RESERVATION_EXPIRE = "runtime.reservation.expire"
 #: sharded placement service lifecycle (repro.core.service) — one route
 #: event per request naming the shard that took (or parked) it, a spill
 #: event per cross-shard retry hop, one drain event per service drain

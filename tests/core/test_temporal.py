@@ -9,6 +9,7 @@ import pytest
 from repro.core.temporal import (
     ScheduledTask,
     TemporalPlacer,
+    TemporalResult,
     TemporalTask,
     render_timeline,
 )
@@ -217,3 +218,204 @@ class TestRendering:
         from repro.core.temporal import TemporalResult
 
         assert "empty" in render_timeline(TemporalResult(region))
+
+
+# ----------------------------------------------------------------------
+# Golden rendering and verify() property coverage
+# ----------------------------------------------------------------------
+class TestRenderTimelineGolden:
+    def test_exact_art_for_a_fixed_schedule(self):
+        region = clb_region(["....", "...."])
+        a = sq_task("a", 2, 2, 2)
+        b = sq_task("b", 2, 1, 1)
+        result = TemporalResult(
+            region,
+            schedule=[
+                ScheduledTask(task=a, shape_index=0, x=0, y=0, start=0),
+                ScheduledTask(task=b, shape_index=0, x=2, y=0, start=1),
+            ],
+            makespan=2,
+            status="optimal",
+        )
+        assert render_timeline(result) == (
+            "t=0\n"
+            "00..\n"
+            "00..\n"
+            "\n"
+            "t=1\n"
+            "00..\n"
+            "0011"
+        )
+
+
+class TestVerifyProperties:
+    def _scheduled(self, name, w, h, d, x, y, start):
+        return ScheduledTask(
+            task=sq_task(name, w, h, d), shape_index=0, x=x, y=y, start=start
+        )
+
+    def test_overlap_in_space_and_time_rejected(self):
+        region = clb_region(["....", "...."])
+        result = TemporalResult(
+            region,
+            schedule=[
+                self._scheduled("a", 2, 2, 3, 0, 0, 0),
+                self._scheduled("b", 2, 2, 3, 1, 0, 2),  # shares (1..2, *) at t=2
+            ],
+        )
+        with pytest.raises(ValueError, match="overlaps"):
+            result.verify()
+
+    def test_same_cells_at_disjoint_times_accepted(self):
+        region = clb_region(["..", ".."])
+        result = TemporalResult(
+            region,
+            schedule=[
+                self._scheduled("a", 2, 2, 2, 0, 0, 0),
+                self._scheduled("b", 2, 2, 2, 0, 0, 2),  # back to back
+            ],
+        )
+        result.verify()  # no exception: never concurrent
+
+    def test_precedence_violation_rejected(self):
+        region = clb_region(["....", "...."])
+        result = TemporalResult(
+            region,
+            schedule=[
+                self._scheduled("a", 2, 2, 3, 0, 0, 0),
+                self._scheduled("b", 2, 2, 2, 2, 0, 1),  # starts before a ends
+            ],
+        )
+        result.verify()  # fine without the edge
+        with pytest.raises(ValueError, match="precedence"):
+            result.verify(precedences=[(0, 1)])
+
+    def test_out_of_region_rejected(self):
+        region = clb_region(["..", ".."])
+        result = TemporalResult(
+            region, schedule=[self._scheduled("a", 2, 2, 1, 1, 0, 0)]
+        )
+        with pytest.raises(ValueError, match="invalid"):
+            result.verify()
+
+    def test_resource_mismatch_rejected(self):
+        # column 2 is BRAM ("B"); a pure-CLB footprint may not sit on it
+        region = clb_region(["..B.", "..B."])
+        result = TemporalResult(
+            region, schedule=[self._scheduled("a", 2, 2, 1, 1, 0, 0)]
+        )
+        with pytest.raises(ValueError, match="resource mismatch"):
+            result.verify()
+
+
+# ----------------------------------------------------------------------
+# Production placer (TemporalCPPlacer) vs the reference oracle
+# ----------------------------------------------------------------------
+from repro.core.temporal import TemporalCPPlacer  # noqa: E402
+from repro.fabric.cache import AnchorMaskCache  # noqa: E402
+
+_ORACLE_CASES = [
+    pytest.param(
+        ["....", "...."], [("a", 2, 2, 3)], [], 5, id="single"
+    ),
+    pytest.param(
+        ["....", "...."],
+        [("a", 2, 2, 2), ("b", 2, 2, 2)],
+        [],
+        8,
+        id="parallel",
+    ),
+    pytest.param(
+        ["..", ".."],
+        [("a", 2, 2, 2), ("b", 2, 2, 2)],
+        [],
+        8,
+        id="serialized",
+    ),
+    pytest.param(
+        ["....", "...."],
+        [("a", 2, 2, 2), ("b", 2, 2, 3), ("c", 2, 2, 2)],
+        [(0, 2)],
+        8,
+        id="precedence",
+    ),
+    pytest.param(
+        ["..B.", "..B."],
+        [("a", 2, 2, 2), ("b", 2, 2, 2)],
+        [],
+        6,
+        id="heterogeneous",
+    ),
+]
+
+
+class TestProductionMatchesOracle:
+    @pytest.mark.parametrize(
+        "rows,specs,precedences,horizon", _ORACLE_CASES
+    )
+    def test_equal_optimal_makespans(self, rows, specs, precedences, horizon):
+        region = clb_region(rows)
+        tasks = [sq_task(n, w, h, d) for n, w, h, d in specs]
+        ref = TemporalPlacer(horizon=horizon).place(
+            region, tasks, precedences=precedences
+        )
+        prod = TemporalCPPlacer(horizon=horizon).place(
+            region, tasks, precedences=precedences
+        )
+        assert ref.status == "optimal"
+        assert prod.status == "optimal"
+        assert prod.makespan == ref.makespan
+        ref.verify(precedences)
+        prod.verify(precedences)
+
+    def test_infeasible_agreement(self):
+        region = clb_region(["..", ".."])
+        tasks = [sq_task(n, 2, 2, 2) for n in ("a", "b", "c")]
+        ref = TemporalPlacer(horizon=3).place(region, tasks)
+        prod = TemporalCPPlacer(horizon=3).place(region, tasks)
+        assert ref.status == "infeasible"
+        assert prod.status == "infeasible"
+
+
+class TestSharedCacheMemoization:
+    def test_reference_placer_memoizes_extrusions_and_fabric(self):
+        region = clb_region(["..B.", "..B."])
+        tasks = [sq_task("a", 2, 2, 2), sq_task("b", 2, 1, 1)]
+        cache = AnchorMaskCache()
+        placer = TemporalPlacer(horizon=6, cache=cache)
+        placer.place(region, tasks)
+        misses_first = cache.misses
+        assert misses_first > 0 and cache.hits == 0
+        placer.place(region, tasks)
+        # second identical solve is served purely from the memo store
+        assert cache.misses == misses_first
+        assert cache.hits >= misses_first
+
+    def test_cached_and_uncached_schedules_identical(self):
+        region = clb_region(["....", "...."])
+        tasks = [sq_task("a", 2, 2, 2), sq_task("b", 2, 2, 3)]
+        plain = TemporalPlacer(horizon=8).place(region, tasks)
+        cached = TemporalPlacer(horizon=8, cache=AnchorMaskCache()).place(
+            region, tasks
+        )
+        assert [
+            (s.task.name, s.shape_index, s.x, s.y, s.start)
+            for s in plain.schedule
+        ] == [
+            (s.task.name, s.shape_index, s.x, s.y, s.start)
+            for s in cached.schedule
+        ]
+        assert plain.makespan == cached.makespan
+
+    def test_production_placer_reuses_spatial_masks(self):
+        region = clb_region(["....", "...."])
+        tasks = [sq_task("a", 2, 2, 2), sq_task("b", 2, 2, 2)]
+        cache = AnchorMaskCache()
+        placer = TemporalCPPlacer(horizon=6, cache=cache)
+        first = placer.place(region, tasks)
+        hits_after_first = cache.hits
+        second = placer.place(region, tasks)
+        assert cache.hits > hits_after_first
+        assert [
+            (s.task.name, s.x, s.y, s.start) for s in first.schedule
+        ] == [(s.task.name, s.x, s.y, s.start) for s in second.schedule]
