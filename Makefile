@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test test-fast test-oracle bench bench-fast bench-geost bench-runtime profile-smoke runtime-smoke backends-smoke defrag-smoke temporal-smoke
+.PHONY: test test-fast test-oracle bench bench-fast bench-geost bench-runtime profile-smoke runtime-smoke backends-smoke defrag-smoke temporal-smoke analytical-smoke
 
 ## full tier-1 suite (what CI runs)
 test:
@@ -69,3 +69,9 @@ defrag-smoke:
 ## serving replay with full event/profile validation
 temporal-smoke:
 	$(PY) scripts/temporal_smoke.py
+
+## the analytical backend end to end: relaxation convergence +
+## verification, warm-started CP reaching its first incumbent for free,
+## and the A3 bar (>= annealing utilization at a quarter of its budget)
+analytical-smoke:
+	$(PY) scripts/analytical_smoke.py

@@ -227,3 +227,37 @@ def test_geost_counters_surface_in_solve_profile(report, table1_instance):
     assert counts["geost_dirty"] > 0
     assert counts["geost_rasterized"] > 0
     assert counts["bitboard_rows_tested"] > 0
+
+
+# ----------------------------------------------------------------------
+# Warm-started branch-and-bound (the analytical seeder)
+# ----------------------------------------------------------------------
+def test_warmstart_first_incumbent_is_free(report, table1_instance, gates, latest):
+    region, modules = table1_instance
+
+    cold = CPPlacer(PlacerConfig(time_limit=4.0)).place(region, modules)
+    warm = CPPlacer(
+        PlacerConfig(time_limit=4.0, warm_start="analytical")
+    ).place(region, modules)
+    warm.verify()
+
+    cold_nodes = cold.stats["first_incumbent_nodes"]
+    warm_nodes = warm.stats["first_incumbent_nodes"]
+    gate = gates["warmstart_first_incumbent_nodes_max"]
+    latest["warmstart_first_incumbent_nodes"] = warm_nodes
+    latest["cold_first_incumbent_nodes"] = cold_nodes
+
+    seed = warm.stats["warm_start"]
+    report(
+        "Warm-started CP first incumbent (Table-I, 30 modules)",
+        f"  cold search   first incumbent after {cold_nodes} nodes\n"
+        f"  warm-started  first incumbent after {warm_nodes} nodes "
+        f"(gate <= {gate})\n"
+        f"  seed: {seed['backend']} objective {seed['objective']} "
+        f"in {seed['elapsed']:.2f}s",
+    )
+    assert warm_nodes <= gate, (
+        f"warm-started CP spent {warm_nodes} nodes reaching its first "
+        "incumbent — the seed is not being injected"
+    )
+    assert cold_nodes is not None and warm_nodes < cold_nodes

@@ -14,6 +14,10 @@ registers the default fleet:
 ``bottom-left``/``first-fit``/``best-fit``  greedy offline heuristics
 ``kamer``      Bazargan-style maximal-empty-rectangle placement
 ``annealing``  simulated annealing over (order, alternative) encodings
+               (deterministic per seed: the adapter derives an evaluation
+               cap from the request budget instead of racing the clock)
+``analytical`` force-directed relaxation + nearest-anchor legalization,
+               also the ``warm_start`` seeder of ``cp`` and ``lns``
 ``1d-slots``   historical fixed-slot model (not relocatable)
 ``temporal-cp``  joint place-and-schedule over a bounded horizon
                  (``schedules=True``; spatial requests degrade to a
@@ -36,8 +40,12 @@ from repro.core.lns import LNSConfig, LNSPlacer
 from repro.core.placer import CPPlacer, PlacerConfig
 from repro.core.portfolio import PortfolioConfig, PortfolioPlacer
 from repro.core.result import PlacementResult
+from repro.obs.profile import SolveProfile
 from repro.obs.trace import Tracer
 from repro.placer import (
+    AnalyticalConfig,
+    AnalyticalPlacer,
+    AnnealingConfig,
     AnnealingPlacer,
     BasePlacer,
     BestFitPlacer,
@@ -84,6 +92,8 @@ class CPBackend(PlacementBackend):
             updates["incremental"] = request.incremental
         if request.bitboard is not None:
             updates["bitboard"] = request.bitboard
+        if request.warm_start is not None:
+            updates["warm_start"] = request.warm_start
         if updates:
             cfg = dc_replace(cfg, **updates)
         return CPPlacer(cfg).place(request.region, list(request.modules))
@@ -121,6 +131,8 @@ class LNSBackend(PlacementBackend):
             updates["incremental"] = request.incremental
         if request.bitboard is not None:
             updates["bitboard"] = request.bitboard
+        if request.warm_start is not None:
+            updates["warm_start"] = request.warm_start
         if updates:
             cfg = dc_replace(cfg, **updates)
         return LNSPlacer(cfg).place(request.region, list(request.modules))
@@ -308,6 +320,111 @@ class BaselineBackend(PlacementBackend):
         )
 
 
+class AnalyticalBackend(PlacementBackend):
+    """Force-directed relaxation + nearest-anchor legalization.
+
+    Wraps :class:`~repro.placer.analytical.AnalyticalPlacer`.  The request
+    seed / budget / cache / tracer land on :class:`AnalyticalConfig`, and
+    the relaxation/legalization counters are surfaced as the
+    ``analytical_*`` profile counters so profiling sessions can attribute
+    warm-start cost.  Not anytime: the relaxation must finish (or hit its
+    budget) before legalization produces any placement at all.
+    """
+
+    name = "analytical"
+    capabilities = BackendCapabilities(
+        supports_alternatives=True,
+        supports_objective=True,
+        anytime=False,
+        relocatable=True,
+    )
+    session_self_recording = False
+
+    def __init__(self, config: Optional[AnalyticalConfig] = None) -> None:
+        self.config = config or AnalyticalConfig()
+
+    def _solve(self, request, tracer, profiling):
+        cfg = self.config
+        updates = {}
+        if request.seed is not None:
+            updates["seed"] = request.seed
+        if request.time_limit is not None:
+            updates["time_limit"] = request.time_limit
+        if tracer is not None:
+            updates["tracer"] = tracer
+        if updates:
+            cfg = dc_replace(cfg, **updates)
+        result = AnalyticalPlacer(cfg).place(
+            request.region, list(request.modules), cache=request.cache
+        )
+        if profiling:
+            profile = SolveProfile(
+                elapsed=result.elapsed,
+                stop_reason=result.status,
+                meta={
+                    "backend": self.name,
+                    "placed": len(result.placements),
+                    "unplaced": len(result.unplaced),
+                },
+            )
+            profile.analytical_iterations = int(
+                result.stats.get("iterations", 0)
+            )
+            profile.analytical_snapped = int(result.stats.get("snapped", 0))
+            result.stats["profile"] = profile
+        return result
+
+
+class AnnealingBackend(PlacementBackend):
+    """Simulated annealing with a budget-derived deterministic eval cap.
+
+    With ``max_evaluations=None`` the raw placer stops on the wall clock,
+    so the same seed explores a machine-load-dependent number of states —
+    results differ between a loaded CI box and a fast laptop.  This
+    adapter derives a deterministic cap from the effective time budget
+    (``EVALS_PER_MODULE_SECOND`` calibrated so the cap lands near what the
+    clock would have allowed; decode cost scales with the module count),
+    keeping the wall clock only as a safety net.  Same request + same
+    seed is therefore bit-identical anywhere.
+    """
+
+    name = "annealing"
+    capabilities = BackendCapabilities(
+        supports_objective=True,
+        anytime=True,
+    )
+    session_self_recording = False
+
+    #: decode throughput assumed when converting seconds to evaluations
+    EVALS_PER_MODULE_SECOND = 2500
+
+    def __init__(self, config: Optional[AnnealingConfig] = None) -> None:
+        self.config = config or AnnealingConfig()
+
+    def _solve(self, request, tracer, profiling):
+        cfg = self.config
+        updates = {}
+        if request.seed is not None:
+            updates["seed"] = request.seed
+        if request.time_limit is not None:
+            updates["time_limit"] = request.time_limit
+        budget = (
+            request.time_limit
+            if request.time_limit is not None
+            else cfg.time_limit
+        )
+        if cfg.max_evaluations is None and budget is not None:
+            n = max(1, len(request.modules))
+            updates["max_evaluations"] = max(
+                1, int(budget * self.EVALS_PER_MODULE_SECOND / n)
+            )
+        if updates:
+            cfg = dc_replace(cfg, **updates)
+        return AnnealingPlacer(cfg).place(
+            request.region, list(request.modules), cache=request.cache
+        )
+
+
 # ----------------------------------------------------------------------
 # Default registrations
 # ----------------------------------------------------------------------
@@ -331,11 +448,6 @@ _BASELINES = (
     ("best-fit", BestFitPlacer, BackendCapabilities(supports_objective=True)),
     ("kamer", KamerPlacer, _GREEDY_CAPS),
     (
-        "annealing",
-        AnnealingPlacer,
-        BackendCapabilities(supports_objective=True, anytime=True),
-    ),
-    (
         "1d-slots",
         SlotPlacer,
         BackendCapabilities(relocatable=False),
@@ -349,6 +461,8 @@ def register_default_backends() -> None:
     register_backend("lns", LNSBackend, replace=True)
     register_backend("portfolio", PortfolioBackend, replace=True)
     register_backend("temporal-cp", TemporalCPBackend, replace=True)
+    register_backend("analytical", AnalyticalBackend, replace=True)
+    register_backend("annealing", AnnealingBackend, replace=True)
     for name, cls, caps in _BASELINES:
         register_backend(name, _baseline_factory(cls, name, caps), replace=True)
 

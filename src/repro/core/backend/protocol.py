@@ -92,6 +92,10 @@ class PlacementRequest:
     #: precedence edges ``(a, b)`` — module a must finish before module b
     #: starts; only honored by scheduling backends
     precedences: Sequence = ()
+    #: name of a registered backend whose legalized placement seeds the
+    #: solve (honored by the optimizing backends: CP clamps its objective
+    #: below the seed, LNS adopts it as the bootstrap incumbent)
+    warm_start: Optional[str] = None
 
 
 class PlacementBackend:

@@ -69,6 +69,12 @@ class LNSConfig:
     #: bitboard-first vectorized sweep in every CP solve; False = the
     #: per-shape scalar oracle path
     bitboard: bool = True
+    #: name of a registered backend (usually ``"analytical"``) whose
+    #: legalized placement replaces the CP-dive/greedy bootstrap as the
+    #: initial incumbent (None = cold construction ladder)
+    warm_start: Optional[str] = None
+    #: fraction of ``time_limit`` granted to the warm-start seeder
+    warm_start_budget: float = 0.25
 
 
 class LNSPlacer:
@@ -99,23 +105,39 @@ class LNSPlacer:
         # LNS subproblem derives its masks from them incrementally
         self._cache = cfg.cache if cfg.cache is not None else AnchorMaskCache()
 
+        # warm start: a seeder backend (the analytical relaxation) can
+        # hand over a verified full placement, skipping the construction
+        # ladder entirely — the improvement loop starts optimizing at once
+        base: Optional[PlacementResult] = None
+        warm_stats = {}
+        if cfg.warm_start and modules:
+            warm = self._warm_solve(region, modules, tracer)
+            if warm is not None:
+                base = warm
+                warm_stats = {
+                    "backend": cfg.warm_start,
+                    "objective": max(p.right for p in warm.placements),
+                    "elapsed": warm.elapsed,
+                }
+
         # construction: CP dive first (usually sub-second); if it thrashes,
         # fall back to the bottom-left heuristic — LNS only needs *some*
         # incumbent, the improvement loop does the optimization
-        initial_cfg = cfg.initial or PlacerConfig(
-            time_limit=min(cfg.time_limit / 2, 5.0),
-            first_solution_only=True,
-            incremental=cfg.incremental,
-            bitboard=cfg.bitboard,
-        )
-        if cfg.profile or tracer is not None:
-            initial_cfg = replace(
-                initial_cfg, profile=cfg.profile, tracer=tracer
+        if base is None:
+            initial_cfg = cfg.initial or PlacerConfig(
+                time_limit=min(cfg.time_limit / 2, 5.0),
+                first_solution_only=True,
+                incremental=cfg.incremental,
+                bitboard=cfg.bitboard,
             )
-        if initial_cfg.cache is None:
-            initial_cfg = replace(initial_cfg, cache=self._cache)
-        base = CPPlacer(initial_cfg).place(region, modules)
-        self._absorb_profile(base)
+            if cfg.profile or tracer is not None:
+                initial_cfg = replace(
+                    initial_cfg, profile=cfg.profile, tracer=tracer
+                )
+            if initial_cfg.cache is None:
+                initial_cfg = replace(initial_cfg, cache=self._cache)
+            base = CPPlacer(initial_cfg).place(region, modules)
+            self._absorb_profile(base)
         if not base.placements or not base.all_placed:
             from repro.placer.greedy import BottomLeftPlacer
 
@@ -191,6 +213,8 @@ class LNSPlacer:
             "shapes_considered": sum(m.n_alternatives for m in modules),
             "mask_cache": self._cache.stats(),
         }
+        if warm_stats:
+            stats["warm_start"] = warm_stats
         if self._profile_total is not None:
             stats["profile"] = self._profile_total
         return PlacementResult(
@@ -202,6 +226,40 @@ class LNSPlacer:
             elapsed=time.monotonic() - start,
             stats=stats,
         )
+
+    def _warm_solve(
+        self,
+        region: PartialRegion,
+        modules: Sequence[Module],
+        tracer: Optional[Tracer],
+    ) -> Optional[PlacementResult]:
+        """Run the warm-start seeder; None when its answer is unusable.
+
+        Unusable = partial or failing verification — the caller then runs
+        the ordinary construction ladder, never adopts a wrong incumbent.
+        """
+        # function-local imports: the backend adapters import this module
+        from repro.core.backend.protocol import PlacementRequest
+        from repro.core.backend.registry import create_backend
+
+        cfg = self.config
+        result = create_backend(cfg.warm_start).place(
+            PlacementRequest(
+                region,
+                list(modules),
+                seed=cfg.seed,
+                time_limit=cfg.time_limit * cfg.warm_start_budget,
+                cache=self._cache,
+                tracer=tracer,
+            )
+        )
+        if not result.placements or not result.all_placed:
+            return None
+        try:
+            result.verify()
+        except ValueError:
+            return None
+        return result
 
     def _absorb_profile(self, result: PlacementResult) -> None:
         """Fold one CP subsolve's profile into the LNS aggregate."""

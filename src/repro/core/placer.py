@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cp.bnb import BranchAndBound, Objective
 from repro.cp.branching import input_order, min_value
@@ -72,6 +72,13 @@ class PlacerConfig:
     #: + batched anchor counting); False keeps the per-shape scalar path
     #: — the other rung of the differential oracle ladder
     bitboard: bool = True
+    #: name of a registered backend (usually ``"analytical"``) whose
+    #: legalized placement becomes the initial incumbent: the objective is
+    #: clamped to beat it before search starts, so the branch-and-bound
+    #: never spends nodes reaching feasibility (None = cold start)
+    warm_start: Optional[str] = None
+    #: fraction of ``time_limit`` granted to the warm-start seeder
+    warm_start_budget: float = 0.25
 
 
 class CPPlacer:
@@ -99,6 +106,49 @@ class CPPlacer:
         """
         return self._place(region, modules, max_extent)
 
+    def _warm_solve(
+        self,
+        region: PartialRegion,
+        modules: Sequence[Module],
+        max_extent: Optional[int],
+    ) -> Optional[PlacementResult]:
+        """Run the warm-start backend; None when its answer is unusable.
+
+        Unusable = partial, failing verification, or already violating an
+        external ``max_extent`` bound — the caller then falls back to a
+        cold search, never to a wrong incumbent.
+        """
+        # function-local imports: the backend adapters import this module
+        from repro.core.backend.protocol import PlacementRequest
+        from repro.core.backend.registry import create_backend
+
+        cfg = self.config
+        budget = (
+            cfg.time_limit * cfg.warm_start_budget
+            if cfg.time_limit is not None
+            else None
+        )
+        result = create_backend(cfg.warm_start).place(
+            PlacementRequest(
+                region,
+                list(modules),
+                seed=cfg.seed,
+                time_limit=budget,
+                cache=cfg.cache,
+                tracer=cfg.tracer,
+            )
+        )
+        if not result.placements or not result.all_placed:
+            return None
+        try:
+            result.verify()
+        except ValueError:
+            return None
+        value = _objective_value(result.placements, cfg.objective)
+        if max_extent is not None and value > max_extent:
+            return None
+        return result
+
     def _place(
         self,
         region: PartialRegion,
@@ -108,6 +158,51 @@ class CPPlacer:
         cfg = self.config
         start = time.monotonic()
         profiling = cfg.profile or obs_context.current() is not None
+
+        warm_placements: Optional[List[Placement]] = None
+        warm_value: Optional[int] = None
+        warm_stats: Dict[str, object] = {}
+        if cfg.warm_start and modules:
+            warm = self._warm_solve(region, modules, max_extent)
+            if warm is not None:
+                warm_placements = [
+                    Placement(p.module, p.shape_index, p.x, p.y)
+                    for p in warm.placements
+                ]
+                warm_value = _objective_value(warm_placements, cfg.objective)
+                warm_stats = {
+                    "backend": cfg.warm_start,
+                    "objective": warm_value,
+                    "elapsed": warm.elapsed,
+                }
+
+        if warm_placements is not None and cfg.first_solution_only:
+            # service mode only needs *a* feasible placement — the warm
+            # seeder already produced a verified one, no search required
+            elapsed = time.monotonic() - start
+            stats: Dict[str, object] = {
+                "warm_start": warm_stats,
+                "first_incumbent_nodes": 0,
+            }
+            if profiling:
+                profile = SolveProfile(
+                    elapsed=elapsed,
+                    stop_reason="warm-start",
+                    meta={"placer": "cp", "warm_start": cfg.warm_start},
+                )
+                session = obs_context.current()
+                if session is not None:
+                    session.record(profile)
+                stats["profile"] = profile
+            return PlacementResult(
+                region,
+                warm_placements,
+                [],
+                status="feasible",
+                elapsed=elapsed,
+                stats=stats,
+            )
+
         try:
             pm = PlacementModel(
                 region,
@@ -129,6 +224,32 @@ class CPPlacer:
                 region, [], list(modules), status="infeasible",
                 elapsed=time.monotonic() - start,
             )
+
+        if warm_value is not None:
+            # incumbent injection: the search may only visit solutions
+            # strictly better than the warm placement
+            try:
+                pm.objective_var.remove_above(warm_value - 1)
+                pm.model.engine.fixpoint()
+            except Inconsistent:
+                # nothing beats the incumbent — it is proven optimal
+                elapsed = time.monotonic() - start
+                stats = {
+                    "warm_start": warm_stats,
+                    "first_incumbent_nodes": 0,
+                }
+                if profiling:
+                    stats["profile"] = self._capture_profile(
+                        pm, None, region, modules
+                    )
+                return PlacementResult(
+                    region,
+                    warm_placements,
+                    [],
+                    status="optimal",
+                    elapsed=elapsed,
+                    stats=stats,
+                )
 
         order = pm.area_order() if cfg.order == "area" else list(range(len(modules)))
         decision_vars = pm.decision_vars(order)
@@ -171,6 +292,28 @@ class CPPlacer:
         elapsed = time.monotonic() - start
 
         if res.best is None:
+            if warm_placements is not None:
+                # the clamped search found nothing better: the warm
+                # incumbent stands — proven optimal iff the search space
+                # below it was exhausted
+                status = "optimal" if res.proved_optimal else "feasible"
+                stats = {
+                    "search": res.stats,
+                    "warm_start": warm_stats,
+                    "first_incumbent_nodes": 0,
+                }
+                if profiling:
+                    stats["profile"] = self._capture_profile(
+                        pm, res.stats, region, modules
+                    )
+                return PlacementResult(
+                    region,
+                    warm_placements,
+                    [],
+                    status=status,
+                    elapsed=elapsed,
+                    stats=stats,
+                )
             status = "infeasible" if res.proved_optimal else "unknown"
             stats = {"search": res.stats}
             if profiling:
@@ -188,7 +331,12 @@ class CPPlacer:
             "search": res.stats,
             "trajectory": res.trajectory,
             "shapes_considered": sum(m.n_alternatives for m in modules),
+            "first_incumbent_nodes": (
+                0 if warm_placements is not None else res.first_incumbent_nodes
+            ),
         }
+        if warm_placements is not None:
+            stats["warm_start"] = warm_stats
         if profiling:
             stats["profile"] = self._capture_profile(
                 pm, res.stats, region, modules
@@ -293,6 +441,17 @@ class CPPlacer:
             elapsed=elapsed,
             stats=stats,
         )
+
+
+def _objective_value(
+    placements: Sequence[Placement], kind: ObjectiveKind
+) -> int:
+    """Objective value of a complete placement, matching the CP model."""
+    if kind is ObjectiveKind.MIN_EXTENT_Y:
+        return max(p.top for p in placements)
+    if kind is ObjectiveKind.MIN_TOTAL_RIGHT:
+        return sum(p.right for p in placements)
+    return max(p.right for p in placements)
 
 
 def _kernel_fail_first(pm: PlacementModel):

@@ -479,6 +479,12 @@ class RuntimePlacementManager:
         self._occupancy = np.zeros(
             (region.height, region.width), dtype=bool
         )
+        #: monotone stamp of the plannable floorplan (live occupancy and
+        #: outstanding reservations); bumped on every mutation so the
+        #: fragmentation memo invalidates without grid comparisons
+        self._occupancy_rev = 0
+        #: memoized fragmentation per view: "live"/"planning" -> (rev, value)
+        self._frag_cache: Dict[str, Tuple[int, float]] = {}
         cfg = self.config
         #: one shared anchor-mask cache across every probe of every rung
         # explicit None test: AnchorMaskCache has __len__, so an *empty*
@@ -573,14 +579,26 @@ class RuntimePlacementManager:
         xs = np.fromiter((c[0] for c in cells), dtype=np.int64, count=len(cells))
         ys = np.fromiter((c[1] for c in cells), dtype=np.int64, count=len(cells))
         self._occupancy[ys, xs] = value
+        self._occupancy_rev += 1
 
     def _rebuild_occupancy(self) -> None:
         self._occupancy[:] = False
+        self._occupancy_rev += 1
         for p in self._placements.values():
             self._imprint(p, True)
 
     def fragmentation(self) -> float:
-        return external_fragmentation(self.result())
+        """External fragmentation of the live floorplan, memoized on the
+        occupancy revision: the least-fragmented router probes it once
+        per candidate shard per request, and the KAMER staircase behind
+        the metric is pure Python — recomputing it on an unchanged
+        floorplan was the serving hot path's dominant cost."""
+        cached = self._frag_cache.get("live")
+        if cached is not None and cached[0] == self._occupancy_rev:
+            return cached[1]
+        value = external_fragmentation(self.result())
+        self._frag_cache["live"] = (self._occupancy_rev, value)
+        return value
 
     def planning_fragmentation(self) -> float:
         """External fragmentation of the *plannable* floorplan: live
@@ -588,15 +606,21 @@ class RuntimePlacementManager:
         This is the free-space picture an admission router should rank
         by — booked cells shatter usable space exactly like placed ones.
         Equals :meth:`fragmentation` when no reservations are
-        outstanding."""
+        outstanding.  Memoized like :meth:`fragmentation` (reservation
+        churn bumps the same revision stamp)."""
         if not self._reservations:
             return self.fragmentation()
+        cached = self._frag_cache.get("planning")
+        if cached is not None and cached[0] == self._occupancy_rev:
+            return cached[1]
         placements = self.placements + [
             r.placement for r in self._reservations
         ]
-        return external_fragmentation(
+        value = external_fragmentation(
             PlacementResult(self.region, placements)
         )
+        self._frag_cache["planning"] = (self._occupancy_rev, value)
+        return value
 
     # ------------------------------------------------------------------
     # Event intake
@@ -1060,6 +1084,7 @@ class RuntimePlacementManager:
             )
             self._reservations.append(reservation)
             self._reservations.sort(key=lambda r: r.start)
+            self._occupancy_rev += 1  # booked cells change the planning view
             outcome.status = "reserved"
             self.stats.reservations_booked += 1
             self._emit(
@@ -1102,8 +1127,10 @@ class RuntimePlacementManager:
                 break  # sorted by start
             if self._commit_reservation(r):
                 self._reservations.remove(r)
+                self._occupancy_rev += 1
             elif r.deadline <= self.clock:
                 self._reservations.remove(r)
+                self._occupancy_rev += 1
                 self.stats.reservations_expired += 1
                 self._emit(
                     RUNTIME_RESERVATION_EXPIRE,
@@ -1282,6 +1309,7 @@ class RuntimePlacementManager:
     def _imprint_window(self, move: PlannedMove, value: bool) -> None:
         for x, y in move.window_cells:
             self._occupancy[y, x] = value
+        self._occupancy_rev += 1
 
     def _validate_move(self, move: PlannedMove) -> bool:
         """Is the planned move still executable right now?

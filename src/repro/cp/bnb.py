@@ -54,6 +54,10 @@ class BnBResult:
     stats: SearchStats = field(default_factory=SearchStats)
     #: (elapsed seconds, objective) for each improving solution
     trajectory: List[Tuple[float, int]] = field(default_factory=list)
+    #: search nodes opened when the first incumbent was found (None if the
+    #: run never found one); a warm-started solve reports 0 through the
+    #: placer layer because its incumbent exists before search begins
+    first_incumbent_nodes: Optional[int] = None
 
 
 class BranchAndBound:
@@ -101,6 +105,7 @@ class BranchAndBound:
         best: Optional[Solution] = None
         best_value: Optional[int] = None
         trajectory: List[Tuple[float, int]] = []
+        first_incumbent_nodes: Optional[int] = None
         start = time.monotonic()
         for sol in search.solutions():
             value = self.objective.var.value()
@@ -111,6 +116,8 @@ class BranchAndBound:
             ):
                 self._best_bound = value
                 best, best_value = sol, value
+                if first_incumbent_nodes is None:
+                    first_incumbent_nodes = search.stats.nodes
                 trajectory.append((time.monotonic() - start, value))
                 if self.engine.tracer is not None:
                     self.engine.tracer.emit(
@@ -126,4 +133,5 @@ class BranchAndBound:
             proved_optimal=search.stats.stop_reason == "exhausted",
             stats=search.stats,
             trajectory=trajectory,
+            first_incumbent_nodes=first_incumbent_nodes,
         )

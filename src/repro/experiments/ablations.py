@@ -19,6 +19,8 @@ from repro.fabric.region import PartialRegion
 from repro.metrics.utilization import extent_utilization
 from repro.modules.generator import GeneratorConfig, ModuleGenerator
 from repro.placer import (
+    AnalyticalConfig,
+    AnalyticalPlacer,
     AnnealingConfig,
     AnnealingPlacer,
     BestFitPlacer,
@@ -123,6 +125,14 @@ def baseline_comparison(
             "annealing",
             lambda: AnnealingPlacer(
                 AnnealingConfig(time_limit=time_limit, seed=seed)
+            ),
+        ),
+        (
+            # a quarter of the annealing budget: the acceptance bar is
+            # "at least annealing quality in at most 25% of its time"
+            "analytical",
+            lambda: AnalyticalPlacer(
+                AnalyticalConfig(time_limit=time_limit / 4, seed=seed)
             ),
         ),
     ]

@@ -172,6 +172,25 @@ def sliding_box_counts(
     return out
 
 
+def nearest_anchor(
+    valid: np.ndarray, x: float, y: float
+) -> Tuple[int, int] | None:
+    """Closest valid anchor to a (possibly fractional) target position.
+
+    Returns the ``(ax, ay)`` with ``valid[ay, ax]`` minimizing the squared
+    Euclidean distance to ``(x, y)``, or None when the mask has no anchors.
+    Ties break bottom-left (smallest x, then smallest y) so the answer is
+    deterministic — the analytical legalizer snaps every relaxed centroid
+    through this query and must not depend on ``nonzero`` ordering.
+    """
+    ys, xs = np.nonzero(valid)
+    if ys.size == 0:
+        return None
+    d2 = (xs - x) ** 2 + (ys - y) ** 2
+    k = np.lexsort((ys, xs, d2))[0]
+    return int(xs[k]), int(ys[k])
+
+
 def anchors_list(valid: np.ndarray) -> list[Tuple[int, int]]:
     """The (x, y) anchor coordinates of a validity mask, bottom-left order.
 

@@ -97,6 +97,10 @@ class SolveProfile:
     # sweep because the anchor window exceeded the rasterization guard
     bitboard_rows_tested: int = 0
     bitboard_fallbacks: int = 0
+    # analytical-relaxation counters (0 unless the analytical placer ran):
+    # force-loop iterations executed / centroids legalized onto anchors
+    analytical_iterations: int = 0
+    analytical_snapped: int = 0
     #: per-propagator breakdown, keyed by propagator name
     propagators: Dict[str, PropagatorProfile] = field(default_factory=dict)
     #: free-form context: instance name, seed, placer config, ...
@@ -168,6 +172,10 @@ class SolveProfile:
                 self.bitboard_rows_tested + other.bitboard_rows_tested
             ),
             bitboard_fallbacks=self.bitboard_fallbacks + other.bitboard_fallbacks,
+            analytical_iterations=(
+                self.analytical_iterations + other.analytical_iterations
+            ),
+            analytical_snapped=self.analytical_snapped + other.analytical_snapped,
             propagators=props,
             meta=meta,
         )
@@ -192,6 +200,8 @@ class SolveProfile:
             "geost_rasterized": self.geost_rasterized,
             "bitboard_rows_tested": self.bitboard_rows_tested,
             "bitboard_fallbacks": self.bitboard_fallbacks,
+            "analytical_iterations": self.analytical_iterations,
+            "analytical_snapped": self.analytical_snapped,
         }
 
     # ------------------------------------------------------------------
@@ -238,6 +248,8 @@ class SolveProfile:
             geost_rasterized=d.get("geost_rasterized", 0),
             bitboard_rows_tested=d.get("bitboard_rows_tested", 0),
             bitboard_fallbacks=d.get("bitboard_fallbacks", 0),
+            analytical_iterations=d.get("analytical_iterations", 0),
+            analytical_snapped=d.get("analytical_snapped", 0),
             propagators={p.name: p for p in props},
             meta=dict(d.get("meta", {})),
         )
@@ -294,6 +306,11 @@ def profile_report(profile: SolveProfile) -> str:
         head.append(
             f"bitboard sweep: rows_tested={p.bitboard_rows_tested} "
             f"fallbacks={p.bitboard_fallbacks}"
+        )
+    if p.analytical_iterations or p.analytical_snapped:
+        head.append(
+            f"analytical: iterations={p.analytical_iterations} "
+            f"snapped={p.analytical_snapped}"
         )
     if p.meta:
         head.append(

@@ -35,6 +35,8 @@ PROFILE_SCHEMA: Dict[str, type] = {
     "geost_rasterized": int,
     "bitboard_rows_tested": int,
     "bitboard_fallbacks": int,
+    "analytical_iterations": int,
+    "analytical_snapped": int,
     "elapsed": float,
     "stop_reason": str,
     "propagators": list,
@@ -68,6 +70,9 @@ EVENT_KINDS: Dict[str, List[str]] = {
     "kernel.imprint": ["module", "shape", "x", "y"],
     "lns.neighborhood": ["iteration", "free", "frontier"],
     "lns.improved": ["iteration", "extent"],
+    # analytical force relaxation: one progress sample per trace_every
+    # iterations (mean per-module move, total pairwise bbox overlap)
+    "analytical.iterate": ["iteration", "move", "overlap"],
     "portfolio.result": ["seed", "extent", "solved"],
     "backend.start": ["backend", "modules"],
     "backend.result": ["backend", "status", "placed", "elapsed"],
@@ -135,6 +140,7 @@ def validate_profile(doc: Dict[str, Any]) -> List[str]:
         "cache_hits", "cache_misses", "cache_narrowed", "cache_evictions",
         "geost_dirty", "geost_reused", "geost_rasterized",
         "bitboard_rows_tested", "bitboard_fallbacks",
+        "analytical_iterations", "analytical_snapped",
     ):
         value = doc.get(key)
         if isinstance(value, int) and not isinstance(value, bool) and value < 0:

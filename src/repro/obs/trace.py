@@ -34,6 +34,9 @@ GEOST_SHAPE_REMOVED = "geost.shape_removed"
 KERNEL_IMPRINT = "kernel.imprint"
 LNS_NEIGHBORHOOD = "lns.neighborhood"
 LNS_IMPROVED = "lns.improved"
+#: one analytical-relaxation progress sample (every config.trace_every
+#: iterations): mean per-module move and total pairwise bbox overlap
+ANALYTICAL_ITERATE = "analytical.iterate"
 PORTFOLIO_RESULT = "portfolio.result"
 #: placement backend lifecycle (repro.core.backend) — one start/result
 #: pair per `PlacementBackend.place` call, whatever the engine behind it

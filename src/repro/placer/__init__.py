@@ -8,13 +8,17 @@ against:
 * Bazargan-style online placement managing free space with maximal empty
   rectangles (KAMER, :mod:`repro.placer.kamer`), and
 * a simulated-annealing placer over (order, alternative) encodings
-  (:mod:`repro.placer.annealing`).
+  (:mod:`repro.placer.annealing`), and
+* a FRAME-style analytical placer — force relaxation over centroids with
+  nearest-anchor legalization (:mod:`repro.placer.analytical`), also the
+  CP/LNS warm-start seeder.
 
 All of them produce :class:`repro.core.result.PlacementResult` objects and
 pass the same verification, so benchmark ablation A3 compares them
 apples-to-apples against the CP placer.
 """
 
+from repro.placer.analytical import AnalyticalConfig, AnalyticalPlacer
 from repro.placer.base import BasePlacer
 from repro.placer.greedy import BottomLeftPlacer, FirstFitPlacer, BestFitPlacer
 from repro.placer.kamer import KamerPlacer
@@ -22,6 +26,8 @@ from repro.placer.annealing import AnnealingConfig, AnnealingPlacer
 from repro.placer.slots import SlotConfig, SlotPlacer, slot_utilization
 
 __all__ = [
+    "AnalyticalConfig",
+    "AnalyticalPlacer",
     "BasePlacer",
     "BottomLeftPlacer",
     "FirstFitPlacer",

@@ -95,9 +95,15 @@ class AnnealingPlacer(BasePlacer):
         evaluations = 1
 
         def exhausted() -> bool:
-            if cfg.max_evaluations is not None:
-                return evaluations >= cfg.max_evaluations
-            return state.out_of_budget()
+            # the wall clock stays on as a safety net even under an
+            # evaluation cap: a deterministic run must still terminate
+            # within (roughly) its budget on a pathologically slow box
+            if state.out_of_budget():
+                return True
+            return (
+                cfg.max_evaluations is not None
+                and evaluations >= cfg.max_evaluations
+            )
 
         while temperature > cfg.min_temperature and not exhausted():
             for _ in range(cfg.moves_per_temperature):

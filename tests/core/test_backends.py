@@ -45,7 +45,8 @@ from repro.placer import AnnealingConfig, AnnealingPlacer, BottomLeftPlacer
 
 EXPECTED_BACKENDS = {
     "cp", "lns", "portfolio", "greedy", "bottom-left", "first-fit",
-    "best-fit", "kamer", "annealing", "1d-slots", "temporal-cp",
+    "best-fit", "kamer", "annealing", "analytical", "1d-slots",
+    "temporal-cp",
 }
 
 
@@ -93,7 +94,9 @@ class TestRegistry:
 
 class TestCapabilities:
     def test_objective_backends(self):
-        for name in ("cp", "lns", "portfolio", "best-fit", "annealing"):
+        for name in (
+            "cp", "lns", "portfolio", "best-fit", "annealing", "analytical",
+        ):
             assert backend_capabilities(name).supports_objective, name
         for name in (
             "greedy", "bottom-left", "first-fit", "kamer", "1d-slots",
@@ -105,7 +108,8 @@ class TestCapabilities:
         for name in ("portfolio", "1d-slots"):
             assert not backend_capabilities(name).relocatable, name
         for name in (
-            "cp", "lns", "greedy", "kamer", "annealing", "temporal-cp",
+            "cp", "lns", "greedy", "kamer", "annealing", "analytical",
+            "temporal-cp",
         ):
             assert backend_capabilities(name).relocatable, name
 
@@ -162,6 +166,34 @@ class TestAdapterParity:
         res.verify()
         assert res.stats["method"] == "annealing"
         assert res.stats["backend"] == "annealing"
+
+    def test_annealing_budget_runs_are_bit_identical(self):
+        # with max_evaluations=None the raw placer raced the wall clock,
+        # so the same seed gave machine-load-dependent answers; the
+        # adapter derives a deterministic evaluation cap from the budget
+        region, modules = small_instance(seed=11, n=5)
+
+        def run():
+            res = create_backend(
+                "annealing", AnnealingConfig(max_evaluations=None)
+            ).place(PlacementRequest(region, modules, seed=4, time_limit=0.5))
+            return (
+                [(p.module.name, p.shape_index, p.x, p.y)
+                 for p in res.placements],
+                res.extent,
+                res.stats["evaluations"],
+            )
+
+        first, second = run(), run()
+        assert first == second
+        # the cap is actually in force (not falling back to the clock)
+        evals = first[2]
+        backend = create_backend("annealing")
+        expected = max(
+            1,
+            int(0.5 * backend.EVALS_PER_MODULE_SECOND / len(modules)),
+        )
+        assert evals <= expected
 
     def test_baseline_cache_reuse_is_visible(self):
         region, modules = small_instance()

@@ -1,0 +1,90 @@
+"""Differential oracle for the KAMER staircase sweep.
+
+``maximal_empty_rectangles`` is load-bearing three times over: the
+Bazargan-style online baseline places into its rectangles, the external
+fragmentation metric ranks shards by its largest member, and (since the
+memoization) the serving hot path trusts whatever value it computed last.
+This suite pins it against a brute-force oracle that enumerates *every*
+all-free rectangle and keeps the ones not extendable in any of the four
+directions — O(W^2 H^2 WH), fine at <= 8x8 — across ~200 seeded random
+masks plus the structured edge cases.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.metrics.fragmentation import maximal_empty_rectangles
+
+
+def brute_force_maximal(free: np.ndarray) -> List[Tuple[int, int, int, int]]:
+    """All maximal empty rectangles by exhaustive enumeration."""
+    free = np.asarray(free, dtype=bool)
+    H, W = free.shape
+    out = []
+    for y in range(H):
+        for x in range(W):
+            for h in range(1, H - y + 1):
+                for w in range(1, W - x + 1):
+                    if not free[y : y + h, x : x + w].all():
+                        continue
+                    left = x > 0 and free[y : y + h, x - 1].all()
+                    right = x + w < W and free[y : y + h, x + w].all()
+                    up = y > 0 and free[y - 1, x : x + w].all()
+                    down = y + h < H and free[y + h, x : x + w].all()
+                    if not (left or right or up or down):
+                        out.append((x, y, w, h))
+    return sorted(out)
+
+
+def random_masks(n: int = 200):
+    rng = np.random.default_rng(1234)
+    params = []
+    for i in range(n):
+        h = int(rng.integers(1, 9))
+        w = int(rng.integers(1, 9))
+        density = float(rng.uniform(0.1, 0.95))
+        params.append(pytest.param(h, w, density, i, id=f"mask{i}"))
+    return params
+
+
+class TestStaircaseAgainstBruteForce:
+    @pytest.mark.parametrize("h,w,density,i", random_masks())
+    def test_random_masks(self, h, w, density, i):
+        rng = np.random.default_rng(10_000 + i)
+        free = rng.random((h, w)) < density
+        assert maximal_empty_rectangles(free) == brute_force_maximal(free)
+
+    def test_empty_mask_has_no_rectangles(self):
+        assert maximal_empty_rectangles(np.zeros((5, 7), dtype=bool)) == []
+
+    def test_full_mask_is_one_rectangle(self):
+        assert maximal_empty_rectangles(np.ones((5, 7), dtype=bool)) == [
+            (0, 0, 7, 5)
+        ]
+
+    def test_single_cell_grid(self):
+        assert maximal_empty_rectangles(np.ones((1, 1), dtype=bool)) == [
+            (0, 0, 1, 1)
+        ]
+        assert maximal_empty_rectangles(np.zeros((1, 1), dtype=bool)) == []
+
+    def test_plus_shape(self):
+        # the classic overlap case: two maximal rectangles crossing
+        free = np.zeros((3, 3), dtype=bool)
+        free[1, :] = True
+        free[:, 1] = True
+        assert maximal_empty_rectangles(free) == [(0, 1, 3, 1), (1, 0, 1, 3)]
+
+    def test_no_duplicates_and_all_maximal(self):
+        rng = np.random.default_rng(99)
+        for _ in range(20):
+            free = rng.random((8, 8)) < 0.6
+            rects = maximal_empty_rectangles(free)
+            assert len(rects) == len(set(rects))
+            oracle = set(brute_force_maximal(free))
+            for r in rects:
+                assert r in oracle, f"{r} not maximal (or not empty)"

@@ -1,0 +1,126 @@
+"""Analytical placer: relaxation, legalization, events, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fabric.devices import columnar_device, irregular_device
+from repro.fabric.masks import nearest_anchor
+from repro.fabric.region import PartialRegion
+from repro.modules.footprint import Footprint
+from repro.modules.generator import GeneratorConfig, ModuleGenerator
+from repro.modules.module import Module
+from repro.obs import RecordingTracer, validate_event
+from repro.obs.trace import ANALYTICAL_ITERATE
+from repro.placer import AnalyticalConfig, AnalyticalPlacer
+
+
+def instance(n=8, seed=2):
+    region = PartialRegion.whole_device(irregular_device(64, 16, seed=7))
+    modules = ModuleGenerator(seed=seed).generate_set(n)
+    return region, modules
+
+
+class TestNearestAnchor:
+    def test_empty_mask_is_none(self):
+        assert nearest_anchor(np.zeros((4, 4), dtype=bool), 1, 1) is None
+
+    def test_exact_hit_wins(self):
+        valid = np.zeros((5, 5), dtype=bool)
+        valid[2, 3] = True
+        valid[0, 0] = True
+        assert nearest_anchor(valid, 3, 2) == (3, 2)
+
+    def test_ties_break_bottom_left(self):
+        # (1, 0) and (0, 1) are equidistant from (0, 0) shifted query;
+        # the lexsort prefers the smaller x, then the smaller y
+        valid = np.zeros((4, 4), dtype=bool)
+        valid[0, 1] = True  # (x=1, y=0)
+        valid[1, 0] = True  # (x=0, y=1)
+        assert nearest_anchor(valid, 0, 0) == (0, 1)
+
+
+class TestAnalyticalPlacer:
+    def test_places_everything_and_verifies(self):
+        region, modules = instance()
+        res = AnalyticalPlacer().place(region, modules)
+        res.verify()
+        assert res.all_placed
+        assert res.stats["method"] == "analytical"
+        assert res.stats["iterations"] >= 1
+        assert res.stats["snapped"] == len(modules)
+
+    def test_deterministic_per_seed(self):
+        region, modules = instance(seed=5)
+
+        def run():
+            res = AnalyticalPlacer(AnalyticalConfig(seed=3)).place(
+                region, modules
+            )
+            return [
+                (p.module.name, p.shape_index, p.x, p.y)
+                for p in res.placements
+            ]
+
+        assert run() == run()
+
+    def test_relaxation_converges(self):
+        region, modules = instance()
+        res = AnalyticalPlacer(
+            AnalyticalConfig(iterations=2000, tolerance=0.05)
+        ).place(region, modules)
+        # convergence = the loop stopped well before the iteration cap
+        assert res.stats["iterations"] < 2000
+        res.verify()
+
+    def test_iterate_events_emitted_and_valid(self):
+        region, modules = instance()
+        tracer = RecordingTracer()
+        cfg = AnalyticalConfig(tracer=tracer, trace_every=5)
+        AnalyticalPlacer(cfg).place(region, modules)
+        events = tracer.by_kind(ANALYTICAL_ITERATE)
+        assert events, "relaxation must emit progress samples"
+        for ev in events:
+            assert validate_event(ev.to_dict()) == []
+        iterations = [ev.data["iteration"] for ev in events]
+        assert iterations == sorted(iterations)
+
+    def test_alternative_choice_prefers_least_movement(self):
+        # a fabric of 4-wide CLB columns separated by BRAM columns: the
+        # wide flat alternative fits a shelf, the tall one does not
+        region = PartialRegion.whole_device(
+            columnar_device(32, 8, bram_stride=0, dsp_stride=0)
+        )
+        modules = [
+            Module(f"m{i}", [Footprint.rectangle(4, 2),
+                             Footprint.rectangle(2, 4)])
+            for i in range(4)
+        ]
+        res = AnalyticalPlacer().place(region, modules)
+        res.verify()
+        assert res.all_placed
+
+    def test_budget_is_respected(self):
+        region, modules = instance(n=12, seed=9)
+        res = AnalyticalPlacer(
+            AnalyticalConfig(time_limit=0.5, iterations=100000)
+        ).place(region, modules)
+        assert res.elapsed < 3.0
+
+    def test_relaxation_settles(self):
+        # the force field must reach an equilibrium: the mean per-module
+        # move sampled by the progress events decays by an order of
+        # magnitude between the first and last sample (overlap itself is
+        # *not* monotone — the compaction pull keeps pressing modules
+        # together until legalization resolves them)
+        region, modules = instance(n=10, seed=4)
+        tracer = RecordingTracer()
+        AnalyticalPlacer(
+            AnalyticalConfig(seed=1, tracer=tracer, trace_every=5)
+        ).place(region, modules)
+        moves = [
+            ev.data["move"] for ev in tracer.by_kind(ANALYTICAL_ITERATE)
+        ]
+        assert len(moves) >= 2
+        assert moves[-1] < moves[0] / 10
